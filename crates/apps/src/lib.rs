@@ -1,0 +1,134 @@
+//! # ccl-apps — the paper's evaluation applications
+//!
+//! The four parallel programs of Table 1, ported to the DSM API:
+//!
+//! | Program | Origin | Synchronization |
+//! |---|---|---|
+//! | [`fft3d`] | NAS 3D Fast Fourier Transform | barriers |
+//! | [`mg`] | NAS multigrid Poisson solver | barriers |
+//! | [`shallow`] | NCAR shallow-water weather kernel | barriers |
+//! | [`water`] | SPLASH molecular dynamics | locks **and** barriers |
+//!
+//! Each module exposes a `Config` (with `paper()`-scaled and `tiny()`
+//! test instances), a `run(dsm, &cfg) -> u64` entry point returning a
+//! bit-exact digest, and a `reference_digest` serial implementation with
+//! identical arithmetic that pins the parallel kernel's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fft3d;
+pub mod mg;
+pub mod shallow;
+pub mod water;
+
+use ccl_core::Dsm;
+
+/// Which benchmark application to run (harness plumbing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// NAS 3D-FFT.
+    Fft3d,
+    /// NAS MG.
+    Mg,
+    /// NCAR Shallow.
+    Shallow,
+    /// SPLASH Water.
+    Water,
+}
+
+impl App {
+    /// All four applications, in the paper's order.
+    pub const ALL: [App; 4] = [App::Fft3d, App::Mg, App::Shallow, App::Water];
+
+    /// Display name used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Fft3d => "3D-FFT",
+            App::Mg => "MG",
+            App::Shallow => "Shallow",
+            App::Water => "Water",
+        }
+    }
+
+    /// Shared pages the paper-scale instance needs.
+    pub fn paper_pages(self, page_size: usize) -> u32 {
+        match self {
+            App::Fft3d => fft3d::FftConfig::paper().shared_pages(page_size),
+            App::Mg => mg::MgConfig::paper().shared_pages(page_size),
+            App::Shallow => shallow::ShallowConfig::paper().shared_pages(page_size),
+            App::Water => water::WaterConfig::paper().shared_pages(page_size),
+        }
+    }
+
+    /// Run the paper-scale instance.
+    pub fn run_paper(self, dsm: &mut Dsm) -> u64 {
+        match self {
+            App::Fft3d => fft3d::run(dsm, &fft3d::FftConfig::paper()),
+            App::Mg => mg::run(dsm, &mg::MgConfig::paper()),
+            App::Shallow => shallow::run(dsm, &shallow::ShallowConfig::paper()),
+            App::Water => water::run(dsm, &water::WaterConfig::paper()),
+        }
+    }
+
+    /// Shared pages the tiny test instance needs.
+    pub fn tiny_pages(self, page_size: usize) -> u32 {
+        match self {
+            App::Fft3d => fft3d::FftConfig::tiny().shared_pages(page_size),
+            App::Mg => mg::MgConfig::tiny().shared_pages(page_size),
+            App::Shallow => shallow::ShallowConfig::tiny().shared_pages(page_size),
+            App::Water => water::WaterConfig::tiny().shared_pages(page_size),
+        }
+    }
+
+    /// Run the tiny test instance.
+    pub fn run_tiny(self, dsm: &mut Dsm) -> u64 {
+        match self {
+            App::Fft3d => fft3d::run(dsm, &fft3d::FftConfig::tiny()),
+            App::Mg => mg::run(dsm, &mg::MgConfig::tiny()),
+            App::Shallow => shallow::run(dsm, &shallow::ShallowConfig::tiny()),
+            App::Water => water::run(dsm, &water::WaterConfig::tiny()),
+        }
+    }
+
+    /// Serial reference digest of the tiny instance.
+    pub fn tiny_reference(self) -> u64 {
+        match self {
+            App::Fft3d => fft3d::reference_digest(&fft3d::FftConfig::tiny()),
+            App::Mg => mg::reference_digest(&mg::MgConfig::tiny()),
+            App::Shallow => shallow::reference_digest(&shallow::ShallowConfig::tiny()),
+            App::Water => water::reference_digest(&water::WaterConfig::tiny()),
+        }
+    }
+
+    /// Table 1's "Synchronization" column.
+    pub fn sync_kind(self) -> &'static str {
+        match self {
+            App::Water => "locks and barriers",
+            _ => "barriers",
+        }
+    }
+
+    /// Table 1's "Data Set Size" column (paper-scale instance).
+    pub fn data_set(self) -> String {
+        match self {
+            App::Fft3d => {
+                let c = fft3d::FftConfig::paper();
+                format!("{}x{}x{} grid, {} iterations", c.nx, c.ny, c.nz, c.iterations)
+            }
+            App::Mg => {
+                let c = mg::MgConfig::paper();
+                format!("{n}x{n}x{n} grid, {} V-cycles", c.cycles, n = c.n)
+            }
+            App::Shallow => {
+                let c = shallow::ShallowConfig::paper();
+                format!("{n}x{n} grids, {} timesteps", c.steps, n = c.n)
+            }
+            App::Water => {
+                let c = water::WaterConfig::paper();
+                format!("{} molecules, {} timesteps", c.molecules, c.steps)
+            }
+        }
+    }
+}

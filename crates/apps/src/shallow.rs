@@ -1,0 +1,381 @@
+//! Shallow — the NCAR shallow-water weather prediction kernel.
+//!
+//! Thirteen N×N periodic grids (velocities u/v, pressure p, their old
+//! and new generations, and the intermediates cu/cv/z/h) updated by
+//! finite-difference stencils in three barrier-separated phases per
+//! timestep, row-partitioned across the nodes — the structure of the
+//! original Fortran benchmark the paper runs.
+
+use ccl_core::{ArrayHandle, Dsm};
+
+use crate::common::Checksum;
+
+/// Shallow-water problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShallowConfig {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// Number of timesteps.
+    pub steps: usize,
+}
+
+impl ShallowConfig {
+    /// Harness-scale instance of the paper's data set (256x256 grid).
+    pub fn paper() -> ShallowConfig {
+        ShallowConfig { n: 256, steps: 12 }
+    }
+
+    /// Tiny instance for tests.
+    pub fn tiny() -> ShallowConfig {
+        ShallowConfig { n: 16, steps: 3 }
+    }
+
+    /// Points per grid.
+    pub fn points(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Shared pages for the 13 grids.
+    pub fn shared_pages(&self, page_size: usize) -> u32 {
+        let per = (self.points() * 8).div_ceil(page_size) as u32 + 1;
+        13 * per
+    }
+}
+
+// Physical constants of the original benchmark.
+const DT: f64 = 90.0;
+const DX: f64 = 100_000.0;
+const DY: f64 = 100_000.0;
+const A: f64 = 1_000_000.0;
+const ALPHA: f64 = 0.001;
+const EL: f64 = 2_000_000.0; // domain extent used by the initial field
+const PCF: f64 = 3.0;
+
+#[inline]
+fn at(n: usize, x: usize, y: usize) -> usize {
+    y * n + x
+}
+
+#[inline]
+fn wrap(n: usize, i: usize, d: isize) -> usize {
+    (i as isize + d).rem_euclid(n as isize) as usize
+}
+
+/// Initial stream-function-derived fields, identical on every node.
+pub fn initial_fields(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let di = 2.0 * std::f64::consts::PI / n as f64;
+    let dj = 2.0 * std::f64::consts::PI / n as f64;
+    let mut psi = vec![0.0; (n + 1) * (n + 1)];
+    for j in 0..=n {
+        for i in 0..=n {
+            psi[j * (n + 1) + i] =
+                A * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin();
+        }
+    }
+    let mut u = vec![0.0; n * n];
+    let mut v = vec![0.0; n * n];
+    let mut p = vec![0.0; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            u[at(n, x, y)] = -(psi[(y + 1) * (n + 1) + x] - psi[y * (n + 1) + x]) / DY;
+            v[at(n, x, y)] = (psi[y * (n + 1) + x + 1] - psi[y * (n + 1) + x]) / DX;
+            // Positive-definite pressure, as in the original kernel
+            // (the z-field divides by a 4-point sum of p).
+            p[at(n, x, y)] = PCF
+                * (((x as f64) * di).cos() + ((y as f64) * dj).cos())
+                * (EL / 1000.0)
+                + 50_000.0;
+        }
+    }
+    (u, v, p)
+}
+
+struct Grids {
+    u: ArrayHandle<f64>,
+    v: ArrayHandle<f64>,
+    p: ArrayHandle<f64>,
+    unew: ArrayHandle<f64>,
+    vnew: ArrayHandle<f64>,
+    pnew: ArrayHandle<f64>,
+    uold: ArrayHandle<f64>,
+    vold: ArrayHandle<f64>,
+    pold: ArrayHandle<f64>,
+    cu: ArrayHandle<f64>,
+    cv: ArrayHandle<f64>,
+    z: ArrayHandle<f64>,
+    h: ArrayHandle<f64>,
+}
+
+fn my_rows(n: usize, me: usize, nodes: usize) -> (usize, usize) {
+    let per = n.div_ceil(nodes);
+    ((me * per).min(n), ((me + 1) * per).min(n))
+}
+
+/// Run Shallow on the DSM; every node returns the same digest.
+pub fn run(dsm: &mut Dsm, cfg: &ShallowConfig) -> u64 {
+    let n = cfg.n;
+    let me = dsm.me();
+    let nodes = dsm.nodes();
+    let g = Grids {
+        u: dsm.alloc_blocked::<f64>(cfg.points()),
+        v: dsm.alloc_blocked::<f64>(cfg.points()),
+        p: dsm.alloc_blocked::<f64>(cfg.points()),
+        unew: dsm.alloc_blocked::<f64>(cfg.points()),
+        vnew: dsm.alloc_blocked::<f64>(cfg.points()),
+        pnew: dsm.alloc_blocked::<f64>(cfg.points()),
+        uold: dsm.alloc_blocked::<f64>(cfg.points()),
+        vold: dsm.alloc_blocked::<f64>(cfg.points()),
+        pold: dsm.alloc_blocked::<f64>(cfg.points()),
+        cu: dsm.alloc_blocked::<f64>(cfg.points()),
+        cv: dsm.alloc_blocked::<f64>(cfg.points()),
+        z: dsm.alloc_blocked::<f64>(cfg.points()),
+        h: dsm.alloc_blocked::<f64>(cfg.points()),
+    };
+    let (ylo, yhi) = my_rows(n, me, nodes);
+
+    // Initialization: each node writes its rows of the identical field.
+    let (u0, v0, p0) = initial_fields(n);
+    for y in ylo..yhi {
+        let i = at(n, 0, y);
+        dsm.write_slice(&g.u, i, &u0[i..i + n]);
+        dsm.write_slice(&g.v, i, &v0[i..i + n]);
+        dsm.write_slice(&g.p, i, &p0[i..i + n]);
+        dsm.write_slice(&g.uold, i, &u0[i..i + n]);
+        dsm.write_slice(&g.vold, i, &v0[i..i + n]);
+        dsm.write_slice(&g.pold, i, &p0[i..i + n]);
+    }
+    dsm.barrier();
+
+    let fsdx = 4.0 / DX;
+    let fsdy = 4.0 / DY;
+    let tdts8 = DT * DT / 8.0; // placeholder-free constants as in the kernel
+    let tdtsdx = DT / DX;
+    let tdtsdy = DT / DY;
+
+    for _step in 0..cfg.steps {
+        // Phase 1: cu, cv, z, h.
+        for y in ylo..yhi {
+            for x in 0..n {
+                let xe = wrap(n, x, 1);
+                let xw = wrap(n, x, -1);
+                let yn = wrap(n, y, 1);
+                let ys = wrap(n, y, -1);
+                let p_c = dsm.read(&g.p, at(n, x, y));
+                let p_w = dsm.read(&g.p, at(n, xw, y));
+                let p_s = dsm.read(&g.p, at(n, x, ys));
+                let u_c = dsm.read(&g.u, at(n, x, y));
+                let u_e = dsm.read(&g.u, at(n, xe, y));
+                let v_c = dsm.read(&g.v, at(n, x, y));
+                let v_n = dsm.read(&g.v, at(n, x, yn));
+                dsm.write(&g.cu, at(n, x, y), 0.5 * (p_c + p_w) * u_c);
+                dsm.write(&g.cv, at(n, x, y), 0.5 * (p_c + p_s) * v_c);
+                let zval = (fsdx * (v_c - dsm.read(&g.v, at(n, xw, y)))
+                    - fsdy * (u_c - dsm.read(&g.u, at(n, x, ys))))
+                    / (p_w + p_c + p_s + dsm.read(&g.p, at(n, xw, ys)));
+                dsm.write(&g.z, at(n, x, y), zval);
+                let hval = p_c + 0.25 * (u_e * u_e + u_c * u_c + v_n * v_n + v_c * v_c);
+                dsm.write(&g.h, at(n, x, y), hval);
+            }
+            dsm.charge_flops(24 * n as u64);
+        }
+        dsm.barrier();
+
+        // Phase 2: new generation from old + intermediates.
+        for y in ylo..yhi {
+            for x in 0..n {
+                let xe = wrap(n, x, 1);
+                let xw = wrap(n, x, -1);
+                let yn = wrap(n, y, 1);
+                let ys = wrap(n, y, -1);
+                let unew = dsm.read(&g.uold, at(n, x, y))
+                    + tdts8
+                        * (dsm.read(&g.z, at(n, xe, y)) + dsm.read(&g.z, at(n, x, y)))
+                        * (dsm.read(&g.cv, at(n, xe, y))
+                            + dsm.read(&g.cv, at(n, xe, ys))
+                            + dsm.read(&g.cv, at(n, x, ys))
+                            + dsm.read(&g.cv, at(n, x, y)))
+                        / 4.0
+                    - tdtsdx
+                        * (dsm.read(&g.h, at(n, x, y)) - dsm.read(&g.h, at(n, xw, y)));
+                let vnew = dsm.read(&g.vold, at(n, x, y))
+                    - tdts8
+                        * (dsm.read(&g.z, at(n, x, yn)) + dsm.read(&g.z, at(n, x, y)))
+                        * (dsm.read(&g.cu, at(n, x, yn))
+                            + dsm.read(&g.cu, at(n, xw, yn))
+                            + dsm.read(&g.cu, at(n, xw, y))
+                            + dsm.read(&g.cu, at(n, x, y)))
+                        / 4.0
+                    - tdtsdy
+                        * (dsm.read(&g.h, at(n, x, yn)) - dsm.read(&g.h, at(n, x, y)));
+                let pnew = dsm.read(&g.pold, at(n, x, y))
+                    - tdtsdx
+                        * (dsm.read(&g.cu, at(n, xe, y)) - dsm.read(&g.cu, at(n, x, y)))
+                    - tdtsdy
+                        * (dsm.read(&g.cv, at(n, x, yn)) - dsm.read(&g.cv, at(n, x, y)));
+                dsm.write(&g.unew, at(n, x, y), unew);
+                dsm.write(&g.vnew, at(n, x, y), vnew);
+                dsm.write(&g.pnew, at(n, x, y), pnew);
+            }
+            dsm.charge_flops(30 * n as u64);
+        }
+        dsm.barrier();
+
+        // Phase 3: time smoothing and generation shift (row-local).
+        for y in ylo..yhi {
+            for x in 0..n {
+                let i = at(n, x, y);
+                let (uc, vc, pc) = (
+                    dsm.read(&g.u, i),
+                    dsm.read(&g.v, i),
+                    dsm.read(&g.p, i),
+                );
+                let (un, vn, pn) = (
+                    dsm.read(&g.unew, i),
+                    dsm.read(&g.vnew, i),
+                    dsm.read(&g.pnew, i),
+                );
+                let (uo, vo, po) = (
+                    dsm.read(&g.uold, i),
+                    dsm.read(&g.vold, i),
+                    dsm.read(&g.pold, i),
+                );
+                dsm.write(&g.uold, i, uc + ALPHA * (un - 2.0 * uc + uo));
+                dsm.write(&g.vold, i, vc + ALPHA * (vn - 2.0 * vc + vo));
+                dsm.write(&g.pold, i, pc + ALPHA * (pn - 2.0 * pc + po));
+                dsm.write(&g.u, i, un);
+                dsm.write(&g.v, i, vn);
+                dsm.write(&g.p, i, pn);
+            }
+            dsm.charge_flops(18 * n as u64);
+        }
+        dsm.barrier();
+    }
+
+    let mut sum = Checksum::new();
+    let stride = (cfg.points() / 64).max(1);
+    let mut i = 0;
+    while i < cfg.points() {
+        sum.push_f64(dsm.read(&g.p, i));
+        sum.push_f64(dsm.read(&g.u, i));
+        sum.push_f64(dsm.read(&g.v, i));
+        i += stride;
+    }
+    dsm.barrier();
+    sum.digest()
+}
+
+/// Serial reference with identical arithmetic.
+pub fn reference_digest(cfg: &ShallowConfig) -> u64 {
+    let n = cfg.n;
+    let (mut u, mut v, mut p) = initial_fields(n);
+    let (mut uold, mut vold, mut pold) = (u.clone(), v.clone(), p.clone());
+    let mut cu = vec![0.0; n * n];
+    let mut cv = vec![0.0; n * n];
+    let mut z = vec![0.0; n * n];
+    let mut h = vec![0.0; n * n];
+    let fsdx = 4.0 / DX;
+    let fsdy = 4.0 / DY;
+    let tdts8 = DT * DT / 8.0;
+    let tdtsdx = DT / DX;
+    let tdtsdy = DT / DY;
+    for _ in 0..cfg.steps {
+        for y in 0..n {
+            for x in 0..n {
+                let xe = wrap(n, x, 1);
+                let xw = wrap(n, x, -1);
+                let yn = wrap(n, y, 1);
+                let ys = wrap(n, y, -1);
+                cu[at(n, x, y)] = 0.5 * (p[at(n, x, y)] + p[at(n, xw, y)]) * u[at(n, x, y)];
+                cv[at(n, x, y)] = 0.5 * (p[at(n, x, y)] + p[at(n, x, ys)]) * v[at(n, x, y)];
+                z[at(n, x, y)] = (fsdx * (v[at(n, x, y)] - v[at(n, xw, y)])
+                    - fsdy * (u[at(n, x, y)] - u[at(n, x, ys)]))
+                    / (p[at(n, xw, y)] + p[at(n, x, y)] + p[at(n, x, ys)] + p[at(n, xw, ys)]);
+                h[at(n, x, y)] = p[at(n, x, y)]
+                    + 0.25
+                        * (u[at(n, xe, y)] * u[at(n, xe, y)]
+                            + u[at(n, x, y)] * u[at(n, x, y)]
+                            + v[at(n, x, yn)] * v[at(n, x, yn)]
+                            + v[at(n, x, y)] * v[at(n, x, y)]);
+            }
+        }
+        let mut unew = vec![0.0; n * n];
+        let mut vnew = vec![0.0; n * n];
+        let mut pnew = vec![0.0; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let xe = wrap(n, x, 1);
+                let xw = wrap(n, x, -1);
+                let yn = wrap(n, y, 1);
+                let ys = wrap(n, y, -1);
+                unew[at(n, x, y)] = uold[at(n, x, y)]
+                    + tdts8
+                        * (z[at(n, xe, y)] + z[at(n, x, y)])
+                        * (cv[at(n, xe, y)] + cv[at(n, xe, ys)] + cv[at(n, x, ys)] + cv[at(n, x, y)])
+                        / 4.0
+                    - tdtsdx * (h[at(n, x, y)] - h[at(n, xw, y)]);
+                vnew[at(n, x, y)] = vold[at(n, x, y)]
+                    - tdts8
+                        * (z[at(n, x, yn)] + z[at(n, x, y)])
+                        * (cu[at(n, x, yn)] + cu[at(n, xw, yn)] + cu[at(n, xw, y)] + cu[at(n, x, y)])
+                        / 4.0
+                    - tdtsdy * (h[at(n, x, yn)] - h[at(n, x, y)]);
+                pnew[at(n, x, y)] = pold[at(n, x, y)]
+                    - tdtsdx * (cu[at(n, xe, y)] - cu[at(n, x, y)])
+                    - tdtsdy * (cv[at(n, x, yn)] - cv[at(n, x, y)]);
+            }
+        }
+        for i in 0..n * n {
+            uold[i] = u[i] + ALPHA * (unew[i] - 2.0 * u[i] + uold[i]);
+            vold[i] = v[i] + ALPHA * (vnew[i] - 2.0 * v[i] + vold[i]);
+            pold[i] = p[i] + ALPHA * (pnew[i] - 2.0 * p[i] + pold[i]);
+            u[i] = unew[i];
+            v[i] = vnew[i];
+            p[i] = pnew[i];
+        }
+    }
+    let mut sum = Checksum::new();
+    let stride = (cfg.points() / 64).max(1);
+    let mut i = 0;
+    while i < cfg.points() {
+        sum.push_f64(p[i]);
+        sum.push_f64(u[i]);
+        sum.push_f64(v[i]);
+        i += stride;
+    }
+    sum.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let cfg = ShallowConfig::tiny();
+        assert_eq!(reference_digest(&cfg), reference_digest(&cfg));
+    }
+
+    #[test]
+    fn initial_fields_have_structure() {
+        let (u, v, p) = initial_fields(8);
+        assert!(u.iter().any(|&x| x != 0.0));
+        assert!(v.iter().any(|&x| x != 0.0));
+        assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    fn wrap_is_periodic() {
+        assert_eq!(wrap(8, 0, -1), 7);
+        assert_eq!(wrap(8, 7, 1), 0);
+        assert_eq!(wrap(8, 3, 0), 3);
+    }
+
+    #[test]
+    fn fields_stay_finite() {
+        // A few steps must not blow up (CFL-stable constants).
+        let cfg = ShallowConfig { n: 16, steps: 10 };
+        let d1 = reference_digest(&cfg);
+        let d2 = reference_digest(&ShallowConfig { n: 16, steps: 11 });
+        assert_ne!(d1, d2, "state must evolve");
+    }
+}

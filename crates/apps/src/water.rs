@@ -1,0 +1,318 @@
+//! Water — the SPLASH molecular-dynamics benchmark (n-squared variant).
+//!
+//! N molecules interact pairwise; each timestep computes forces over
+//! the O(N²/2) pair list, accumulates them into shared force arrays
+//! under per-block **locks**, then integrates positions — the only
+//! program in the paper's suite that synchronizes with locks *and*
+//! barriers (Table 1).
+//!
+//! Force accumulation and the potential-energy reduction use fixed-point
+//! integers so the result is independent of lock-acquisition order
+//! (integer addition commutes), keeping the program piecewise
+//! deterministic for replay.
+
+use ccl_core::Dsm;
+
+use crate::common::{from_fixed, to_fixed, Checksum, SplitMix64};
+
+/// Water problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterConfig {
+    /// Number of molecules.
+    pub molecules: usize,
+    /// Number of timesteps.
+    pub steps: usize,
+}
+
+impl WaterConfig {
+    /// The paper's data set: 512 molecules.
+    pub fn paper() -> WaterConfig {
+        WaterConfig {
+            molecules: 512,
+            steps: 4,
+        }
+    }
+
+    /// Tiny instance for tests.
+    pub fn tiny() -> WaterConfig {
+        WaterConfig {
+            molecules: 32,
+            steps: 3,
+        }
+    }
+
+    /// Shared pages: positions + velocities (f64 x3) and forces (i64 x3)
+    /// plus the energy cell.
+    pub fn shared_pages(&self, page_size: usize) -> u32 {
+        let per = (3 * self.molecules * 8).div_ceil(page_size) as u32 + 1;
+        3 * per + 1
+    }
+}
+
+const DT: f64 = 0.002;
+const CUTOFF2: f64 = 6.25; // squared interaction cutoff
+const BOX: f64 = 10.0;
+
+/// Deterministic initial position of molecule `i` (identical arithmetic
+/// in the parallel kernel and the serial reference).
+pub fn initial_position(i: usize) -> [f64; 3] {
+    let mut g = SplitMix64::new(0x3A7E5_u64 ^ (i as u64) << 3);
+    [
+        g.next_f64() * BOX,
+        g.next_f64() * BOX,
+        g.next_f64() * BOX,
+    ]
+}
+
+/// Pairwise force contribution and potential energy for molecules at
+/// `a` and `b` (soft Lennard-Jones with cutoff, minimum image).
+pub fn pair_force(a: &[f64; 3], b: &[f64; 3]) -> Option<([f64; 3], f64)> {
+    let mut d = [0.0f64; 3];
+    let mut r2 = 0.0;
+    for k in 0..3 {
+        let mut dk = a[k] - b[k];
+        if dk > BOX / 2.0 {
+            dk -= BOX;
+        } else if dk < -BOX / 2.0 {
+            dk += BOX;
+        }
+        d[k] = dk;
+        r2 += dk * dk;
+    }
+    if !(1e-12..CUTOFF2).contains(&r2) {
+        return None;
+    }
+    let inv2 = 1.0 / (r2 + 0.1); // softened to keep the integrator stable
+    let inv6 = inv2 * inv2 * inv2;
+    let mag = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+    let energy = 4.0 * inv6 * (inv6 - 1.0);
+    Some(([d[0] * mag, d[1] * mag, d[2] * mag], energy))
+}
+
+fn my_block(n: usize, me: usize, nodes: usize) -> (usize, usize) {
+    let per = n.div_ceil(nodes);
+    ((me * per).min(n), ((me + 1) * per).min(n))
+}
+
+/// Run Water on the DSM; every node returns the same digest.
+pub fn run(dsm: &mut Dsm, cfg: &WaterConfig) -> u64 {
+    let n = cfg.molecules;
+    let me = dsm.me();
+    let nodes = dsm.nodes();
+    let pos = dsm.alloc_blocked::<f64>(3 * n);
+    let vel = dsm.alloc_blocked::<f64>(3 * n);
+    let force = dsm.alloc_blocked::<i64>(3 * n);
+    let energy = dsm.alloc_at::<i64>(1, 0);
+    let (lo, hi) = my_block(n, me, nodes);
+
+    // Initialize own block.
+    for i in lo..hi {
+        let p = initial_position(i);
+        for k in 0..3 {
+            dsm.write(&pos, 3 * i + k, p[k]);
+            dsm.write(&vel, 3 * i + k, 0.0);
+        }
+    }
+    if me == 0 {
+        dsm.write(&energy, 0, 0i64);
+    }
+    dsm.barrier();
+
+    let mut local_force = vec![0i64; 3 * n];
+    let mut positions = vec![[0.0f64; 3]; n];
+
+    for _step in 0..cfg.steps {
+        // Zero the shared forces (own block) and snapshot positions.
+        for i in lo..hi {
+            for k in 0..3 {
+                dsm.write(&force, 3 * i + k, 0i64);
+            }
+        }
+        dsm.barrier();
+        for (i, item) in positions.iter_mut().enumerate() {
+            for (k, c) in item.iter_mut().enumerate() {
+                *c = dsm.read(&pos, 3 * i + k);
+            }
+        }
+
+        // Pairwise forces for pairs led by own molecules; accumulate
+        // locally in fixed point, then merge under per-block locks.
+        local_force.iter_mut().for_each(|f| *f = 0);
+        let mut local_energy = 0i64;
+        for i in lo..hi {
+            for j in i + 1..n {
+                if let Some((f, e)) = pair_force(&positions[i], &positions[j]) {
+                    for k in 0..3 {
+                        let fk = to_fixed(f[k]);
+                        local_force[3 * i + k] += fk;
+                        local_force[3 * j + k] -= fk;
+                    }
+                    local_energy += to_fixed(e);
+                }
+                // A real SPLASH water molecule has three interaction
+                // sites: ~9 site-site terms per molecule pair.
+                dsm.charge_flops(280);
+            }
+        }
+        for block in 0..nodes {
+            let (blo, bhi) = my_block(n, block, nodes);
+            if blo == bhi {
+                continue;
+            }
+            let any = local_force[3 * blo..3 * bhi].iter().any(|&f| f != 0);
+            if !any {
+                continue;
+            }
+            dsm.acquire(block as u32);
+            for i in blo..bhi {
+                for k in 0..3 {
+                    let idx = 3 * i + k;
+                    if local_force[idx] != 0 {
+                        let cur = dsm.read(&force, idx);
+                        dsm.write(&force, idx, cur + local_force[idx]);
+                    }
+                }
+            }
+            dsm.release(block as u32);
+        }
+        if local_energy != 0 {
+            dsm.acquire(nodes as u32); // energy lock
+            let cur = dsm.read(&energy, 0);
+            dsm.write(&energy, 0, cur + local_energy);
+            dsm.release(nodes as u32);
+        }
+        dsm.barrier();
+
+        // Integrate own block (leapfrog-ish Euler).
+        for i in lo..hi {
+            for k in 0..3 {
+                let f = from_fixed(dsm.read(&force, 3 * i + k));
+                let v = dsm.read(&vel, 3 * i + k) + f * DT;
+                dsm.write(&vel, 3 * i + k, v);
+                let mut x = dsm.read(&pos, 3 * i + k) + v * DT;
+                x = x.rem_euclid(BOX);
+                dsm.write(&pos, 3 * i + k, x);
+            }
+            dsm.charge_flops(18);
+        }
+        dsm.barrier();
+    }
+
+    let mut sum = Checksum::new();
+    for i in 0..n {
+        for k in 0..3 {
+            sum.push_f64(dsm.read(&pos, 3 * i + k));
+        }
+    }
+    sum.push_u64(dsm.read(&energy, 0) as u64);
+    dsm.barrier();
+    sum.digest()
+}
+
+/// Serial reference with identical arithmetic and fixed-point
+/// accumulation.
+pub fn reference_digest(cfg: &WaterConfig) -> u64 {
+    let n = cfg.molecules;
+    let mut pos: Vec<[f64; 3]> = (0..n).map(initial_position).collect();
+    let mut vel = vec![[0.0f64; 3]; n];
+    let mut energy = 0i64;
+    for _ in 0..cfg.steps {
+        let mut force = vec![0i64; 3 * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if let Some((f, e)) = pair_force(&pos[i], &pos[j]) {
+                    for k in 0..3 {
+                        let fk = to_fixed(f[k]);
+                        force[3 * i + k] += fk;
+                        force[3 * j + k] -= fk;
+                    }
+                    energy += to_fixed(e);
+                }
+            }
+        }
+        for i in 0..n {
+            for k in 0..3 {
+                let f = from_fixed(force[3 * i + k]);
+                vel[i][k] += f * DT;
+                pos[i][k] = (pos[i][k] + vel[i][k] * DT).rem_euclid(BOX);
+            }
+        }
+    }
+    let mut sum = Checksum::new();
+    for p in &pos {
+        for k in 0..3 {
+            sum.push_f64(p[k]);
+        }
+    }
+    sum.push_u64(energy as u64);
+    sum.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let cfg = WaterConfig::tiny();
+        assert_eq!(reference_digest(&cfg), reference_digest(&cfg));
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric_in_distance() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 1.0, 1.0];
+        let (fab, e1) = pair_force(&a, &b).unwrap();
+        let (fba, e2) = pair_force(&b, &a).unwrap();
+        for k in 0..3 {
+            assert!((fab[k] + fba[k]).abs() < 1e-12);
+        }
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn cutoff_excludes_distant_pairs() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [4.9, 0.0, 0.0]; // min-image distance 4.9 > cutoff 2.5
+        assert!(pair_force(&a, &b).is_none());
+    }
+
+    #[test]
+    fn minimum_image_wraps() {
+        let a = [0.1, 0.0, 0.0];
+        let b = [9.9, 0.0, 0.0]; // 0.2 apart through the boundary
+        assert!(pair_force(&a, &b).is_some());
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let cfg = WaterConfig::tiny();
+        let n = cfg.molecules;
+        let mut pos: Vec<[f64; 3]> = (0..n).map(initial_position).collect();
+        assert!(pos
+            .iter()
+            .all(|p| p.iter().all(|&c| (0.0..BOX).contains(&c))));
+        // one reference step keeps them in the box
+        let mut vel = vec![[0.0f64; 3]; n];
+        let mut force = vec![0i64; 3 * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if let Some((f, _)) = pair_force(&pos[i], &pos[j]) {
+                    for k in 0..3 {
+                        force[3 * i + k] += to_fixed(f[k]);
+                        force[3 * j + k] -= to_fixed(f[k]);
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for k in 0..3 {
+                vel[i][k] += from_fixed(force[3 * i + k]) * DT;
+                pos[i][k] = (pos[i][k] + vel[i][k] * DT).rem_euclid(BOX);
+            }
+        }
+        assert!(pos
+            .iter()
+            .all(|p| p.iter().all(|&c| (0.0..BOX).contains(&c))));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 4 — Impacts of Logging Protocols on Execution Time.
+//!
+//! Regenerates the paper's Figure 4: failure-free execution time of ML
+//! and CCL normalized to the no-logging baseline (= 100) for every
+//! application. The paper reports CCL at 101–106 and ML at 109–124.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench fig4`
+
+use ccl_apps::App;
+use ccl_bench::{bar, run_paper, NODES};
+use ccl_core::Protocol;
+
+fn main() {
+    println!();
+    println!("Figure 4. Impacts of Logging Protocols on Execution Time");
+    println!("(normalized to the no-logging run = 100; {NODES} nodes)");
+    println!("{:-<72}", "");
+    for app in App::ALL {
+        let base = run_paper(app, Protocol::None).exec_time().as_secs_f64();
+        println!("{}:", app.name());
+        for protocol in [Protocol::None, Protocol::Ml, Protocol::Ccl] {
+            let t = run_paper(app, protocol).exec_time().as_secs_f64();
+            let norm = 100.0 * t / base;
+            println!(
+                "  {:<26} {:>6.1}  |{}",
+                protocol.label(),
+                norm,
+                bar(norm)
+            );
+        }
+        println!();
+    }
+    println!("{:-<72}", "");
+    println!("(paper: CCL adds 1-6%, ML adds 9-24% over None)");
+    println!();
+}

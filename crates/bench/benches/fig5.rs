@@ -1,0 +1,50 @@
+//! Figure 5 — Impacts of Logging Protocols on Crash Recovery Time.
+//!
+//! Regenerates the paper's Figure 5: the time for the failed node to
+//! recover, normalized to re-execution (= 100). Re-execution restarts
+//! the whole program from the initial state, so its "recovery time" is
+//! the full failure-free execution time. ML-recovery replays logged
+//! messages from disk; our (CCL) recovery replays the coherence-centric
+//! log with prefetching. The paper reports savings of 43–66 % for
+//! ML-recovery and 55–84 % for CCL recovery.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench fig5`
+
+use ccl_apps::App;
+use ccl_bench::{bar, median_recovery_secs, run_paper, NODES};
+use ccl_core::Protocol;
+
+/// Crash node 1 at three quarters of its barriers (a late crash, so the
+/// replayed prefix dominates — the paper's scenario).
+const CRASH_FRACTION: f64 = 0.75;
+
+fn main() {
+    println!();
+    println!("Figure 5. Impacts of Logging Protocols on Crash Recovery Time");
+    println!("(normalized to re-execution = 100; crash of node 1 at ~75% of its barriers; {NODES} nodes)");
+    println!("{:-<72}", "");
+    for app in App::ALL {
+        // Re-execution baseline: the failure-free run time scaled to the
+        // crash point (the failed fraction must be redone in full, with
+        // all synchronization and communication).
+        let clean = run_paper(app, Protocol::None);
+        let reexec = clean.exec_time().as_secs_f64() * CRASH_FRACTION;
+
+        let t_ml = median_recovery_secs(app, Protocol::Ml, CRASH_FRACTION, 3);
+        let t_ccl = median_recovery_secs(app, Protocol::Ccl, CRASH_FRACTION, 3);
+
+        println!("{}:", app.name());
+        for (label, t) in [
+            ("re-execution", reexec),
+            ("ml-recovery", t_ml),
+            ("our (CCL) recovery", t_ccl),
+        ] {
+            let norm = 100.0 * t / reexec;
+            println!("  {:<26} {:>6.1}  |{}", label, norm, bar(norm));
+        }
+        println!();
+    }
+    println!("{:-<72}", "");
+    println!("(paper: ML-recovery saves 43-66%, CCL recovery saves 55-84% vs re-execution)");
+    println!();
+}

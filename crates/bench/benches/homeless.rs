@@ -1,0 +1,200 @@
+//! Home-based vs. homeless LRC — the comparison motivating the paper's
+//! §2 (and the subject of Cox et al., HPCA-5, cited there).
+//!
+//! The same barrier-synchronized stencil workload runs on both
+//! protocols; the table reports the three structural advantages the
+//! paper claims for the home node:
+//!
+//! 1. a remote copy is brought up to date with **one round trip** to the
+//!    home (homeless LRC pays one round trip per concurrent writer);
+//! 2. **no garbage collection / diff retention**: homeless writers keep
+//!    every interval's diff forever (until a GC pass home-based DSM
+//!    never needs);
+//! 3. reads/writes at the home take no faults and make no diffs.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench homeless`
+
+use hlrc::{DsmConfig, HlrcNode, HomelessNode, NoLogging};
+use simnet::{run_cluster, NodeStats, SimTime};
+
+const NODES: usize = 8;
+const CELLS: usize = 64 * 64; // 8 pages of 4 KB
+/// A multi-writer summary region: every node writes its own slice of
+/// these pages each round, and every node reads all of it next round —
+/// the access pattern where the home's single-round-trip update shines
+/// (homeless LRC must chase diffs from all eight writers).
+const SUMMARY_BASE: usize = CELLS * 8;
+const SUMMARY_CELLS: usize = 1024; // 2 pages, 128 cells per node
+const ROUNDS: u64 = 20;
+
+fn cfg() -> DsmConfig {
+    DsmConfig::new(NODES, 12)
+}
+
+/// The workload: every node updates its own stripe, then reads the two
+/// neighbouring stripes (periodic halo), each round.
+fn stripe(me: usize) -> (usize, usize) {
+    let per = CELLS / NODES;
+    (me * per, (me + 1) * per)
+}
+
+trait Ops {
+    fn read(&mut self, addr: usize) -> u64;
+    fn write(&mut self, addr: usize, v: u64);
+    fn barrier(&mut self);
+    fn me(&self) -> usize;
+    fn flops(&mut self, n: u64);
+}
+
+impl Ops for HlrcNode {
+    fn read(&mut self, addr: usize) -> u64 {
+        self.read_u64(addr)
+    }
+    fn write(&mut self, addr: usize, v: u64) {
+        self.write_u64(addr, v)
+    }
+    fn barrier(&mut self) {
+        HlrcNode::barrier(self)
+    }
+    fn me(&self) -> usize {
+        self.inner.me()
+    }
+    fn flops(&mut self, n: u64) {
+        self.inner.ctx.charge_flops(n)
+    }
+}
+
+impl Ops for HomelessNode {
+    fn read(&mut self, addr: usize) -> u64 {
+        self.read_u64(addr)
+    }
+    fn write(&mut self, addr: usize, v: u64) {
+        self.write_u64(addr, v)
+    }
+    fn barrier(&mut self) {
+        HomelessNode::barrier(self)
+    }
+    fn me(&self) -> usize {
+        HomelessNode::me(self)
+    }
+    fn flops(&mut self, n: u64) {
+        self.charge_flops(n)
+    }
+}
+
+fn workload<N: Ops>(node: &mut N) -> u64 {
+    let me = node.me();
+    let (lo, hi) = stripe(me);
+    let mut acc = 0u64;
+    for round in 1..=ROUNDS {
+        for c in lo..hi {
+            node.write(c * 8, round * 1_000 + c as u64);
+        }
+        node.flops((hi - lo) as u64 * 4);
+        node.barrier();
+        // halo reads into the neighbours
+        let left = stripe((me + NODES - 1) % NODES).0;
+        let right = stripe((me + 1) % NODES).0;
+        acc = acc
+            .wrapping_add(node.read(left * 8))
+            .wrapping_add(node.read(right * 8));
+        node.flops(8);
+        // multi-writer summary region: own slice written...
+        let per = SUMMARY_CELLS / NODES;
+        for k in 0..per {
+            node.write(SUMMARY_BASE + (me * per + k) * 8, round + k as u64);
+        }
+        node.barrier();
+        // ...and the whole region read by everyone.
+        for k in (0..SUMMARY_CELLS).step_by(16) {
+            acc = acc.wrapping_add(node.read(SUMMARY_BASE + k * 8));
+        }
+        node.flops(SUMMARY_CELLS as u64 / 16);
+        node.barrier();
+    }
+    acc
+}
+
+struct Row {
+    exec: SimTime,
+    stats: NodeStats,
+    retained_bytes: usize,
+}
+
+fn run_home_based() -> (Vec<u64>, Row) {
+    let c = cfg();
+    let outs = run_cluster(NODES, c.cost, move |ctx| {
+        let mut node = HlrcNode::new(ctx, c, Box::new(NoLogging));
+        let acc = workload(&mut node);
+        node.barrier();
+        (acc, node.inner.ctx.now(), node.inner.ctx.stats)
+    });
+    let exec = outs.iter().map(|(_, t, _)| *t).max().unwrap();
+    let mut stats = NodeStats::default();
+    for (_, _, s) in &outs {
+        stats.merge(s);
+    }
+    (
+        outs.iter().map(|(a, _, _)| *a).collect(),
+        Row {
+            exec,
+            stats,
+            retained_bytes: 0, // diffs are discarded on home ack
+        },
+    )
+}
+
+fn run_homeless() -> (Vec<u64>, Row) {
+    let c = cfg();
+    let outs = run_cluster(NODES, c.cost, move |ctx| {
+        let mut node = HomelessNode::new(ctx, c);
+        let acc = workload(&mut node);
+        node.barrier();
+        let (_, bytes) = node.archive_footprint();
+        (acc, node.ctx.now(), node.ctx.stats, bytes)
+    });
+    let exec = outs.iter().map(|(_, t, _, _)| *t).max().unwrap();
+    let mut stats = NodeStats::default();
+    let mut retained = 0;
+    for (_, _, s, b) in &outs {
+        stats.merge(s);
+        retained += b;
+    }
+    (
+        outs.iter().map(|(a, _, _, _)| *a).collect(),
+        Row {
+            exec,
+            stats,
+            retained_bytes: retained,
+        },
+    )
+}
+
+fn main() {
+    println!();
+    println!("Home-based vs homeless LRC ({NODES} nodes, {ROUNDS} rounds of stripe+halo)");
+    println!("{:-<86}", "");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>12} {:>20}",
+        "Protocol", "exec (s)", "messages", "bytes (KB)", "fetches", "retained diffs (KB)"
+    );
+    println!("{:-<86}", "");
+    let (res_hb, hb) = run_home_based();
+    let (res_hl, hl) = run_homeless();
+    assert_eq!(res_hb, res_hl, "the protocols disagree on the result!");
+    for (name, row) in [("home-based", hb), ("homeless", hl)] {
+        println!(
+            "{:<12} {:>12.3} {:>10} {:>12.1} {:>12} {:>20.1}",
+            name,
+            row.exec.as_secs_f64(),
+            row.stats.msgs_sent,
+            row.stats.bytes_sent as f64 / 1024.0,
+            row.stats.page_fetches,
+            row.retained_bytes as f64 / 1024.0,
+        );
+    }
+    println!("{:-<86}", "");
+    println!("(the home-based protocol discards every diff once the home acks it;");
+    println!(" homeless LRC retains them all — the paper's no-GC argument, §2.1)");
+    println!();
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the substrate operations the protocols
+//! are built from: twin/diff creation and application, the wire codec,
+//! vector-clock operations, and stable-storage log appends.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pagemem::{Decode, Encode, IntervalId, PageDiff, PageFrame, Twin, VClock};
+use simnet::{DiskModel, SimDisk};
+
+const PAGE: usize = 4096;
+
+fn dirty_page(words: usize) -> (Twin, PageFrame) {
+    let base = PageFrame::zeroed(PAGE);
+    let twin = Twin::of(&base);
+    let mut cur = base.clone();
+    let stride = PAGE / 8 / words.max(1);
+    for w in 0..words {
+        cur.write_u64(((w * stride * 8) % (PAGE - 8)) & !7, w as u64 + 1);
+    }
+    (twin, cur)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    for words in [1usize, 16, 128] {
+        let (twin, cur) = dirty_page(words);
+        g.bench_function(format!("create/{words}w"), |b| {
+            b.iter(|| PageDiff::create(0, &twin, &cur))
+        });
+        let diff = PageDiff::create(0, &twin, &cur);
+        g.bench_function(format!("apply/{words}w"), |b| {
+            b.iter_batched(
+                || twin.frame().clone(),
+                |mut frame| diff.apply(&mut frame),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let (twin, cur) = dirty_page(64);
+    let diff = PageDiff::create(7, &twin, &cur);
+    let bytes = diff.encode_to_vec();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("diff_encode", |b| b.iter(|| diff.encode_to_vec()));
+    g.bench_function("diff_decode", |b| {
+        b.iter(|| PageDiff::decode_from_slice(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vclock");
+    let mut a = VClock::new(8);
+    let mut b8 = VClock::new(8);
+    for i in 0..8 {
+        a.set(i, i * 7);
+        b8.set(i, 50 - i * 3);
+    }
+    g.bench_function("join", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| x.join(&b8),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("compare", |b| b.iter(|| a.compare(&b8)));
+    g.bench_function("observe", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| x.observe(IntervalId { node: 3, seq: 99 }),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_disk_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stable_log");
+    for record_size in [64usize, 1024, 4096] {
+        g.throughput(Throughput::Bytes(record_size as u64 * 16));
+        g.bench_function(format!("flush16x{record_size}"), |b| {
+            b.iter_batched(
+                || SimDisk::new(DiskModel::ULTRA5_LOCAL),
+                |mut disk| {
+                    disk.flush_records("log", (0..16).map(|i| vec![i as u8; record_size]))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_codec, bench_vclock, bench_disk_log);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Related work (paper §5): failure-free log volumes of the earlier,
+//! home-less-DSM logging protocols if they were dropped into the
+//! home-based system, next to ML and CCL.
+//!
+//! Only ML (full contents) and CCL (coherence-centric reconstruction)
+//! can actually recover a home-based DSM; the records-only and RSL logs
+//! identify *what* happened but carry no data with which to rebuild
+//! home copies advanced by discarded diffs. Their rows here quantify
+//! the log-size side of that trade.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench related_work`
+
+use ccl_apps::App;
+use ccl_bench::{kb, mb, run_paper, secs, NODES};
+use ccl_core::Protocol;
+
+fn main() {
+    println!();
+    println!("Related-work logging protocols on the home-based DSM ({NODES} nodes)");
+    for app in App::ALL {
+        println!();
+        println!("{}", app.name());
+        println!("{:-<86}", "");
+        println!(
+            "{:<28} {:>12} {:>12} {:>12} {:>10} {:>8}",
+            "Protocol", "exec (s)", "mean (KB)", "total (MB)", "flushes", "recovers"
+        );
+        println!("{:-<86}", "");
+        for (p, recovers) in [
+            (Protocol::Ml, "yes"),
+            (Protocol::RecordsOnly, "no"),
+            (Protocol::Rsl, "no"),
+            (Protocol::Ccl, "yes"),
+        ] {
+            let out = run_paper(app, p);
+            println!(
+                "{:<28} {:>12} {:>12} {:>12} {:>10} {:>8}",
+                p.label(),
+                secs(out.exec_time()),
+                kb(out.mean_log_bytes()),
+                mb(out.total_log_bytes()),
+                out.total_log_flushes(),
+                recovers,
+            );
+        }
+        println!("{:-<86}", "");
+    }
+    println!();
+    println!("(records-only and RSL shrink the log like CCL does, but cannot rebuild");
+    println!(" advanced home copies: home-based HLRC discards diffs on home ack — §5)");
+    println!();
+}

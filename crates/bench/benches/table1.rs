@@ -1,0 +1,36 @@
+//! Table 1 — Applications Characteristics.
+//!
+//! Regenerates the paper's Table 1: program, data set, size, and
+//! synchronization type, plus measured sync counts from an actual run.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench table1`
+
+use ccl_apps::App;
+use ccl_bench::{run_paper, NODES};
+use ccl_core::Protocol;
+
+fn main() {
+    println!();
+    println!("Table 1. Applications Characteristics ({NODES} nodes)");
+    println!("{:-<98}", "");
+    println!(
+        "{:<10} {:<34} {:<22} {:>12} {:>14}",
+        "Program", "Data Set Size", "Synchronization", "Barriers", "Lock Acquires"
+    );
+    println!("{:-<98}", "");
+    for app in App::ALL {
+        let out = run_paper(app, Protocol::None);
+        let total = out.total_stats();
+        println!(
+            "{:<10} {:<34} {:<22} {:>12} {:>14}",
+            app.name(),
+            app.data_set(),
+            app.sync_kind(),
+            total.barriers / NODES as u64,
+            total.lock_acquires,
+        );
+    }
+    println!("{:-<98}", "");
+    println!("(data sets are harness-scaled; structure and sync types match the paper — see EXPERIMENTS.md)");
+    println!();
+}

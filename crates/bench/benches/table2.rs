@@ -1,0 +1,57 @@
+//! Table 2 — Overhead Details under Different Logging Protocols.
+//!
+//! Regenerates the paper's Table 2 (a)–(d): for every application and
+//! each of {None, ML, CCL}, the total execution time, the mean log size
+//! per flush (KB), the total log size (MB), and the number of
+//! volatile-log flushes.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench table2`
+
+use ccl_apps::App;
+use ccl_bench::{kb, mb, run_paper, secs, NODES};
+use ccl_core::Protocol;
+
+fn main() {
+    println!();
+    println!("Table 2. Overhead Details under Different Logging Protocols ({NODES} nodes)");
+    for (idx, app) in App::ALL.iter().enumerate() {
+        let letter = char::from(b'a' + idx as u8);
+        println!();
+        println!("({letter}) {}", app.name());
+        println!("{:-<76}", "");
+        println!(
+            "{:<10} {:>16} {:>15} {:>15} {:>12}",
+            "Logging", "Execution", "Mean Log", "Total Log", "# of"
+        );
+        println!(
+            "{:<10} {:>16} {:>15} {:>15} {:>12}",
+            "Protocol", "Time (sec.)", "Size (KB)", "Size (MB)", "Flushes"
+        );
+        println!("{:-<76}", "");
+        let mut digests = Vec::new();
+        for protocol in Protocol::TABLE2 {
+            let out = run_paper(*app, protocol);
+            digests.push(out.nodes[0].result);
+            println!(
+                "{:<10} {:>16} {:>15} {:>15} {:>12}",
+                match protocol {
+                    Protocol::None => "None",
+                    Protocol::Ml => "ML",
+                    Protocol::Ccl => "CCL",
+                    _ => unreachable!(),
+                },
+                secs(out.exec_time()),
+                kb(out.mean_log_bytes()),
+                mb(out.total_log_bytes()),
+                out.total_log_flushes(),
+            );
+        }
+        println!("{:-<76}", "");
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{}: protocols disagree on the result!",
+            app.name()
+        );
+    }
+    println!();
+}

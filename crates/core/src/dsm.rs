@@ -1,0 +1,255 @@
+//! The application-facing DSM handle.
+
+use std::marker::PhantomData;
+use std::panic::panic_any;
+
+use hlrc::HlrcNode;
+use pagemem::Access;
+use simnet::{NodeId, SimDuration};
+
+use crate::shared::{ArrayHandle, SharedVal, ELEM_BYTES};
+use crate::spec::CrashPlan;
+
+/// Panic payload used to unwind out of the application at the injected
+/// crash point (caught by the program runner).
+pub(crate) struct CrashToken;
+
+/// One node's view of the distributed shared memory: typed array access,
+/// synchronization, allocation, checkpointing, and (for experiments)
+/// crash injection.
+pub struct Dsm {
+    pub(crate) node: HlrcNode,
+    alloc_cursor: usize,
+    crash: Option<CrashPlan>,
+    barriers_done: u64,
+    crashed_once: bool,
+    restored: Option<Vec<u8>>,
+}
+
+impl Dsm {
+    pub(crate) fn new(node: HlrcNode, crash: Option<CrashPlan>) -> Dsm {
+        Dsm {
+            node,
+            alloc_cursor: 0,
+            crash,
+            barriers_done: 0,
+            crashed_once: false,
+            restored: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.node.inner.me()
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.node.inner.cfg.n_nodes
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.node.inner.cfg.layout.page_size()
+    }
+
+    // ------------------------------------------------------------
+    // Allocation (run identically on every node, before first use)
+    // ------------------------------------------------------------
+
+    /// Allocate a page-aligned shared array of `len` elements with the
+    /// cluster's default home assignment.
+    pub fn alloc<T: SharedVal>(&mut self, len: usize) -> ArrayHandle<T> {
+        self.alloc_inner(len, None)
+    }
+
+    /// Allocate with the array's pages block-distributed across nodes —
+    /// node `k` homes the `k`-th contiguous chunk, matching how the
+    /// paper's applications partition their grids.
+    pub fn alloc_blocked<T: SharedVal>(&mut self, len: usize) -> ArrayHandle<T> {
+        self.alloc_inner(len, Some(AllocHomes::Blocked))
+    }
+
+    /// Allocate with every page homed at one node (private/owner data).
+    pub fn alloc_at<T: SharedVal>(&mut self, len: usize, home: NodeId) -> ArrayHandle<T> {
+        self.alloc_inner(len, Some(AllocHomes::Fixed(home)))
+    }
+
+    fn alloc_inner<T: SharedVal>(
+        &mut self,
+        len: usize,
+        homes: Option<AllocHomes>,
+    ) -> ArrayHandle<T> {
+        let page_size = self.page_size();
+        let bytes = len * ELEM_BYTES;
+        let base = self.alloc_cursor;
+        debug_assert_eq!(base % page_size, 0);
+        let pages = bytes.div_ceil(page_size).max(1);
+        self.alloc_cursor = base + pages * page_size;
+        let first_page = (base / page_size) as u32;
+        let total = self.node.inner.pages.len() as u32;
+        assert!(
+            first_page + pages as u32 <= total,
+            "shared space exhausted: need {} pages, have {}",
+            first_page + pages as u32,
+            total
+        );
+        match homes {
+            None => {}
+            Some(AllocHomes::Fixed(home)) => {
+                for p in 0..pages as u32 {
+                    self.node.inner.pages.set_home(first_page + p, home);
+                }
+            }
+            Some(AllocHomes::Blocked) => {
+                let n = self.nodes();
+                let per = pages.div_ceil(n);
+                for p in 0..pages {
+                    let home = (p / per).min(n - 1);
+                    self.node.inner.pages.set_home(first_page + p as u32, home);
+                }
+            }
+        }
+        ArrayHandle {
+            base,
+            len,
+            _t: PhantomData,
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------
+
+    /// Read element `i`.
+    #[inline]
+    pub fn read<T: SharedVal>(&mut self, h: &ArrayHandle<T>, i: usize) -> T {
+        T::from_bits(self.node.read_u64(h.addr(i)))
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn write<T: SharedVal>(&mut self, h: &ArrayHandle<T>, i: usize, v: T) {
+        self.node.write_u64(h.addr(i), v.to_bits());
+    }
+
+    /// Read `out.len()` elements starting at `start` (page-batched).
+    pub fn read_slice<T: SharedVal>(&mut self, h: &ArrayHandle<T>, start: usize, out: &mut [T]) {
+        let layout = self.node.inner.cfg.layout;
+        let mut i = 0;
+        while i < out.len() {
+            let addr = h.addr(start + i);
+            let page = layout.page_of(addr);
+            let off = layout.offset_of(addr);
+            let in_page = ((layout.page_size() - off) / ELEM_BYTES).min(out.len() - i);
+            self.node.ensure_access(page, Access::Read);
+            let frame = self.node.frame(page);
+            for k in 0..in_page {
+                out[i + k] = T::from_bits(frame.read_u64(off + k * ELEM_BYTES));
+            }
+            i += in_page;
+        }
+    }
+
+    /// Write `src.len()` elements starting at `start` (page-batched).
+    pub fn write_slice<T: SharedVal>(&mut self, h: &ArrayHandle<T>, start: usize, src: &[T]) {
+        let layout = self.node.inner.cfg.layout;
+        let mut i = 0;
+        while i < src.len() {
+            let addr = h.addr(start + i);
+            let page = layout.page_of(addr);
+            let off = layout.offset_of(addr);
+            let in_page = ((layout.page_size() - off) / ELEM_BYTES).min(src.len() - i);
+            self.node.ensure_access(page, Access::Write);
+            let frame = self.node.frame_mut(page);
+            for k in 0..in_page {
+                frame.write_u64(off + k * ELEM_BYTES, src[i + k].to_bits());
+            }
+            i += in_page;
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Synchronization and time
+    // ------------------------------------------------------------
+
+    /// Acquire a global lock.
+    pub fn acquire(&mut self, lock: u32) {
+        self.node.acquire(lock);
+    }
+
+    /// Release a global lock.
+    pub fn release(&mut self, lock: u32) {
+        self.node.release(lock);
+    }
+
+    /// Global barrier. The injected crash (if any) fires immediately
+    /// after the configured barrier completes.
+    pub fn barrier(&mut self) {
+        self.node.barrier();
+        self.barriers_done += 1;
+        if let Some(plan) = self.crash {
+            if !self.crashed_once
+                && plan.node == self.me()
+                && self.barriers_done == plan.after_barriers
+            {
+                self.crashed_once = true;
+                panic_any(CrashToken);
+            }
+        }
+    }
+
+    /// Charge application compute (arithmetic operations).
+    #[inline]
+    pub fn charge_flops(&mut self, n: u64) {
+        self.node.inner.ctx.charge_flops(n);
+    }
+
+    /// Current virtual time at this node.
+    pub fn now(&self) -> simnet::SimTime {
+        self.node.inner.ctx.now()
+    }
+
+    // ------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------
+
+    /// Take a coordinated checkpoint (call right after a barrier on
+    /// every node, with no locks held). `app_state` is an opaque blob
+    /// returned by [`Dsm::restored_state`] after a crash.
+    pub fn checkpoint(&mut self, app_state: &[u8]) {
+        let d = ftlog::take_checkpoint(&mut self.node.inner, app_state);
+        self.node.inner.ctx.advance(d);
+        self.node.inner.ctx.stats.disk_time += d;
+        self.node.ft.on_checkpoint(&mut self.node.inner);
+    }
+
+    /// The application blob saved by the last checkpoint, present only
+    /// when this program invocation is a post-crash restart. Consume it
+    /// at program start to fast-forward initialization.
+    pub fn restored_state(&mut self) -> Option<Vec<u8>> {
+        self.restored.take()
+    }
+
+    // ------------------------------------------------------------
+    // Runner plumbing
+    // ------------------------------------------------------------
+
+    pub(crate) fn handle_crash(&mut self) {
+        let crash_instant = self.node.inner.ctx.now();
+        let delay = self.crash.map_or(SimDuration::ZERO, |c| c.detection_delay);
+        self.node.inner.ctx.advance(delay);
+        self.node.crash_and_reset();
+        // The crash happened before the detection delay; recovery time
+        // (exit - crashed_at) therefore includes detection.
+        self.node.inner.crashed_at = Some(crash_instant);
+        self.restored = self.node.ft.restored_app_state();
+        self.alloc_cursor = 0;
+        self.barriers_done = 0;
+    }
+}
+
+enum AllocHomes {
+    Fixed(NodeId),
+    Blocked,
+}

@@ -1,0 +1,230 @@
+//! Program runner: launches a DSM program on the simulated cluster,
+//! optionally injecting a crash and driving recovery.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use hlrc::{HlrcNode, Msg, NoLogging};
+use simnet::{run_cluster, DiskCounters, NodeId, NodeStats, SimTime};
+
+use crate::dsm::{CrashToken, Dsm};
+use crate::spec::{ClusterSpec, Protocol};
+
+/// Per-node outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct NodeOutput<R> {
+    /// The node.
+    pub node: NodeId,
+    /// What the program returned on this node.
+    pub result: R,
+    /// Execution counters.
+    pub stats: NodeStats,
+    /// Stable-storage counters.
+    pub disk: DiskCounters,
+    /// Virtual time at which this node finished the program.
+    pub finish: SimTime,
+    /// When the injected crash happened here (if this node failed).
+    pub crashed_at: Option<SimTime>,
+    /// When log replay ended and the node resumed live operation.
+    pub recovery_exit: Option<SimTime>,
+}
+
+/// Whole-cluster outcome.
+#[derive(Debug, Clone)]
+pub struct RunOutput<R> {
+    /// Per-node outputs, in node order.
+    pub nodes: Vec<NodeOutput<R>>,
+}
+
+impl<R> RunOutput<R> {
+    /// The run's execution time: the latest finish across nodes.
+    pub fn exec_time(&self) -> SimTime {
+        self.nodes.iter().map(|n| n.finish).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Cluster-wide merged statistics.
+    pub fn total_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for n in &self.nodes {
+            total.merge(&n.stats);
+        }
+        total
+    }
+
+    /// Total log bytes flushed across the cluster.
+    pub fn total_log_bytes(&self) -> u64 {
+        self.total_stats().log_bytes
+    }
+
+    /// Total log flushes across the cluster.
+    pub fn total_log_flushes(&self) -> u64 {
+        self.total_stats().log_flushes
+    }
+
+    /// Mean flushed-log size in bytes across the cluster.
+    pub fn mean_log_bytes(&self) -> f64 {
+        self.total_stats().mean_log_flush_bytes()
+    }
+
+    /// The failed node's measured recovery time, if a crash was injected
+    /// and recovery completed.
+    pub fn recovery_time(&self) -> Option<simnet::SimDuration> {
+        self.nodes.iter().find_map(|n| {
+            let start = n.crashed_at?;
+            let end = n.recovery_exit?;
+            Some(end.saturating_since(start))
+        })
+    }
+}
+
+/// Install (once) a panic hook that keeps the default behaviour for
+/// real panics but stays silent for the internal crash-injection token,
+/// whose unwind is expected and caught.
+fn silence_crash_token_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashToken>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Run `program` on every node of the cluster described by `spec`.
+///
+/// The program is an ordinary function over [`Dsm`]; it must be
+/// deterministic between synchronization events (fixed seeds, no wall
+/// clock) and must perform the same allocation sequence on every node.
+/// A final barrier is appended automatically so that every node stays
+/// reachable until all protocol traffic has drained.
+///
+/// With a [`crate::CrashPlan`], the failed node's program unwinds at the
+/// crash point, its volatile state is wiped, and the program re-runs
+/// from the start: with ML/CCL the re-run replays from the stable log
+/// (fast, no synchronization waits) until the log is exhausted, then
+/// resumes live execution; with `Protocol::None` the re-run is a plain
+/// re-execution.
+pub fn run_program<R, F>(spec: ClusterSpec, program: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Dsm) -> R + Send + Sync,
+{
+    if spec.crash.is_some() {
+        silence_crash_token_panics();
+    }
+    let cfg = spec.dsm_config();
+    let program = &program;
+    let results = run_cluster::<Msg, _, _>(spec.nodes, spec.cost, move |ctx| {
+        let id = ctx.id();
+        let ft: Box<dyn hlrc::FaultTolerance> = match spec.protocol {
+            Protocol::None => Box::new(NoLogging),
+            Protocol::Ml => Box::new(ftlog::MlLogger::new()),
+            Protocol::Ccl => Box::new(ftlog::CclLogger::new()),
+            Protocol::CclNoOverlap => Box::new(ftlog::CclLogger::without_overlap()),
+            Protocol::CclNoPrefetch => Box::new(ftlog::CclLogger::without_prefetch()),
+            Protocol::RecordsOnly => Box::new(ftlog::RecordOnlyLogger::new()),
+            Protocol::Rsl => Box::new(ftlog::RslLogger::new()),
+        };
+        let node = HlrcNode::new(ctx, cfg, ft);
+        let mut dsm = Dsm::new(node, spec.crash);
+        let crashes_here = spec.crash.is_some_and(|c| c.node == id);
+        let result = if crashes_here {
+            match catch_unwind(AssertUnwindSafe(|| program(&mut dsm))) {
+                Ok(r) => r, // crash point never reached
+                Err(payload) => {
+                    if payload.downcast_ref::<CrashToken>().is_none() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    dsm.handle_crash();
+                    program(&mut dsm)
+                }
+            }
+        } else {
+            program(&mut dsm)
+        };
+        // Implicit final barrier: keeps managers and homes reachable
+        // until every node has finished all its protocol traffic.
+        dsm.barrier();
+        let inner = &dsm.node.inner;
+        NodeOutput {
+            node: id,
+            result,
+            stats: inner.ctx.stats,
+            disk: inner.ctx.disk.counters(),
+            finish: inner.ctx.now(),
+            crashed_at: inner.crashed_at,
+            recovery_exit: inner.recovery_exit,
+        }
+    });
+    RunOutput { nodes: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CrashPlan;
+
+    fn tiny_spec(protocol: Protocol) -> ClusterSpec {
+        ClusterSpec::new(3, 12)
+            .with_page_size(256)
+            .with_protocol(protocol)
+    }
+
+    fn counter_program(dsm: &mut Dsm) -> u64 {
+        let arr = dsm.alloc::<u64>(8);
+        for round in 0..4 {
+            if dsm.me() == round % dsm.nodes() {
+                let v = dsm.read(&arr, 0);
+                dsm.write(&arr, 0, v + 1);
+            }
+            dsm.barrier();
+        }
+        dsm.read(&arr, 0)
+    }
+
+    #[test]
+    fn all_protocols_agree_on_results() {
+        for p in [Protocol::None, Protocol::Ml, Protocol::Ccl, Protocol::CclNoOverlap] {
+            let out = run_program(tiny_spec(p), counter_program);
+            assert!(
+                out.nodes.iter().all(|n| n.result == 4),
+                "protocol {p:?} broke the program"
+            );
+        }
+    }
+
+    #[test]
+    fn logging_protocols_actually_log() {
+        let none = run_program(tiny_spec(Protocol::None), counter_program);
+        let ml = run_program(tiny_spec(Protocol::Ml), counter_program);
+        let ccl = run_program(tiny_spec(Protocol::Ccl), counter_program);
+        assert_eq!(none.total_log_bytes(), 0);
+        assert!(ml.total_log_bytes() > 0);
+        assert!(ccl.total_log_bytes() > 0);
+        assert!(
+            ccl.total_log_bytes() < ml.total_log_bytes(),
+            "CCL log ({}) must be smaller than ML log ({})",
+            ccl.total_log_bytes(),
+            ml.total_log_bytes()
+        );
+    }
+
+    #[test]
+    fn crash_recovery_preserves_results_ccl() {
+        let spec = tiny_spec(Protocol::Ccl).with_crash(CrashPlan::new(1, 2));
+        let out = run_program(spec, counter_program);
+        assert!(out.nodes.iter().all(|n| n.result == 4), "{:?}",
+            out.nodes.iter().map(|n| n.result).collect::<Vec<_>>());
+        assert!(out.recovery_time().is_some());
+    }
+
+    #[test]
+    fn crash_recovery_preserves_results_ml() {
+        let spec = tiny_spec(Protocol::Ml).with_crash(CrashPlan::new(1, 2));
+        let out = run_program(spec, counter_program);
+        assert!(out.nodes.iter().all(|n| n.result == 4));
+        assert!(out.recovery_time().is_some());
+    }
+}

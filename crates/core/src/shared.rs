@@ -1,0 +1,111 @@
+//! Typed views over the shared address space.
+//!
+//! Every element is stored as one 8-byte little-endian word, so elements
+//! never straddle a page boundary and the diff granularity (4-byte
+//! words) subdivides them exactly.
+
+use std::marker::PhantomData;
+
+/// Values storable in shared memory (8 bytes each).
+pub trait SharedVal: Copy + Send + 'static {
+    /// Bit representation written to the page frame.
+    fn to_bits(self) -> u64;
+    /// Recover the value from its bit representation.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl SharedVal for u64 {
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl SharedVal for i64 {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl SharedVal for f64 {
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+/// Size of one shared element in bytes.
+pub const ELEM_BYTES: usize = 8;
+
+/// Handle to a shared array of `T`, valid on every node.
+///
+/// Handles are plain descriptors (base address + length); all access
+/// goes through [`crate::Dsm`], which runs the coherence protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle<T: SharedVal> {
+    pub(crate) base: usize,
+    pub(crate) len: usize,
+    pub(crate) _t: PhantomData<T>,
+}
+
+impl<T: SharedVal> ArrayHandle<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `i`.
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.base + i * ELEM_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrips() {
+        assert_eq!(f64::from_bits(SharedVal::to_bits(-2.5f64)), -2.5);
+        assert_eq!(i64::from_bits(SharedVal::to_bits(-7i64)), -7);
+        assert_eq!(u64::from_bits(SharedVal::to_bits(9u64)), 9);
+    }
+
+    #[test]
+    fn handle_addressing() {
+        let h = ArrayHandle::<f64> {
+            base: 4096,
+            len: 10,
+            _t: PhantomData,
+        };
+        assert_eq!(h.addr(0), 4096);
+        assert_eq!(h.addr(9), 4096 + 72);
+        assert_eq!(h.len(), 10);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn handle_bounds_checked() {
+        let h = ArrayHandle::<u64> {
+            base: 0,
+            len: 2,
+            _t: PhantomData,
+        };
+        h.addr(2);
+    }
+}

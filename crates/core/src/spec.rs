@@ -1,0 +1,156 @@
+//! Cluster run specification: protocol selection and failure injection.
+
+use hlrc::{DsmConfig, HomePolicy};
+use simnet::{CostModel, NodeId, SimDuration};
+
+/// Which fault-tolerance protocol a run uses (the paper's three, plus
+/// the no-overlap CCL ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// No logging — the paper's "None" baseline (re-execution on crash).
+    None,
+    /// Traditional message logging (§3.1).
+    Ml,
+    /// Coherence-centric logging (§3.2).
+    Ccl,
+    /// CCL with the flush/communication overlap disabled (ablation A1).
+    CclNoOverlap,
+    /// CCL with recovery prefetching disabled (ablation A2).
+    CclNoPrefetch,
+    /// Related work (§5): Suri et al.'s records-only logging.
+    /// Logging comparison only — cannot recover a home-based DSM.
+    RecordsOnly,
+    /// Related work (§5): Park & Yeom's reduced-stable logging.
+    /// Logging comparison only — cannot recover a home-based DSM.
+    Rsl,
+}
+
+impl Protocol {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::None => "none",
+            Protocol::Ml => "ml",
+            Protocol::Ccl => "ccl",
+            Protocol::CclNoOverlap => "ccl-no-overlap",
+            Protocol::CclNoPrefetch => "ccl-no-prefetch",
+            Protocol::RecordsOnly => "records-only",
+            Protocol::Rsl => "rsl",
+        }
+    }
+
+    /// All protocols the paper's tables compare.
+    pub const TABLE2: [Protocol; 3] = [Protocol::None, Protocol::Ml, Protocol::Ccl];
+}
+
+/// Inject a crash of `node` immediately after it completes its
+/// `after_barriers`-th barrier (a point where no locks are in flight,
+/// matching the paper's crash-after-flush scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The node that fails.
+    pub node: NodeId,
+    /// Crash after this many completed barriers at that node (1-based).
+    pub after_barriers: u64,
+    /// Failure-detection delay before recovery starts.
+    pub detection_delay: SimDuration,
+}
+
+impl CrashPlan {
+    /// Crash `node` after `after_barriers` barriers, detected instantly.
+    pub fn new(node: NodeId, after_barriers: u64) -> CrashPlan {
+        CrashPlan {
+            node,
+            after_barriers,
+            detection_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Everything needed to launch one cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of DSM processes (the paper uses 8).
+    pub nodes: usize,
+    /// Coherence granularity in bytes.
+    pub page_size: usize,
+    /// Size of the shared address space, in pages.
+    pub shared_pages: u32,
+    /// Number of global locks.
+    pub locks: u32,
+    /// Fault-tolerance protocol.
+    pub protocol: Protocol,
+    /// Hardware cost model.
+    pub cost: CostModel,
+    /// Optional failure injection.
+    pub crash: Option<CrashPlan>,
+}
+
+impl ClusterSpec {
+    /// A paper-like spec: 4 KB pages, no crash, no logging.
+    pub fn new(nodes: usize, shared_pages: u32) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            page_size: 4096,
+            shared_pages,
+            locks: 256,
+            protocol: Protocol::None,
+            cost: CostModel::ULTRA5_CLUSTER,
+            crash: None,
+        }
+    }
+
+    /// Select the fault-tolerance protocol.
+    pub fn with_protocol(mut self, p: Protocol) -> ClusterSpec {
+        self.protocol = p;
+        self
+    }
+
+    /// Use a smaller page size (tests).
+    pub fn with_page_size(mut self, bytes: usize) -> ClusterSpec {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Inject a crash.
+    pub fn with_crash(mut self, plan: CrashPlan) -> ClusterSpec {
+        self.crash = Some(plan);
+        self
+    }
+
+    /// The derived HLRC configuration.
+    pub fn dsm_config(&self) -> DsmConfig {
+        DsmConfig::new(self.nodes, self.shared_pages)
+            .with_page_size(self.page_size)
+            .with_locks(self.locks)
+            .with_cost(self.cost)
+            .with_home_policy(HomePolicy::Block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let spec = ClusterSpec::new(8, 64)
+            .with_protocol(Protocol::Ccl)
+            .with_page_size(512)
+            .with_crash(CrashPlan::new(1, 3));
+        assert_eq!(spec.protocol.label(), "ccl");
+        assert_eq!(spec.page_size, 512);
+        assert_eq!(spec.crash.unwrap().node, 1);
+        let cfg = spec.dsm_config();
+        assert_eq!(cfg.n_nodes, 8);
+        assert_eq!(cfg.layout.page_size(), 512);
+    }
+
+    #[test]
+    fn table2_protocols() {
+        assert_eq!(
+            Protocol::TABLE2.map(|p| p.label()),
+            ["none", "ml", "ccl"]
+        );
+    }
+}

@@ -1,0 +1,682 @@
+//! Coherence-centric logging (CCL) and prefetch-based recovery — the
+//! paper's contribution (§3.2).
+//!
+//! Failure-free logging records only what recovery cannot re-derive:
+//!
+//! * incoming write-invalidation notices (with the piggybacked clock),
+//! * *records* of incoming updates applied at this home (writer + pages,
+//!   never the diff contents),
+//! * the diffs this node itself produced at the end of each interval.
+//!
+//! Fetched page copies are **not** logged — they are reconstructible.
+//! The log flush is issued right after the diffs are sent to their home
+//! nodes, so the disk access overlaps the diff round-trips; only the
+//! residual (if the disk is slower than the network) lands on the
+//! critical path.
+//!
+//! Recovery replays sync events from the (small) local log: at the
+//! beginning of each interval it re-applies the recorded incoming
+//! updates to its home copies (fetching the diffs from the writers'
+//! stable logs) and *prefetches* every remote copy named by the logged
+//! notices — reconstructing from the home's checkpoint base plus logged
+//! diffs whenever the live home copy has already advanced past the
+//! interval being replayed. Page faults during replay are thereby
+//! (almost entirely) eliminated.
+
+use std::collections::HashMap;
+
+use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind, WriteNotice};
+use pagemem::{Decode, Encode, IntervalId, PageDiff, PageId, PageState, VClock};
+use simnet::{Envelope, SimDuration, SimTime};
+
+use crate::log_record::{CclRecord, SyncTag};
+
+/// Stable-storage stream holding the coherence-centric log.
+pub const CCL_STREAM: &str = "ccl.log";
+
+/// In-memory replay state (rebuilt from the stable log after a crash).
+struct CclReplay {
+    /// Decoded records with their encoded sizes (for per-interval read
+    /// charging).
+    records: Vec<(CclRecord, usize)>,
+    cursor: usize,
+    /// Every write notice encountered so far, in replay order — received
+    /// ones from `Sync` records and this node's own (derived from its
+    /// `Diffs` records). Reconstruction applies diffs in this order.
+    notices_seen: Vec<WriteNotice>,
+    /// Own logged diffs passed by the cursor: (page, interval seq) → diff.
+    own_diffs: HashMap<(PageId, u32), PageDiff>,
+}
+
+/// Coherence-centric logging.
+pub struct CclLogger {
+    /// Overlap the log flush with the diff round-trip (the paper's
+    /// latency-tolerance technique). `false` gives the ablation variant.
+    overlap: bool,
+    /// Prefetch noticed pages at each replayed interval (the paper's
+    /// recovery optimization). `false` leaves faults to reconstruct
+    /// on demand (ablation A2).
+    prefetch: bool,
+    /// When the disk finishes the most recently issued asynchronous
+    /// flush. CCL issues flushes and lets them drain in the background
+    /// (the paper's latency-tolerance technique); a later flush queues
+    /// behind an unfinished one.
+    disk_free_at: SimTime,
+    staged: Vec<CclRecord>,
+    staged_bytes: usize,
+    /// (page, own interval seq) → record index in the stable log, used
+    /// to serve recovering peers' `LoggedDiffRequest`s.
+    diff_index: HashMap<(PageId, u32), usize>,
+    /// Volatile cache of this node's home-write diffs, keyed by
+    /// (page, own interval seq). Served to recovering peers; never
+    /// flushed (a peer's recovery implies this node survived).
+    home_diff_cache: HashMap<(PageId, u32), PageDiff>,
+    replay: Option<CclReplay>,
+    restored_app: Option<Vec<u8>>,
+    /// Survivor-side in-memory image of the logged diffs, loaded with a
+    /// single sequential log read the first time a recovering peer asks
+    /// for one; later requests are served at memory speed.
+    serve_cache: Option<HashMap<(PageId, u32), PageDiff>>,
+}
+
+impl CclLogger {
+    /// CCL as published (flush overlapped with communication).
+    pub fn new() -> CclLogger {
+        CclLogger {
+            overlap: true,
+            prefetch: true,
+            disk_free_at: SimTime::ZERO,
+            staged: Vec::new(),
+            staged_bytes: 0,
+            diff_index: HashMap::new(),
+            home_diff_cache: HashMap::new(),
+            replay: None,
+            restored_app: None,
+            serve_cache: None,
+        }
+    }
+
+    /// Ablation variant: identical log contents, but the flush is
+    /// charged serially like ML's.
+    pub fn without_overlap() -> CclLogger {
+        CclLogger {
+            overlap: false,
+            ..CclLogger::new()
+        }
+    }
+
+    /// Ablation variant: recovery reconstructs pages only on faults,
+    /// without the per-interval prefetch.
+    pub fn without_prefetch() -> CclLogger {
+        CclLogger {
+            prefetch: false,
+            ..CclLogger::new()
+        }
+    }
+
+    fn stage(&mut self, rec: CclRecord) {
+        self.staged_bytes += rec.encoded_size();
+        self.staged.push(rec);
+    }
+
+    /// Encode and write the staged records through the OS cache,
+    /// returning `(cpu_copy_cost, device_drain_time)`.
+    fn flush_staged(&mut self, inner: &mut NodeInner) -> (SimDuration, SimDuration) {
+        if self.staged.is_empty() {
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
+        let bytes = self.staged_bytes;
+        let mut pos = inner.ctx.disk.record_count(CCL_STREAM);
+        let mut encoded = Vec::with_capacity(self.staged.len());
+        for rec in self.staged.drain(..) {
+            if let CclRecord::Diffs { interval, diffs } = &rec {
+                for d in diffs {
+                    self.diff_index.insert((d.page, interval.seq), pos);
+                    // Keep the survivor-side serve cache coherent
+                    // incrementally instead of rebuilding it from disk.
+                    if let Some(cache) = self.serve_cache.as_mut() {
+                        cache.insert((d.page, interval.seq), d.clone());
+                    }
+                }
+            }
+            encoded.push(rec.encode_to_vec());
+            pos += 1;
+        }
+        self.staged_bytes = 0;
+        let _ = inner.ctx.disk.flush_records(CCL_STREAM, encoded);
+        let drain = inner.ctx.disk.model().drain_time(bytes);
+        inner.ctx.stats.log_flushes += 1;
+        inner.ctx.stats.log_bytes += bytes as u64;
+        (inner.ctx.disk.model().buffered_write_cost(bytes), drain)
+    }
+
+    /// Fetch logged diffs for every `(page, intervals)` entry — from the
+    /// writers' stable logs over the network and from this node's own
+    /// log locally — with all remote requests issued in parallel.
+    fn fetch_logged_diffs(
+        &mut self,
+        inner: &mut NodeInner,
+        wants: &HashMap<PageId, Vec<IntervalId>>,
+    ) -> HashMap<(PageId, IntervalId), PageDiff> {
+        let me = inner.me() as u32;
+        let replay = self.replay.as_ref().expect("fetch outside recovery");
+        let mut found: HashMap<(PageId, IntervalId), PageDiff> = HashMap::new();
+        let mut outstanding = 0usize;
+        for (page, ivs) in wants {
+            let mut per_writer: HashMap<u32, Vec<u32>> = HashMap::new();
+            for iv in ivs {
+                if iv.node == me {
+                    // Own diffs come from the local log (already read
+                    // while the replay cursor passed them).
+                    if let Some(d) = replay.own_diffs.get(&(*page, iv.seq)) {
+                        found.insert((*page, *iv), d.clone());
+                    }
+                } else {
+                    per_writer.entry(iv.node).or_default().push(iv.seq);
+                }
+            }
+            for (writer, seqs) in per_writer {
+                inner
+                    .ctx
+                    .send(writer as usize, Msg::LoggedDiffRequest { page: *page, seqs })
+                    .expect("send logged diff request");
+                outstanding += 1;
+            }
+        }
+        for _ in 0..outstanding {
+            let env =
+                inner.wait_for_deferring(|m| matches!(m, Msg::LoggedDiffReply { .. }));
+            if let Msg::LoggedDiffReply { page, diffs } = env.payload {
+                for (iv, d) in diffs {
+                    inner.ctx.charge_copy(d.encoded_size());
+                    found.insert((page, iv), d);
+                }
+            }
+        }
+        found
+    }
+
+    /// Reconstruct remote copies of `pages` (paper: "prefetching data
+    /// according to the future shared memory access patterns"): one
+    /// recovery-page round trip per page, issued in parallel, plus
+    /// logged-diff fetches for the copies whose home has advanced.
+    fn prefetch_pages(&mut self, inner: &mut NodeInner, pages: &[PageId]) {
+        if pages.is_empty() {
+            return;
+        }
+        let required = inner.vc.clone();
+        for &p in pages {
+            let home = inner.pages.entry(p).home;
+            inner
+                .ctx
+                .send(
+                    home,
+                    Msg::RecoveryPageRequest {
+                        page: p,
+                        required: required.clone(),
+                    },
+                )
+                .expect("send recovery page request");
+        }
+        let mut advanced: Vec<(PageId, Vec<u8>, VClock)> = Vec::new();
+        for _ in 0..pages.len() {
+            let env = inner.wait_for_deferring(|m| {
+                matches!(m, Msg::RecoveryPageReply { page, .. } if pages.contains(page))
+            });
+            if let Msg::RecoveryPageReply {
+                page,
+                advanced: adv,
+                data,
+                version,
+            } = env.payload
+            {
+                inner.ctx.charge_copy(data.len());
+                if adv {
+                    advanced.push((page, data, version));
+                } else {
+                    inner.pages.install_copy(page, &data, PageState::ReadOnly);
+                }
+            }
+        }
+        // Homes that ran ahead: patch their checkpoint base with the
+        // logged diffs named by the notices replayed so far — one
+        // parallel fetch wave for all of them.
+        if advanced.is_empty() {
+            return;
+        }
+        let mut wants: HashMap<PageId, Vec<IntervalId>> = HashMap::new();
+        {
+            let replay = self.replay.as_ref().expect("reconstruct outside recovery");
+            for (page, _, base_version) in &advanced {
+                let ivs: Vec<IntervalId> = replay
+                    .notices_seen
+                    .iter()
+                    .filter(|n| n.page == *page && !base_version.covers(n.interval))
+                    .map(|n| n.interval)
+                    .collect();
+                wants.insert(*page, ivs);
+            }
+        }
+        let diffs = self.fetch_logged_diffs(inner, &wants);
+        for (page, base, _) in advanced {
+            let mut frame = pagemem::PageFrame::from_bytes(&base);
+            for iv in &wants[&page] {
+                if let Some(d) = diffs.get(&(page, *iv)) {
+                    inner.ctx.charge_copy(d.payload_bytes());
+                    d.apply(&mut frame);
+                }
+            }
+            inner
+                .pages
+                .install_copy(page, frame.bytes(), PageState::ReadOnly);
+        }
+    }
+
+    /// Walk the log to the next `Sync` record, applying update records
+    /// and indexing own diffs along the way; then apply the sync's
+    /// notices and prefetch the named pages.
+    fn advance_to_sync(&mut self, inner: &mut NodeInner, expected: SyncTag) -> RecoveryStep {
+        // Phase 1: scan records for this step (one sequential disk read).
+        let start = self.replay.as_ref().map_or(0, |r| r.cursor);
+        let mut batch_bytes = 0usize;
+        let mut updates: Vec<(IntervalId, Vec<PageId>)> = Vec::new();
+        let mut sync: Option<(Vec<WriteNotice>, VClock)> = None;
+        {
+            let replay = self.replay.as_mut().expect("not in recovery");
+            let me = inner.me() as u32;
+            while let Some((rec, size)) = replay.records.get(replay.cursor) {
+                batch_bytes += size;
+                replay.cursor += 1;
+                match rec {
+                    CclRecord::Updates { writer, pages } => {
+                        updates.push((*writer, pages.clone()));
+                    }
+                    CclRecord::Diffs { interval, diffs } => {
+                        debug_assert_eq!(interval.node, me, "foreign diffs in own log");
+                        for d in diffs {
+                            replay.notices_seen.push(WriteNotice {
+                                page: d.page,
+                                interval: *interval,
+                            });
+                            replay.own_diffs.insert((d.page, interval.seq), d.clone());
+                        }
+                    }
+                    CclRecord::Sync { tag, notices, vc } => {
+                        assert_eq!(*tag, expected, "CCL replay drift at {expected:?}");
+                        sync = Some((notices.clone(), vc.clone()));
+                        break;
+                    }
+                }
+            }
+        }
+        if batch_bytes > 0 {
+            // One sequential log read per replayed interval (bandwidth
+            // plus a syscall, no seek: the log is scanned in order).
+            let _ = inner.ctx.disk.read_cost(batch_bytes); // counters
+            let cost = inner.ctx.disk.model().drain_time(batch_bytes)
+                + SimDuration::from_micros(20);
+            inner.ctx.advance(cost);
+            inner.ctx.stats.disk_time += cost;
+        }
+        let Some((notices, vc)) = sync else {
+            // Log exhausted: pre-crash state reached. (The cursor can
+            // only run out at a step boundary because flushes cover
+            // whole intervals.)
+            let _ = start;
+            self.replay = None;
+            return RecoveryStep::LogExhausted;
+        };
+
+        // Phase 2: collect the recorded home-copy updates for this
+        // interval; they are fetched together with the remote-copy
+        // patches below, in a single parallel wave.
+        let mut home_wants: HashMap<PageId, Vec<IntervalId>> = HashMap::new();
+        for (writer, pages) in &updates {
+            for p in pages {
+                home_wants.entry(*p).or_default().push(*writer);
+            }
+        }
+
+        // Phase 3: close the re-executed interval and apply the logged
+        // notices. During recovery no copy is invalidated (the paper:
+        // the scheme "obviates the need of memory invalidation"):
+        // instead, every *cached* copy named by a notice is patched in
+        // place with that interval's logged diff, fetched from the
+        // writer's log — incremental and issued in parallel, so each
+        // diff crosses the network exactly once over the whole replay.
+        inner.replay_close_interval();
+        let me = inner.me() as u32;
+        let vc_before = inner.vc.clone();
+        let mut fresh: Vec<hlrc::WriteNotice> = Vec::new();
+        for n in &notices {
+            if vc_before.covers(n.interval) || fresh.contains(n) {
+                continue;
+            }
+            fresh.push(*n);
+            inner.vc.observe(n.interval);
+            inner.history.push(*n);
+        }
+        inner.vc.join(&vc);
+        {
+            let replay = self.replay.as_mut().expect("not in recovery");
+            replay.notices_seen.extend(fresh.iter().copied());
+        }
+        if let SyncTag::Barrier(_) = expected {
+            inner.last_barrier_vc = inner.vc.clone();
+            let lb = inner.last_barrier_vc.clone();
+            inner.history.retain(|n| !lb.covers(n.interval));
+        }
+        if self.prefetch {
+            // One combined fetch wave: this interval's home-copy updates
+            // plus the patches for every resident remote copy.
+            let mut wants: HashMap<PageId, Vec<IntervalId>> = HashMap::new();
+            let mut first_touch: Vec<PageId> = Vec::new();
+            for n in &fresh {
+                if n.interval.node == me || inner.pages.is_home(n.page) {
+                    continue;
+                }
+                if inner.pages.entry(n.page).frame.is_some() {
+                    wants.entry(n.page).or_default().push(n.interval);
+                } else {
+                    first_touch.push(n.page);
+                }
+            }
+            let mut combined = home_wants.clone();
+            for (p, ivs) in &wants {
+                combined.entry(*p).or_default().extend(ivs.iter().copied());
+            }
+            let diffs = self.fetch_logged_diffs(inner, &combined);
+            for (page, writers) in &home_wants {
+                for iv in writers {
+                    if let Some(d) = diffs.get(&(*page, *iv)) {
+                        inner.ctx.charge_copy(d.payload_bytes());
+                        inner.pages.apply_home_diff(d, *iv);
+                    }
+                }
+            }
+            for (page, ivs) in &wants {
+                for iv in ivs {
+                    if let Some(d) = diffs.get(&(*page, *iv)) {
+                        inner.ctx.charge_copy(d.payload_bytes());
+                        let frame = inner
+                            .pages
+                            .entry_mut(*page)
+                            .frame
+                            .as_mut()
+                            .expect("patched page lost its frame");
+                        d.apply(frame);
+                    }
+                }
+            }
+            // Pages named by notices but not yet resident are
+            // reconstructed now, in parallel — the paper's prefetch
+            // "according to the future shared memory access patterns".
+            first_touch.sort_unstable();
+            first_touch.dedup();
+            first_touch.retain(|p| inner.pages.entry(*p).frame.is_none());
+            self.prefetch_pages(inner, &first_touch);
+        } else {
+            // Ablation A2: apply the home updates, then fall back to
+            // invalidation + on-demand reconstruction at the next fault.
+            if !home_wants.is_empty() {
+                let diffs = self.fetch_logged_diffs(inner, &home_wants);
+                for (page, writers) in &home_wants {
+                    for iv in writers {
+                        if let Some(d) = diffs.get(&(*page, *iv)) {
+                            inner.ctx.charge_copy(d.payload_bytes());
+                            inner.pages.apply_home_diff(d, *iv);
+                        }
+                    }
+                }
+            }
+            for n in &fresh {
+                if n.interval.node != me && !inner.pages.is_home(n.page) {
+                    inner.pages.invalidate(n.page);
+                }
+            }
+        }
+
+        // Eagerly leave recovery when the log is fully consumed.
+        if self
+            .replay
+            .as_ref()
+            .is_some_and(|r| r.cursor >= r.records.len())
+        {
+            self.replay = None;
+        }
+        RecoveryStep::Replayed
+    }
+}
+
+impl Default for CclLogger {
+    fn default() -> Self {
+        CclLogger::new()
+    }
+}
+
+impl FaultTolerance for CclLogger {
+    fn name(&self) -> &'static str {
+        match (self.overlap, self.prefetch) {
+            (true, true) => "ccl",
+            (false, _) => "ccl-no-overlap",
+            (true, false) => "ccl-no-prefetch",
+        }
+    }
+
+    fn needs_home_write_twins(&self) -> bool {
+        true
+    }
+
+    fn on_notices(
+        &mut self,
+        inner: &mut NodeInner,
+        kind: SyncKind,
+        notices: &[WriteNotice],
+        vc: &VClock,
+    ) {
+        let tag = match kind {
+            SyncKind::Acquire(l) => SyncTag::Acquire(l),
+            SyncKind::Barrier(e) => SyncTag::Barrier(e),
+            SyncKind::Release(_) => unreachable!("notices never arrive at a release"),
+        };
+        self.stage(CclRecord::Sync {
+            tag,
+            notices: notices.to_vec(),
+            vc: vc.clone(),
+        });
+        // Flush at barrier completion so a barrier-aligned crash finds
+        // the episode's notices on disk (lock-acquire notices keep the
+        // paper's schedule: flushed at the subsequent release). The
+        // access is asynchronous: the disk drains it while the node
+        // computes; it is durable long before the next barrier.
+        if matches!(kind, SyncKind::Barrier(_)) {
+            let (cpu, drain) = self.flush_staged(inner);
+            if drain > SimDuration::ZERO {
+                if self.overlap {
+                    inner.ctx.advance(cpu);
+                    inner.ctx.stats.disk_time += cpu;
+                    let start = inner.ctx.now().max(self.disk_free_at);
+                    self.disk_free_at = start + drain;
+                    inner.ctx.stats.disk_time_overlapped += drain;
+                } else {
+                    // Ablation A1: no latency tolerance anywhere —
+                    // write-through with the full access cost.
+                    let d = cpu + inner.ctx.disk.model().access_latency + drain;
+                    inner.ctx.advance(d);
+                    inner.ctx.stats.disk_time += d;
+                }
+            }
+        }
+    }
+
+    fn on_updates_applied(&mut self, _inner: &mut NodeInner, writer: IntervalId, pages: &[PageId]) {
+        self.stage(CclRecord::Updates {
+            writer,
+            pages: pages.to_vec(),
+        });
+    }
+
+    fn on_diffs_created(
+        &mut self,
+        _inner: &mut NodeInner,
+        interval: IntervalId,
+        diffs: &[PageDiff],
+    ) {
+        if !diffs.is_empty() {
+            self.stage(CclRecord::Diffs {
+                interval,
+                diffs: diffs.to_vec(),
+            });
+        }
+    }
+
+    fn on_home_diffs(
+        &mut self,
+        _inner: &mut NodeInner,
+        interval: IntervalId,
+        diffs: &[PageDiff],
+    ) {
+        for d in diffs {
+            self.home_diff_cache
+                .insert((d.page, interval.seq), d.clone());
+        }
+    }
+
+    fn flush_after_send(&mut self, inner: &mut NodeInner) -> (SimDuration, bool) {
+        let (cpu, drain) = self.flush_staged(inner);
+        if drain == SimDuration::ZERO {
+            return (SimDuration::ZERO, self.overlap);
+        }
+        let now = inner.ctx.now();
+        if self.overlap {
+            // Asynchronous write-behind: the device drains the flush
+            // while the node waits for its diff acks and computes on
+            // (the paper's latency-tolerance technique). The visible
+            // cost is the write() copy plus backpressure when the
+            // previous flush has not finished draining.
+            let backpressure = self.disk_free_at.saturating_since(now);
+            let start = now.max(self.disk_free_at);
+            self.disk_free_at = start + drain;
+            inner.ctx.stats.disk_time_overlapped += drain;
+            (cpu + backpressure, false)
+        } else {
+            // Ablation A1: write-through — the flush seeks and drains
+            // synchronously on the critical path before the node may
+            // proceed (no write-behind, no overlap).
+            (cpu + inner.ctx.disk.model().access_latency + drain, false)
+        }
+    }
+
+    fn begin_recovery(&mut self, inner: &mut NodeInner) {
+        self.staged.clear();
+        self.staged_bytes = 0;
+        self.diff_index.clear();
+        self.home_diff_cache.clear();
+        self.restored_app = crate::checkpoint::restore_meta(inner);
+        let raw = inner.ctx.disk.peek_stream(CCL_STREAM).to_vec();
+        let mut records = Vec::with_capacity(raw.len());
+        for (pos, bytes) in raw.iter().enumerate() {
+            let rec = CclRecord::decode_from_slice(bytes).expect("corrupt CCL log record");
+            // Rebuild the survivor-service index as a side effect.
+            if let CclRecord::Diffs { interval, diffs } = &rec {
+                for d in diffs {
+                    self.diff_index.insert((d.page, interval.seq), pos);
+                }
+            }
+            records.push((rec, bytes.len()));
+        }
+        self.replay = Some(CclReplay {
+            records,
+            cursor: 0,
+            notices_seen: Vec::new(),
+            own_diffs: HashMap::new(),
+        });
+        if self
+            .replay
+            .as_ref()
+            .is_some_and(|r| r.records.is_empty())
+        {
+            // Nothing was ever logged (crash before the first flush).
+            self.replay = None;
+        }
+    }
+
+    fn restored_app_state(&mut self) -> Option<Vec<u8>> {
+        self.restored_app.take()
+    }
+
+    fn on_checkpoint(&mut self, inner: &mut NodeInner) {
+        self.staged.clear();
+        self.staged_bytes = 0;
+        self.diff_index.clear();
+        self.home_diff_cache.clear();
+        self.serve_cache = None;
+        inner.ctx.disk.truncate(CCL_STREAM);
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    fn recovery_acquire(&mut self, inner: &mut NodeInner, lock: u32) -> RecoveryStep {
+        self.advance_to_sync(inner, SyncTag::Acquire(lock))
+    }
+
+    fn recovery_barrier(&mut self, inner: &mut NodeInner, epoch: u32) -> RecoveryStep {
+        self.advance_to_sync(inner, SyncTag::Barrier(epoch))
+    }
+
+    fn recovery_fault(&mut self, inner: &mut NodeInner, page: PageId, _write: bool) -> RecoveryStep {
+        // First-touch pages have no notice and therefore were not
+        // prefetched; reconstruct on demand.
+        self.prefetch_pages(inner, &[page]);
+        RecoveryStep::Replayed
+    }
+
+    fn serve_logged_diffs(&mut self, inner: &mut NodeInner, env: &Envelope<Msg>) {
+        let Msg::LoggedDiffRequest { page, seqs } = &env.payload else {
+            return;
+        };
+        let me = inner.me() as u32;
+        // First request from a recovering peer: read the whole log back
+        // into memory with one sequential scan; everything after that is
+        // served at memory speed.
+        let mut disk_cost = SimDuration::ZERO;
+        if self.serve_cache.is_none() {
+            let mut cache: HashMap<(PageId, u32), PageDiff> = HashMap::new();
+            let mut total = 0usize;
+            let raw = inner.ctx.disk.peek_stream(CCL_STREAM).to_vec();
+            for bytes in &raw {
+                total += bytes.len();
+                let rec = CclRecord::decode_from_slice(bytes).expect("corrupt CCL log record");
+                if let CclRecord::Diffs { interval, diffs } = rec {
+                    for d in diffs {
+                        cache.insert((d.page, interval.seq), d);
+                    }
+                }
+            }
+            disk_cost = inner.ctx.disk.model().access_latency
+                + inner.ctx.disk.model().drain_time(total);
+            let _ = inner.ctx.disk.read_cost(total); // counters
+            self.serve_cache = Some(cache);
+        }
+        let cache = self.serve_cache.as_ref().expect("just built");
+        let mut out: Vec<(IntervalId, PageDiff)> = Vec::new();
+        for &seq in seqs {
+            // Remote-write diffs come from the (cached) stable log;
+            // home-write diffs from the volatile home cache. A miss in
+            // both means a silent write whose diff was empty.
+            if let Some(d) = cache.get(&(*page, seq)) {
+                out.push((IntervalId { node: me, seq }, d.clone()));
+            } else if let Some(d) = self.home_diff_cache.get(&(*page, seq)) {
+                out.push((IntervalId { node: me, seq }, d.clone()));
+            }
+        }
+        let payload: usize = out.iter().map(|(_, d)| d.encoded_size()).sum();
+        let done = inner.ctx.service_time(env) + disk_cost + inner.ctx.cost.cpu.copy(payload);
+        inner
+            .ctx
+            .send_from(done, env.src, Msg::LoggedDiffReply { page: *page, diffs: out })
+            .expect("send logged diff reply");
+    }
+}

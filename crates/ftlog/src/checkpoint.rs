@@ -1,0 +1,206 @@
+//! Checkpointing (§3.2 of the paper).
+//!
+//! A checkpoint consists of the shared-memory home copies, the protocol
+//! state (vector clock, interval counter, barrier epoch), and an opaque
+//! application-state blob. The first checkpoint writes every home page;
+//! subsequent checkpoints are incremental — only pages whose version
+//! advanced since the last checkpoint are written.
+//!
+//! Checkpoints must be **coordinated at a barrier** (all nodes
+//! checkpoint at the same episode, holding no locks): that is what makes
+//! each home's checkpoint base usable during any peer's recovery and
+//! lets the logs be truncated safely. The paper's experiments take no
+//! checkpoints (recovery replays from the initial state, which this
+//! module models as the implicit epoch-zero checkpoint).
+
+use hlrc::NodeInner;
+use pagemem::{ByteReader, ByteWriter, CodecError, Decode, Encode, VClock};
+use simnet::SimDuration;
+
+/// Stream holding the latest checkpoint's metadata record.
+pub const CKPT_META: &str = "ckpt.meta";
+/// Stream accumulating checkpointed page images (incremental).
+pub const CKPT_PAGES: &str = "ckpt.pages";
+
+/// Protocol/application state saved with a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Vector clock at the checkpoint.
+    pub vc: VClock,
+    /// Next interval sequence number.
+    pub next_interval: u32,
+    /// Next barrier epoch.
+    pub barrier_epoch: u32,
+    /// Clock of the last completed barrier.
+    pub last_barrier_vc: VClock,
+    /// Opaque application state (iteration counters etc.).
+    pub app_state: Vec<u8>,
+}
+
+impl Encode for CheckpointMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.vc.encode(w);
+        w.put_u32(self.next_interval);
+        w.put_u32(self.barrier_epoch);
+        self.last_barrier_vc.encode(w);
+        w.put_bytes(&self.app_state);
+    }
+}
+
+impl Decode for CheckpointMeta {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointMeta {
+            vc: VClock::decode(r)?,
+            next_interval: r.get_u32()?,
+            barrier_epoch: r.get_u32()?,
+            last_barrier_vc: VClock::decode(r)?,
+            app_state: r.get_bytes()?,
+        })
+    }
+}
+
+/// Take a checkpoint of `inner` (call right after a barrier, with no
+/// locks held). Returns the stable-storage write time; the caller
+/// decides how to charge it.
+pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
+    let me = inner.me();
+    // Incremental page set: anything whose version moved past the base.
+    let mut page_records: Vec<Vec<u8>> = Vec::new();
+    for (p, e) in inner.pages.iter() {
+        if e.home != me {
+            continue;
+        }
+        let version = e.version.as_ref().expect("home version");
+        let base_version = e.base_version.as_ref().expect("base version");
+        if version == base_version && inner.ctx.disk.record_count(CKPT_PAGES) > 0 {
+            continue; // unchanged since last checkpoint (and not the first)
+        }
+        let mut w = ByteWriter::new();
+        w.put_u32(p);
+        version.encode(&mut w);
+        w.put_bytes(e.frame.as_ref().expect("home frame").bytes());
+        page_records.push(w.into_bytes());
+    }
+    let meta = CheckpointMeta {
+        vc: inner.vc.clone(),
+        next_interval: inner.next_interval,
+        barrier_epoch: inner.barrier_epoch,
+        last_barrier_vc: inner.last_barrier_vc.clone(),
+        app_state: app_state.to_vec(),
+    };
+    inner.ctx.disk.truncate(CKPT_META);
+    let d1 = inner
+        .ctx
+        .disk
+        .flush_records(CKPT_META, vec![meta.encode_to_vec()]);
+    let d2 = inner.ctx.disk.flush_records(CKPT_PAGES, page_records);
+    // The in-memory base copies become the stable checkpoint image the
+    // recovery path restores from.
+    inner.pages.promote_base();
+    d1 + d2
+}
+
+/// Restore checkpointed protocol state into `inner` (after a crash and
+/// `reset_to_base`). Returns the saved application blob, or `None` if no
+/// checkpoint was ever taken.
+pub fn restore_meta(inner: &mut NodeInner) -> Option<Vec<u8>> {
+    let bytes = inner.ctx.disk.peek_stream(CKPT_META).first()?.clone();
+    let cost = inner.ctx.disk.read_cost(bytes.len());
+    inner.ctx.advance(cost);
+    inner.ctx.stats.disk_time += cost;
+    let meta = CheckpointMeta::decode_from_slice(&bytes).expect("corrupt checkpoint meta");
+    inner.vc = meta.vc;
+    inner.next_interval = meta.next_interval;
+    inner.barrier_epoch = meta.barrier_epoch;
+    inner.last_barrier_vc = meta.last_barrier_vc;
+    Some(meta.app_state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlrc::DsmConfig;
+    use pagemem::IntervalId;
+    use simnet::{run_cluster, CostModel};
+
+    #[test]
+    fn meta_codec_roundtrip() {
+        let mut vc = VClock::new(3);
+        vc.observe(IntervalId { node: 1, seq: 4 });
+        let meta = CheckpointMeta {
+            vc: vc.clone(),
+            next_interval: 7,
+            barrier_epoch: 3,
+            last_barrier_vc: vc,
+            app_state: vec![1, 2, 3],
+        };
+        let bytes = meta.encode_to_vec();
+        assert_eq!(CheckpointMeta::decode_from_slice(&bytes).unwrap(), meta);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_roundtrip() {
+        let cfg = DsmConfig::new(1, 2).with_page_size(64);
+        run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
+            let mut inner = NodeInner::new(ctx, cfg);
+            inner.pages.frame_mut(0).write_u64(0, 42);
+            inner
+                .pages
+                .entry_mut(0)
+                .version
+                .as_mut()
+                .unwrap()
+                .observe(IntervalId { node: 0, seq: 0 });
+            inner.vc.observe(IntervalId { node: 0, seq: 0 });
+            inner.next_interval = 1;
+            inner.barrier_epoch = 2;
+
+            let d = take_checkpoint(&mut inner, b"iter=5");
+            assert!(d > SimDuration::ZERO);
+
+            // Crash: wipe volatile state; base now carries the image.
+            inner.pages.reset_to_base();
+            inner.vc = VClock::new(1);
+            inner.next_interval = 0;
+            inner.barrier_epoch = 0;
+
+            let app = restore_meta(&mut inner).expect("checkpoint exists");
+            assert_eq!(app, b"iter=5");
+            assert_eq!(inner.next_interval, 1);
+            assert_eq!(inner.barrier_epoch, 2);
+            assert!(inner.vc.covers(IntervalId { node: 0, seq: 0 }));
+            assert_eq!(inner.pages.frame(0).read_u64(0), 42);
+        });
+    }
+
+    #[test]
+    fn second_checkpoint_is_incremental() {
+        let cfg = DsmConfig::new(1, 4).with_page_size(64);
+        run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
+            let mut inner = NodeInner::new(ctx, cfg);
+            // First checkpoint: all 4 home pages written.
+            take_checkpoint(&mut inner, b"");
+            assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 4);
+            // Modify one page, checkpoint again: only it is appended.
+            inner.pages.frame_mut(1).write_u64(0, 9);
+            inner
+                .pages
+                .entry_mut(1)
+                .version
+                .as_mut()
+                .unwrap()
+                .observe(IntervalId { node: 0, seq: 0 });
+            take_checkpoint(&mut inner, b"");
+            assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 5);
+        });
+    }
+
+    #[test]
+    fn restore_without_checkpoint_returns_none() {
+        let cfg = DsmConfig::new(1, 1).with_page_size(64);
+        run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
+            let mut inner = NodeInner::new(ctx, cfg);
+            assert!(restore_meta(&mut inner).is_none());
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! # ftlog — fault tolerance for home-based software DSM
+//!
+//! The paper's two logging protocols and their recovery schemes, plugged
+//! into the `hlrc` coherence driver through its [`hlrc::FaultTolerance`]
+//! hook interface:
+//!
+//! * [`MlLogger`] — traditional **message logging** (§3.1): log every
+//!   incoming coherence message in volatile memory, flush the (large)
+//!   log serially at each synchronization point; recover by replaying
+//!   logged messages from disk, one access per record.
+//! * [`CclLogger`] — **coherence-centric logging** (§3.2): log only
+//!   notices, update *records*, and own diffs; overlap the (small) flush
+//!   with the diff round-trip; recover by per-interval prefetching that
+//!   rebuilds home copies from writers' logs and reconstructs remote
+//!   copies from checkpoint bases plus logged diffs, eliminating page
+//!   faults. `CclLogger::without_overlap()` is the serial-flush ablation.
+//! * [`checkpoint`] — coordinated incremental checkpoints with log
+//!   truncation.
+//!
+//! The "no logging" baseline is [`hlrc::NoLogging`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod ccl;
+mod log_record;
+mod ml;
+mod recovery;
+pub mod related;
+
+pub use ccl::{CclLogger, CCL_STREAM};
+pub use checkpoint::{restore_meta, take_checkpoint, CheckpointMeta, CKPT_META, CKPT_PAGES};
+pub use log_record::{CclRecord, SyncTag};
+pub use ml::{MlLogger, ML_STREAM};
+pub use recovery::replay_apply_notices;
+pub use related::{RecordOnlyLogger, RslLogger, RECORDS_STREAM, RSL_STREAM};

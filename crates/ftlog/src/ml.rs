@@ -1,0 +1,265 @@
+//! Traditional message logging (ML), §3.1 of the paper.
+//!
+//! ML follows the piecewise-deterministic model: every incoming message
+//! that affects execution — full page copies fetched from homes, diffs
+//! arriving at this home, and the lock-grant / barrier-release messages
+//! carrying write-invalidation notices — is logged *in its entirety* in
+//! volatile memory, and the volatile log is flushed to the local disk at
+//! the next synchronization point, **before** the node communicates.
+//! The flush is therefore fully on the critical path, and the log is
+//! large (it contains whole pages), which is exactly the overhead the
+//! paper measures against CCL.
+//!
+//! ML-recovery replays the logged messages in receipt order: each page
+//! miss and each synchronization operation reads records from disk (one
+//! access per record — the "memory miss idle time" and "high disk access
+//! latency" of §4.3), with no network traffic at all.
+
+use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind};
+use pagemem::{Decode, Encode, PageState, VClock};
+use simnet::{SimDuration, SimTime};
+
+use crate::recovery::replay_apply_notices;
+
+/// Stable-storage stream holding the ML log.
+pub const ML_STREAM: &str = "ml.log";
+
+/// Traditional message logging.
+pub struct MlLogger {
+    staged: Vec<Vec<u8>>,
+    staged_bytes: usize,
+    cursor: Option<usize>,
+    restored_app: Option<Vec<u8>>,
+    /// When the device finishes draining the OS write cache.
+    disk_free_at: SimTime,
+}
+
+impl MlLogger {
+    /// A fresh ML protocol instance.
+    pub fn new() -> MlLogger {
+        MlLogger {
+            staged: Vec::new(),
+            staged_bytes: 0,
+            cursor: None,
+            restored_app: None,
+            disk_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// Write the staged log through the OS cache. Returns the critical-
+    /// path cost: the buffered-write copy plus any stall while the
+    /// device is still draining earlier flushes. The device drain itself
+    /// proceeds in the background (tracked by `disk_free_at`).
+    fn flush_staged(&mut self, inner: &mut NodeInner) -> SimDuration {
+        if self.staged.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let bytes = self.staged_bytes;
+        let _ = inner
+            .ctx
+            .disk
+            .flush_records(ML_STREAM, std::mem::take(&mut self.staged));
+        let drain = inner.ctx.disk.model().drain_time(bytes);
+        self.staged_bytes = 0;
+        inner.ctx.stats.log_flushes += 1;
+        inner.ctx.stats.log_bytes += bytes as u64;
+        let cpu = inner.ctx.disk.model().buffered_write_cost(bytes);
+        let now = inner.ctx.now();
+        let backpressure = self.disk_free_at.saturating_since(now);
+        let start = now.max(self.disk_free_at);
+        self.disk_free_at = start + drain;
+        inner.ctx.stats.disk_time_overlapped += drain;
+        cpu + backpressure
+    }
+
+    /// Read and charge the next logged message, if any. Replay scans
+    /// the log in order, so the device cost is sequential-bandwidth
+    /// plus a per-record read()/decode overhead (~100 us on the era's
+    /// CPU), not a full seek per record.
+    fn next_record(&mut self, inner: &mut NodeInner) -> Option<Msg> {
+        let cursor = self.cursor.as_mut().expect("not in recovery");
+        let (bytes, _) = inner.ctx.disk.read_record(ML_STREAM, *cursor)?;
+        *cursor += 1;
+        let cost = inner.ctx.disk.model().drain_time(bytes.len())
+            + SimDuration::from_micros(100);
+        inner.ctx.advance(cost);
+        inner.ctx.stats.disk_time += cost;
+        Some(Msg::decode_from_slice(&bytes).expect("corrupt ML log record"))
+    }
+
+    /// After a successful replay step, drop out of recovery eagerly if
+    /// the whole log has been consumed (the pre-crash state is reached).
+    fn maybe_finish(&mut self, inner: &NodeInner) {
+        if let Some(cursor) = self.cursor {
+            if cursor >= inner.ctx.disk.record_count(ML_STREAM) {
+                self.cursor = None;
+            }
+        }
+    }
+
+    fn apply_logged_diff_flush(inner: &mut NodeInner, msg: &Msg) {
+        if let Msg::DiffFlush { writer, diffs } = msg {
+            let payload: usize = diffs.iter().map(|d| d.encoded_size()).sum();
+            inner.ctx.charge_copy(payload);
+            for d in diffs {
+                inner.pages.apply_home_diff(d, *writer);
+            }
+        }
+    }
+}
+
+impl Default for MlLogger {
+    fn default() -> Self {
+        MlLogger::new()
+    }
+}
+
+impl FaultTolerance for MlLogger {
+    fn name(&self) -> &'static str {
+        "ml"
+    }
+
+    fn on_incoming(&mut self, _inner: &mut NodeInner, msg: &Msg) {
+        let log_it = matches!(
+            msg,
+            Msg::PageReply { .. }
+                | Msg::DiffFlush { .. }
+                | Msg::LockGrant { .. }
+                | Msg::BarrierRelease { .. }
+        );
+        if log_it {
+            let bytes = msg.encode_to_vec();
+            self.staged_bytes += bytes.len();
+            self.staged.push(bytes);
+        }
+    }
+
+    fn on_notices(
+        &mut self,
+        inner: &mut NodeInner,
+        kind: SyncKind,
+        _notices: &[hlrc::WriteNotice],
+        _vc: &VClock,
+    ) {
+        // Flush at barrier completion so a barrier-aligned crash finds a
+        // consistent prefix on disk (the release record included). Only
+        // the write() copy is on the critical path; the device drains
+        // in the background and is durable long before the next barrier.
+        if matches!(kind, SyncKind::Barrier(_)) {
+            let d = self.flush_staged(inner);
+            if d > SimDuration::ZERO {
+                inner.ctx.advance(d);
+                inner.ctx.stats.disk_time += d;
+            }
+        }
+    }
+
+    fn flush_before_send(&mut self, inner: &mut NodeInner) -> SimDuration {
+        // The whole volatile log goes to disk before the node sends its
+        // end-of-interval messages: no overlap, full critical path.
+        self.flush_staged(inner)
+    }
+
+    fn begin_recovery(&mut self, inner: &mut NodeInner) {
+        self.staged.clear();
+        self.staged_bytes = 0;
+        self.restored_app = crate::checkpoint::restore_meta(inner);
+        self.cursor = Some(0);
+        self.maybe_finish(inner);
+    }
+
+    fn restored_app_state(&mut self) -> Option<Vec<u8>> {
+        self.restored_app.take()
+    }
+
+    fn on_checkpoint(&mut self, inner: &mut NodeInner) {
+        // Everything before the checkpoint is no longer needed for
+        // replay: truncate the log.
+        self.staged.clear();
+        self.staged_bytes = 0;
+        inner.ctx.disk.truncate(ML_STREAM);
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.cursor.is_some()
+    }
+
+    fn recovery_acquire(&mut self, inner: &mut NodeInner, lock: u32) -> RecoveryStep {
+        loop {
+            let Some(msg) = self.next_record(inner) else {
+                self.cursor = None;
+                return RecoveryStep::LogExhausted;
+            };
+            match &msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+                Msg::LockGrant { lock: l, vc, notices } => {
+                    assert_eq!(*l, lock, "ML replay drift: wrong lock grant");
+                    inner.replay_close_interval();
+                    replay_apply_notices(inner, notices, vc);
+                    inner.lock_grant_vcs.insert(lock, vc.clone());
+                    self.maybe_finish(inner);
+                    return RecoveryStep::Replayed;
+                }
+                other => panic!(
+                    "ML replay drift at acquire({lock}): unexpected {}",
+                    other.kind()
+                ),
+            }
+        }
+    }
+
+    fn recovery_barrier(&mut self, inner: &mut NodeInner, epoch: u32) -> RecoveryStep {
+        loop {
+            let Some(msg) = self.next_record(inner) else {
+                self.cursor = None;
+                return RecoveryStep::LogExhausted;
+            };
+            match &msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+                Msg::BarrierRelease {
+                    epoch: e,
+                    vc,
+                    notices,
+                } => {
+                    assert_eq!(*e, epoch, "ML replay drift: wrong barrier epoch");
+                    // Close the interval locally (diffs are already at
+                    // their homes from before the crash).
+                    inner.replay_close_interval();
+                    replay_apply_notices(inner, notices, vc);
+                    inner.last_barrier_vc = inner.vc.clone();
+                    let lb = inner.last_barrier_vc.clone();
+                    inner.history.retain(|n| !lb.covers(n.interval));
+                    self.maybe_finish(inner);
+                    return RecoveryStep::Replayed;
+                }
+                other => panic!(
+                    "ML replay drift at barrier({epoch}): unexpected {}",
+                    other.kind()
+                ),
+            }
+        }
+    }
+
+    fn recovery_fault(&mut self, inner: &mut NodeInner, page: u32, _write: bool) -> RecoveryStep {
+        loop {
+            let Some(msg) = self.next_record(inner) else {
+                self.cursor = None;
+                return RecoveryStep::LogExhausted;
+            };
+            match &msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+                Msg::PageReply { page: p, data, .. } => {
+                    assert_eq!(*p, page, "ML replay drift: wrong page reply");
+                    inner.ctx.charge_copy(data.len());
+                    inner.pages.install_copy(page, data, PageState::ReadOnly);
+                    self.maybe_finish(inner);
+                    return RecoveryStep::Replayed;
+                }
+                other => panic!(
+                    "ML replay drift at fault({page}): unexpected {}",
+                    other.kind()
+                ),
+            }
+        }
+    }
+}

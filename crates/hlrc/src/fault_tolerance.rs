@@ -1,0 +1,184 @@
+//! The fault-tolerance hook interface.
+//!
+//! The HLRC protocol driver is written against this trait so that the
+//! three protocols the paper compares — no logging, traditional message
+//! logging (ML), and coherence-centric logging (CCL) — plug into the
+//! *same* coherence code, differing only in what they record, when they
+//! flush, and how they drive recovery. Implementations live in the
+//! `ftlog` crate; [`NoLogging`] (the paper's "None" baseline) lives here.
+
+use pagemem::{IntervalId, PageDiff, PageId, VClock};
+use simnet::{Envelope, SimDuration};
+
+use crate::msg::{Msg, WriteNotice};
+use crate::node::NodeInner;
+
+/// Which synchronization operation produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// A lock acquire (carrying the lock id).
+    Acquire(u32),
+    /// A lock release (carrying the lock id).
+    Release(u32),
+    /// A barrier episode (carrying the epoch).
+    Barrier(u32),
+}
+
+/// Outcome of a replayed synchronization step during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// The step was reconstructed from the log; execution may proceed.
+    Replayed,
+    /// The log is exhausted: the pre-crash state has been reached and
+    /// the node must resume live protocol operation.
+    LogExhausted,
+}
+
+/// Hooks the coherence protocol invokes on its fault-tolerance layer.
+///
+/// Failure-free hooks default to no-ops; recovery hooks default to
+/// "not recovering". All byte accounting uses the real encoded sizes of
+/// the objects involved, so log-size results are measurements, not
+/// estimates.
+#[allow(unused_variables)]
+pub trait FaultTolerance: Send {
+    /// Protocol name for reports ("none", "ml", "ccl", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether the home node must twin (and later diff) its *own* writes
+    /// to home pages. CCL needs this: a peer reconstructing a remote
+    /// copy from the home's checkpoint base patches it with logged
+    /// diffs, and the home's in-place writes would otherwise be
+    /// unreconstructible. ML replays fetched page contents verbatim and
+    /// does not need it.
+    fn needs_home_write_twins(&self) -> bool {
+        false
+    }
+
+    // ---- failure-free logging ----
+
+    /// An incoming coherence message relevant to replay was received:
+    /// page replies, diff flushes, lock grants, barrier releases.
+    fn on_incoming(&mut self, inner: &mut NodeInner, msg: &Msg) {}
+
+    /// Write-invalidation notices were accepted at an acquire or barrier
+    /// together with the piggybacked timestamp.
+    fn on_notices(
+        &mut self,
+        inner: &mut NodeInner,
+        kind: SyncKind,
+        notices: &[WriteNotice],
+        vc: &VClock,
+    ) {
+    }
+
+    /// This (home) node applied a writer's flushed diffs to its home
+    /// copies — the "record of incoming updates" event of the paper.
+    fn on_updates_applied(&mut self, inner: &mut NodeInner, writer: IntervalId, pages: &[PageId]) {}
+
+    /// This node created `diffs` at the end of interval `interval`.
+    fn on_diffs_created(&mut self, inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {
+    }
+
+    /// Diffs of this node's *own writes to its own home pages* (only
+    /// produced when [`FaultTolerance::needs_home_write_twins`] is
+    /// true). Under the single-failure model these are needed only by a
+    /// *peer's* recovery — and then this node is alive — so they are
+    /// retained in volatile memory, never flushed: CCL's log keeps its
+    /// coherence-centric economy.
+    fn on_home_diffs(&mut self, inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {}
+
+    /// Stable-storage flush charged *before* the node sends its
+    /// end-of-interval messages (ML flushes its volatile log here, fully
+    /// on the critical path).
+    fn flush_before_send(&mut self, inner: &mut NodeInner) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// Stable-storage flush issued *right after* the diffs are sent
+    /// (CCL flushes here). Returns the disk time and whether it may be
+    /// overlapped with the diff-ack round trip.
+    fn flush_after_send(&mut self, inner: &mut NodeInner) -> (SimDuration, bool) {
+        (SimDuration::ZERO, true)
+    }
+
+    /// A checkpoint is being taken: persist whatever the protocol needs
+    /// and truncate obsolete logs.
+    fn on_checkpoint(&mut self, inner: &mut NodeInner) {}
+
+    // ---- crash recovery ----
+
+    /// Transition into recovery after a crash: rebuild replay state from
+    /// stable storage. Called once, right after the volatile state was
+    /// reset to the last checkpoint image.
+    fn begin_recovery(&mut self, inner: &mut NodeInner) {}
+
+    /// Application state restored from the last checkpoint, if any
+    /// (consumed once by the program runner after a crash).
+    fn restored_app_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Currently replaying from the log?
+    fn in_recovery(&self) -> bool {
+        false
+    }
+
+    /// Replay one lock acquire from the log.
+    fn recovery_acquire(&mut self, inner: &mut NodeInner, lock: u32) -> RecoveryStep {
+        RecoveryStep::LogExhausted
+    }
+
+    /// Replay one barrier episode from the log.
+    fn recovery_barrier(&mut self, inner: &mut NodeInner, epoch: u32) -> RecoveryStep {
+        RecoveryStep::LogExhausted
+    }
+
+    /// Service a page fault taken while replaying. Returns
+    /// [`RecoveryStep::LogExhausted`] if the log ran out, in which case
+    /// the driver leaves recovery and fetches live.
+    fn recovery_fault(&mut self, inner: &mut NodeInner, page: PageId, write: bool) -> RecoveryStep {
+        unreachable!("page fault in recovery without a recovery protocol")
+    }
+
+    /// Serve a surviving peer's request for logged diffs (the recovering
+    /// node reconstructs remote copies from writers' stable logs).
+    fn serve_logged_diffs(&mut self, inner: &mut NodeInner, env: &Envelope<Msg>) {
+        // Without logs there is nothing to serve; reply empty so the
+        // requester can fail loudly.
+        if let Msg::LoggedDiffRequest { page, .. } = &env.payload {
+            let done = inner.ctx.service_time(env);
+            let _ = inner.ctx.send_from(
+                done,
+                env.src,
+                Msg::LoggedDiffReply {
+                    page: *page,
+                    diffs: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+/// The paper's "None" baseline: no logging, no recovery support —
+/// a failure means re-execution from the initial state.
+#[derive(Debug, Default)]
+pub struct NoLogging;
+
+impl FaultTolerance for NoLogging {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_logging_defaults() {
+        let ft = NoLogging;
+        assert_eq!(ft.name(), "none");
+        assert!(!ft.in_recovery());
+    }
+}

@@ -1,0 +1,35 @@
+//! # hlrc — home-based lazy release consistency
+//!
+//! The coherence protocol of home-based software DSM (Zhou et al.,
+//! OSDI'96), as used by the paper's modified TreadMarks:
+//!
+//! * every shared page has a fixed **home node** collecting updates
+//!   from all writers;
+//! * writers make **twins** on the first write of an interval and flush
+//!   word-granular **diffs** to the home at each release/barrier;
+//! * **write-invalidation notices** piggyback on lock grants and
+//!   barrier releases; a miss costs one round trip to the home;
+//! * locks have static managers; node 0 manages the barrier.
+//!
+//! The driver is parameterized by a [`FaultTolerance`] implementation —
+//! the hook interface through which the `ftlog` crate plugs in the
+//! paper's ML and CCL logging/recovery protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fault_tolerance;
+pub mod homeless;
+mod msg;
+mod node;
+mod page_table;
+mod sync;
+
+pub use config::{DsmConfig, HomePolicy};
+pub use fault_tolerance::{FaultTolerance, NoLogging, RecoveryStep, SyncKind};
+pub use msg::{Msg, WriteNotice, HEADER_BYTES};
+pub use node::{HlrcNode, NodeInner};
+pub use page_table::{PageEntry, PageTable};
+pub use homeless::{HMsg, HomelessNode};
+pub use sync::{BarrierMgr, LockState, LockTable, PendingAcquire};

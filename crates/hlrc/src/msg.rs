@@ -1,0 +1,502 @@
+//! Protocol messages.
+//!
+//! Every cross-node interaction of the DSM — coherence, synchronization,
+//! and crash recovery — is one of these messages. They carry a real
+//! binary encoding (see [`pagemem::codec`]) so that the traffic and log
+//! byte counts the experiments report are the bytes a socket
+//! implementation would move. `wire_size` adds the UDP/IP-era header
+//! overhead per message.
+
+use pagemem::{
+    ByteReader, ByteWriter, CodecError, Decode, Encode, IntervalId, PageDiff, PageId, VClock,
+};
+use simnet::WireSized;
+
+/// Per-message header overhead on the wire (UDP/IP + DSM header).
+pub const HEADER_BYTES: usize = 32;
+
+/// A write-invalidation notice: "`interval.node` modified `page` during
+/// `interval`". Piggybacked on lock grants and barrier releases; the
+/// receiver invalidates its non-home copy of `page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteNotice {
+    /// The modified page.
+    pub page: PageId,
+    /// The writer's interval in which the modification happened.
+    pub interval: IntervalId,
+}
+
+impl Encode for WriteNotice {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.page);
+        self.interval.encode(w);
+    }
+
+    fn encoded_size(&self) -> usize {
+        4 + 8
+    }
+}
+
+impl Decode for WriteNotice {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(WriteNotice {
+            page: r.get_u32()?,
+            interval: IntervalId::decode(r)?,
+        })
+    }
+}
+
+fn encode_notices(w: &mut ByteWriter, notices: &[WriteNotice]) {
+    w.put_u32(notices.len() as u32);
+    for n in notices {
+        n.encode(w);
+    }
+}
+
+fn decode_notices(r: &mut ByteReader<'_>) -> Result<Vec<WriteNotice>, CodecError> {
+    let n = r.get_u32()? as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(WriteNotice::decode(r)?);
+    }
+    Ok(v)
+}
+
+fn encode_diffs(w: &mut ByteWriter, diffs: &[PageDiff]) {
+    w.put_u32(diffs.len() as u32);
+    for d in diffs {
+        d.encode(w);
+    }
+}
+
+fn decode_diffs(r: &mut ByteReader<'_>) -> Result<Vec<PageDiff>, CodecError> {
+    let n = r.get_u32()? as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(PageDiff::decode(r)?);
+    }
+    Ok(v)
+}
+
+/// One DSM protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Fetch an up-to-date copy of `page` from its home (read/write miss).
+    PageRequest {
+        /// Requested page.
+        page: PageId,
+    },
+    /// Home's reply: the current home copy and its version timestamp.
+    PageReply {
+        /// The page.
+        page: PageId,
+        /// Full page contents.
+        data: Vec<u8>,
+        /// Home-copy version (per-writer applied interval counts).
+        version: VClock,
+    },
+    /// Writer flushes the diffs of its just-ended interval to one home.
+    DiffFlush {
+        /// The writer's interval that produced these diffs.
+        writer: IntervalId,
+        /// Diffs for pages homed at the destination.
+        diffs: Vec<PageDiff>,
+    },
+    /// Home acknowledges application of a [`Msg::DiffFlush`].
+    DiffAck {
+        /// Echo of the flushed interval.
+        writer: IntervalId,
+    },
+    /// Ask the lock manager for ownership of `lock`.
+    LockRequest {
+        /// The lock.
+        lock: u32,
+        /// Acquirer's vector clock (lets the manager filter notices).
+        vc: VClock,
+    },
+    /// Manager grants `lock`, piggybacking the notices the acquirer lacks.
+    LockGrant {
+        /// The lock.
+        lock: u32,
+        /// The lock's release timestamp (acquirer joins with it).
+        vc: VClock,
+        /// Write-invalidation notices the acquirer has not yet seen.
+        notices: Vec<WriteNotice>,
+    },
+    /// Releaser returns `lock` to its manager with its fresh notices.
+    LockRelease {
+        /// The lock.
+        lock: u32,
+        /// Releaser's vector clock at release.
+        vc: VClock,
+        /// Notices the manager's record of this lock does not yet cover.
+        notices: Vec<WriteNotice>,
+    },
+    /// Arrive at the global barrier.
+    BarrierArrive {
+        /// Barrier episode number.
+        epoch: u32,
+        /// Arriving node's vector clock.
+        vc: VClock,
+        /// Notices the arriving node generated/learned since last barrier.
+        notices: Vec<WriteNotice>,
+    },
+    /// Barrier manager releases everyone with the merged notices.
+    BarrierRelease {
+        /// Barrier episode number.
+        epoch: u32,
+        /// Join of all arrivals' clocks.
+        vc: VClock,
+        /// Union of all notices from this episode.
+        notices: Vec<WriteNotice>,
+    },
+    /// Recovery: fetch `page` if the home copy has not advanced past
+    /// `required`; otherwise the home returns its checkpoint base copy.
+    RecoveryPageRequest {
+        /// Requested page.
+        page: PageId,
+        /// The vector timestamp the replayed interval must observe.
+        required: VClock,
+    },
+    /// Reply to [`Msg::RecoveryPageRequest`].
+    RecoveryPageReply {
+        /// The page.
+        page: PageId,
+        /// True if the home copy had advanced and `data` is the
+        /// checkpoint base copy that must be patched with logged diffs.
+        advanced: bool,
+        /// Page contents (current home copy, or checkpoint base).
+        data: Vec<u8>,
+        /// Version of `data`.
+        version: VClock,
+    },
+    /// Recovery: ask a surviving writer for its logged diffs of `page`
+    /// from the given interval sequence numbers.
+    LoggedDiffRequest {
+        /// The page being reconstructed.
+        page: PageId,
+        /// Interval sequence numbers in the writer's numbering.
+        seqs: Vec<u32>,
+    },
+    /// Reply to [`Msg::LoggedDiffRequest`]: the logged diffs, tagged by
+    /// interval, in the writer's interval order.
+    LoggedDiffReply {
+        /// The page.
+        page: PageId,
+        /// (interval, diff) pairs found in the writer's stable log.
+        diffs: Vec<(IntervalId, PageDiff)>,
+    },
+}
+
+impl Msg {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::PageRequest { .. } => "PageRequest",
+            Msg::PageReply { .. } => "PageReply",
+            Msg::DiffFlush { .. } => "DiffFlush",
+            Msg::DiffAck { .. } => "DiffAck",
+            Msg::LockRequest { .. } => "LockRequest",
+            Msg::LockGrant { .. } => "LockGrant",
+            Msg::LockRelease { .. } => "LockRelease",
+            Msg::BarrierArrive { .. } => "BarrierArrive",
+            Msg::BarrierRelease { .. } => "BarrierRelease",
+            Msg::RecoveryPageRequest { .. } => "RecoveryPageRequest",
+            Msg::RecoveryPageReply { .. } => "RecoveryPageReply",
+            Msg::LoggedDiffRequest { .. } => "LoggedDiffRequest",
+            Msg::LoggedDiffReply { .. } => "LoggedDiffReply",
+        }
+    }
+}
+
+impl Encode for Msg {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Msg::PageRequest { page } => {
+                w.put_u8(0);
+                w.put_u32(*page);
+            }
+            Msg::PageReply { page, data, version } => {
+                w.put_u8(1);
+                w.put_u32(*page);
+                w.put_bytes(data);
+                version.encode(w);
+            }
+            Msg::DiffFlush { writer, diffs } => {
+                w.put_u8(2);
+                writer.encode(w);
+                encode_diffs(w, diffs);
+            }
+            Msg::DiffAck { writer } => {
+                w.put_u8(3);
+                writer.encode(w);
+            }
+            Msg::LockRequest { lock, vc } => {
+                w.put_u8(4);
+                w.put_u32(*lock);
+                vc.encode(w);
+            }
+            Msg::LockGrant { lock, vc, notices } => {
+                w.put_u8(5);
+                w.put_u32(*lock);
+                vc.encode(w);
+                encode_notices(w, notices);
+            }
+            Msg::LockRelease { lock, vc, notices } => {
+                w.put_u8(6);
+                w.put_u32(*lock);
+                vc.encode(w);
+                encode_notices(w, notices);
+            }
+            Msg::BarrierArrive { epoch, vc, notices } => {
+                w.put_u8(7);
+                w.put_u32(*epoch);
+                vc.encode(w);
+                encode_notices(w, notices);
+            }
+            Msg::BarrierRelease { epoch, vc, notices } => {
+                w.put_u8(8);
+                w.put_u32(*epoch);
+                vc.encode(w);
+                encode_notices(w, notices);
+            }
+            Msg::RecoveryPageRequest { page, required } => {
+                w.put_u8(9);
+                w.put_u32(*page);
+                required.encode(w);
+            }
+            Msg::RecoveryPageReply {
+                page,
+                advanced,
+                data,
+                version,
+            } => {
+                w.put_u8(10);
+                w.put_u32(*page);
+                w.put_u8(u8::from(*advanced));
+                w.put_bytes(data);
+                version.encode(w);
+            }
+            Msg::LoggedDiffRequest { page, seqs } => {
+                w.put_u8(11);
+                w.put_u32(*page);
+                w.put_u32(seqs.len() as u32);
+                for s in seqs {
+                    w.put_u32(*s);
+                }
+            }
+            Msg::LoggedDiffReply { page, diffs } => {
+                w.put_u8(12);
+                w.put_u32(*page);
+                w.put_u32(diffs.len() as u32);
+                for (iv, d) in diffs {
+                    iv.encode(w);
+                    d.encode(w);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Msg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => Msg::PageRequest { page: r.get_u32()? },
+            1 => Msg::PageReply {
+                page: r.get_u32()?,
+                data: r.get_bytes()?,
+                version: VClock::decode(r)?,
+            },
+            2 => Msg::DiffFlush {
+                writer: IntervalId::decode(r)?,
+                diffs: decode_diffs(r)?,
+            },
+            3 => Msg::DiffAck {
+                writer: IntervalId::decode(r)?,
+            },
+            4 => Msg::LockRequest {
+                lock: r.get_u32()?,
+                vc: VClock::decode(r)?,
+            },
+            5 => Msg::LockGrant {
+                lock: r.get_u32()?,
+                vc: VClock::decode(r)?,
+                notices: decode_notices(r)?,
+            },
+            6 => Msg::LockRelease {
+                lock: r.get_u32()?,
+                vc: VClock::decode(r)?,
+                notices: decode_notices(r)?,
+            },
+            7 => Msg::BarrierArrive {
+                epoch: r.get_u32()?,
+                vc: VClock::decode(r)?,
+                notices: decode_notices(r)?,
+            },
+            8 => Msg::BarrierRelease {
+                epoch: r.get_u32()?,
+                vc: VClock::decode(r)?,
+                notices: decode_notices(r)?,
+            },
+            9 => Msg::RecoveryPageRequest {
+                page: r.get_u32()?,
+                required: VClock::decode(r)?,
+            },
+            10 => Msg::RecoveryPageReply {
+                page: r.get_u32()?,
+                advanced: r.get_u8()? != 0,
+                data: r.get_bytes()?,
+                version: VClock::decode(r)?,
+            },
+            11 => {
+                let page = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut seqs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seqs.push(r.get_u32()?);
+                }
+                Msg::LoggedDiffRequest { page, seqs }
+            }
+            12 => {
+                let page = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut diffs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let iv = IntervalId::decode(r)?;
+                    let d = PageDiff::decode(r)?;
+                    diffs.push((iv, d));
+                }
+                Msg::LoggedDiffReply { page, diffs }
+            }
+            t => {
+                return Err(CodecError::BadTag {
+                    context: "Msg",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl WireSized for Msg {
+    fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.encoded_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagemem::{PageFrame, Twin};
+
+    fn sample_diff() -> PageDiff {
+        let base = PageFrame::zeroed(64);
+        let twin = Twin::of(&base);
+        let mut m = base.clone();
+        m.write_u64(8, 42);
+        PageDiff::create(5, &twin, &m)
+    }
+
+    fn roundtrip(m: Msg) {
+        let bytes = m.encode_to_vec();
+        let back = Msg::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(m.wire_size(), HEADER_BYTES + bytes.len());
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let vc = {
+            let mut v = VClock::new(4);
+            v.set(2, 9);
+            v
+        };
+        let iv = IntervalId { node: 1, seq: 3 };
+        let notice = WriteNotice { page: 7, interval: iv };
+        roundtrip(Msg::PageRequest { page: 3 });
+        roundtrip(Msg::PageReply {
+            page: 3,
+            data: vec![1; 64],
+            version: vc.clone(),
+        });
+        roundtrip(Msg::DiffFlush {
+            writer: iv,
+            diffs: vec![sample_diff()],
+        });
+        roundtrip(Msg::DiffAck { writer: iv });
+        roundtrip(Msg::LockRequest { lock: 2, vc: vc.clone() });
+        roundtrip(Msg::LockGrant {
+            lock: 2,
+            vc: vc.clone(),
+            notices: vec![notice],
+        });
+        roundtrip(Msg::LockRelease {
+            lock: 2,
+            vc: vc.clone(),
+            notices: vec![notice, notice],
+        });
+        roundtrip(Msg::BarrierArrive {
+            epoch: 4,
+            vc: vc.clone(),
+            notices: vec![],
+        });
+        roundtrip(Msg::BarrierRelease {
+            epoch: 4,
+            vc: vc.clone(),
+            notices: vec![notice],
+        });
+        roundtrip(Msg::RecoveryPageRequest {
+            page: 9,
+            required: vc.clone(),
+        });
+        roundtrip(Msg::RecoveryPageReply {
+            page: 9,
+            advanced: true,
+            data: vec![2; 64],
+            version: vc.clone(),
+        });
+        roundtrip(Msg::LoggedDiffRequest {
+            page: 9,
+            seqs: vec![1, 2, 3],
+        });
+        roundtrip(Msg::LoggedDiffReply {
+            page: 9,
+            diffs: vec![(iv, sample_diff())],
+        });
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let e = Msg::decode_from_slice(&[99]).unwrap_err();
+        assert!(matches!(e, CodecError::BadTag { tag: 99, .. }));
+    }
+
+    #[test]
+    fn page_reply_dominates_small_messages() {
+        // The wire-size asymmetry ML-vs-CCL log sizes hinge on: a full
+        // page reply is much bigger than the diff that produced it.
+        let big = Msg::PageReply {
+            page: 0,
+            data: vec![0; 4096],
+            version: VClock::new(8),
+        };
+        let small = Msg::DiffFlush {
+            writer: IntervalId { node: 0, seq: 0 },
+            diffs: vec![sample_diff()],
+        };
+        assert!(big.wire_size() > 10 * small.wire_size());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_eq!(Msg::PageRequest { page: 0 }.kind(), "PageRequest");
+        assert_eq!(
+            Msg::DiffAck {
+                writer: IntervalId { node: 0, seq: 0 }
+            }
+            .kind(),
+            "DiffAck"
+        );
+    }
+}

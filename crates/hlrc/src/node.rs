@@ -1,0 +1,853 @@
+//! The HLRC protocol driver: one instance runs on each cluster node.
+//!
+//! [`NodeInner`] holds the node's protocol state (page table, vector
+//! clock, manager roles); [`HlrcNode`] couples it with a pluggable
+//! [`FaultTolerance`] implementation and drives the home-based lazy
+//! release consistency protocol of Zhou et al. (OSDI'96), which the
+//! paper's modified TreadMarks implements:
+//!
+//! * shared pages have fixed homes; writers collect modifications via
+//!   twins and flush diffs to the home at each release/barrier;
+//! * write-invalidation notices piggyback on lock grants and barrier
+//!   releases; remote copies are invalidated on receipt;
+//! * a page fault on an invalid copy is served by a single round trip
+//!   to the home.
+
+use std::collections::HashMap;
+
+use pagemem::{Access, Fault, IntervalId, PageDiff, PageId, PageState, Twin, VClock};
+use pagemem::Encode;
+use simnet::{Envelope, NodeCtx, NodeId, SimDuration};
+
+use crate::config::DsmConfig;
+use crate::fault_tolerance::{FaultTolerance, RecoveryStep, SyncKind};
+use crate::msg::{Msg, WriteNotice};
+use crate::page_table::PageTable;
+use crate::sync::{BarrierMgr, LockTable, PendingAcquire};
+
+/// Protocol state of one DSM node, independent of the fault-tolerance
+/// layer (which receives `&mut NodeInner` in its hooks).
+pub struct NodeInner {
+    /// The node's machine: clock, network endpoint, disk, stats.
+    pub ctx: NodeCtx<Msg>,
+    /// Cluster configuration.
+    pub cfg: DsmConfig,
+    /// This node's view of every shared page.
+    pub pages: PageTable,
+    /// Intervals whose updates are visible here.
+    pub vc: VClock,
+    /// Sequence number of this node's next interval.
+    pub next_interval: u32,
+    /// Write notices known since the last barrier (own and learned).
+    pub history: Vec<WriteNotice>,
+    /// The merged clock of the last completed barrier.
+    pub last_barrier_vc: VClock,
+    /// Locks this node manages.
+    pub locks: LockTable,
+    /// Barrier-manager state (node 0 only).
+    pub barrier_mgr: Option<BarrierMgr>,
+    /// For locks currently held: the lock's clock at grant time
+    /// (release sends only notices the manager cannot already know).
+    pub lock_grant_vcs: HashMap<u32, VClock>,
+    /// This node's next barrier episode.
+    pub barrier_epoch: u32,
+    /// Messages deferred while replaying from the log after a crash.
+    pub deferred: Vec<Envelope<Msg>>,
+    /// Completed synchronization operations (failure injection hooks
+    /// count these).
+    pub sync_events: u64,
+    /// Virtual time of the simulated crash, if one was injected.
+    pub crashed_at: Option<simnet::SimTime>,
+    /// Virtual time at which log replay finished and the node resumed
+    /// live operation (recovery time = `recovery_exit - crashed_at`).
+    pub recovery_exit: Option<simnet::SimTime>,
+}
+
+impl NodeInner {
+    /// Build the protocol state for the node owning `ctx`.
+    pub fn new(ctx: NodeCtx<Msg>, cfg: DsmConfig) -> NodeInner {
+        let me = ctx.id();
+        let n = cfg.n_nodes;
+        assert_eq!(ctx.n_nodes(), n, "cluster size mismatch");
+        NodeInner {
+            pages: PageTable::new(&cfg, me),
+            vc: VClock::new(n),
+            next_interval: 0,
+            history: Vec::new(),
+            last_barrier_vc: VClock::new(n),
+            locks: LockTable::new(n),
+            barrier_mgr: (me == cfg.barrier_manager()).then(|| BarrierMgr::new(n)),
+            lock_grant_vcs: HashMap::new(),
+            barrier_epoch: 0,
+            deferred: Vec::new(),
+            sync_events: 0,
+            crashed_at: None,
+            recovery_exit: None,
+            cfg,
+            ctx,
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.ctx.id()
+    }
+
+    /// Block until a message matching `pred` arrives, deferring every
+    /// other message. Used only during crash recovery, where all normal
+    /// protocol service is postponed until replay finishes.
+    pub fn wait_for_deferring<F: Fn(&Msg) -> bool>(&mut self, pred: F) -> Envelope<Msg> {
+        loop {
+            let env = self.ctx.recv().expect("cluster channel closed");
+            if pred(&env.payload) {
+                self.ctx.absorb(&env);
+                return env;
+            }
+            self.deferred.push(env);
+        }
+    }
+
+    /// The interval id this node's *current* (open) interval will get.
+    pub fn current_interval(&self) -> IntervalId {
+        IntervalId {
+            node: self.me() as u32,
+            seq: self.next_interval,
+        }
+    }
+
+    /// During replay, close the current interval locally: the diffs it
+    /// originally flushed are already part of the surviving homes'
+    /// state, so only the bookkeeping (interval number, notices, twins)
+    /// advances. Recovery protocols call this when they find the next
+    /// synchronization record in the log.
+    pub fn replay_close_interval(&mut self) {
+        let dirty = self.pages.dirty_pages();
+        if dirty.is_empty() {
+            return;
+        }
+        let iv = self.current_interval();
+        self.next_interval += 1;
+        self.vc.observe(iv);
+        let me = self.me();
+        for p in dirty {
+            self.history.push(WriteNotice { page: p, interval: iv });
+            let e = self.pages.entry_mut(p);
+            e.dirty = false;
+            if e.home == me {
+                e.version.as_mut().expect("home version").observe(iv);
+                e.twin = None;
+            } else {
+                e.twin = None;
+                e.state = PageState::ReadOnly;
+            }
+        }
+    }
+}
+
+/// A DSM node: HLRC coherence plus a pluggable fault-tolerance layer.
+pub struct HlrcNode {
+    /// Protocol state.
+    pub inner: NodeInner,
+    /// Logging/recovery protocol (None / ML / CCL).
+    pub ft: Box<dyn FaultTolerance>,
+}
+
+impl HlrcNode {
+    /// Create the node with the given fault-tolerance protocol.
+    pub fn new(ctx: NodeCtx<Msg>, cfg: DsmConfig, ft: Box<dyn FaultTolerance>) -> HlrcNode {
+        HlrcNode {
+            inner: NodeInner::new(ctx, cfg),
+            ft,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Data access
+    // ---------------------------------------------------------------
+
+    /// Make `page` accessible with `access`, running the fault handler
+    /// if the protection state requires it. This is the software stand-in
+    /// for the mprotect/SIGSEGV trap (see DESIGN.md).
+    pub fn ensure_access(&mut self, page: PageId, access: Access) {
+        self.pump();
+        let me_home = self.inner.pages.is_home(page);
+        if me_home {
+            // Home copies never miss; the first write of an interval
+            // takes a cheap write-detection trap to produce a notice.
+            if access == Access::Write && !self.inner.pages.entry(page).dirty {
+                let trap = self.inner.ctx.cost.cpu.fault_trap;
+                self.inner.ctx.advance(trap);
+                self.inner.ctx.stats.write_faults += 1;
+                if self.ft.needs_home_write_twins()
+                    && self.inner.pages.entry(page).remote_fetched
+                {
+                    // CCL: snapshot the home copy so the end-of-interval
+                    // diff of the home's own writes can be logged for
+                    // peers' recovery reconstruction.
+                    let page_size = self.inner.pages.page_size();
+                    self.inner.ctx.charge_copy(page_size);
+                    self.inner.ctx.stats.twins_created += 1;
+                    let e = self.inner.pages.entry_mut(page);
+                    e.twin = Some(Twin::of(e.frame.as_ref().expect("home frame")));
+                }
+                self.inner.pages.entry_mut(page).dirty = true;
+            }
+            return;
+        }
+        let state = self.inner.pages.entry(page).state;
+        match state.fault_for(access) {
+            None => {}
+            Some(fault) => {
+                let trap = self.inner.ctx.cost.cpu.fault_trap;
+                self.inner.ctx.advance(trap);
+                match fault {
+                    Fault::ReadMiss => self.inner.ctx.stats.read_faults += 1,
+                    Fault::WriteMiss | Fault::WriteUpgrade => {
+                        self.inner.ctx.stats.write_faults += 1
+                    }
+                }
+                if matches!(fault, Fault::ReadMiss | Fault::WriteMiss) {
+                    if self.ft.in_recovery() {
+                        let step = self
+                            .ft
+                            .recovery_fault(&mut self.inner, page, access == Access::Write);
+                        if step == RecoveryStep::LogExhausted {
+                            self.leave_recovery();
+                            self.fetch_page(page);
+                        } else if !self.ft.in_recovery() {
+                            self.leave_recovery();
+                        }
+                    } else {
+                        self.fetch_page(page);
+                    }
+                }
+                if access == Access::Write {
+                    // Upgrade: snapshot a twin and open write collection.
+                    let page_size = self.inner.pages.page_size();
+                    self.inner.ctx.charge_copy(page_size);
+                    self.inner.ctx.stats.twins_created += 1;
+                    let e = self.inner.pages.entry_mut(page);
+                    let twin = Twin::of(e.frame.as_ref().expect("frame after fetch"));
+                    e.twin = Some(twin);
+                    e.dirty = true;
+                    e.state = PageState::Writable;
+                }
+            }
+        }
+    }
+
+    /// Read access to the frame of `page` (after `ensure_access`).
+    pub fn frame(&self, page: PageId) -> &pagemem::PageFrame {
+        self.inner.pages.frame(page)
+    }
+
+    /// Write access to the frame of `page` (after `ensure_access`).
+    pub fn frame_mut(&mut self, page: PageId) -> &mut pagemem::PageFrame {
+        debug_assert!(
+            self.inner.pages.is_home(page)
+                || self.inner.pages.entry(page).state == PageState::Writable,
+            "write access without write permission on page {page}"
+        );
+        self.inner.pages.frame_mut(page)
+    }
+
+    /// Convenience scalar accessors (examples and tests; applications
+    /// use the typed views in `ccl-core`).
+    pub fn read_u64(&mut self, addr: usize) -> u64 {
+        let (p, off) = self.locate(addr);
+        self.ensure_access(p, Access::Read);
+        self.frame(p).read_u64(off)
+    }
+
+    /// Write a u64 at byte address `addr` in the shared space.
+    pub fn write_u64(&mut self, addr: usize, v: u64) {
+        let (p, off) = self.locate(addr);
+        self.ensure_access(p, Access::Write);
+        self.frame_mut(p).write_u64(off, v);
+    }
+
+    /// Read an f64 at byte address `addr`.
+    pub fn read_f64(&mut self, addr: usize) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an f64 at byte address `addr`.
+    pub fn write_f64(&mut self, addr: usize, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    fn locate(&self, addr: usize) -> (PageId, usize) {
+        let l = self.inner.cfg.layout;
+        (l.page_of(addr), l.offset_of(addr))
+    }
+
+    fn fetch_page(&mut self, page: PageId) {
+        let home = self.inner.pages.entry(page).home;
+        self.inner.ctx.stats.page_fetches += 1;
+        self.inner
+            .ctx
+            .send(home, Msg::PageRequest { page })
+            .expect("send page request");
+        let env = self.wait_for(|m| matches!(m, Msg::PageReply { page: p, .. } if *p == page));
+        let page_size = self.inner.pages.page_size();
+        self.inner.ctx.charge_copy(page_size);
+        self.ft.on_incoming(&mut self.inner, &env.payload);
+        if let Msg::PageReply { data, .. } = env.payload {
+            self.inner.pages.install_copy(page, &data, PageState::ReadOnly);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization
+    // ---------------------------------------------------------------
+
+    /// Acquire a global lock.
+    pub fn acquire(&mut self, lock: u32) {
+        self.inner.sync_events += 1;
+        if self.ft.in_recovery() {
+            match self.ft.recovery_acquire(&mut self.inner, lock) {
+                RecoveryStep::Replayed => {
+                    self.inner.ctx.stats.lock_acquires += 1;
+                    if !self.ft.in_recovery() {
+                        self.leave_recovery();
+                    }
+                    return;
+                }
+                RecoveryStep::LogExhausted => self.leave_recovery(),
+            }
+        }
+        // LRC: an acquire delimits the current interval.
+        self.end_interval();
+        let mgr = self.inner.cfg.lock_manager(lock);
+        let vc = self.inner.vc.clone();
+        self.inner
+            .ctx
+            .send(mgr, Msg::LockRequest { lock, vc })
+            .expect("send lock request");
+        let env = self.wait_for(|m| matches!(m, Msg::LockGrant { lock: l, .. } if *l == lock));
+        self.ft.on_incoming(&mut self.inner, &env.payload);
+        if let Msg::LockGrant { vc, notices, .. } = env.payload {
+            self.apply_sync_notices(SyncKind::Acquire(lock), &notices, &vc);
+            self.inner.lock_grant_vcs.insert(lock, vc);
+        }
+        self.inner.ctx.stats.lock_acquires += 1;
+    }
+
+    /// Release a global lock.
+    pub fn release(&mut self, lock: u32) {
+        self.inner.sync_events += 1;
+        if self.ft.in_recovery() {
+            // Replay: diffs are already at their homes (they were flushed
+            // before the crash); only advance the interval bookkeeping.
+            self.inner.replay_close_interval();
+            return;
+        }
+        self.end_interval();
+        let grant_vc = self
+            .inner
+            .lock_grant_vcs
+            .remove(&lock)
+            .unwrap_or_else(|| VClock::new(self.inner.cfg.n_nodes));
+        let notices: Vec<WriteNotice> = self
+            .inner
+            .history
+            .iter()
+            .filter(|n| !grant_vc.covers(n.interval))
+            .copied()
+            .collect();
+        let mgr = self.inner.cfg.lock_manager(lock);
+        let vc = self.inner.vc.clone();
+        self.inner
+            .ctx
+            .send(mgr, Msg::LockRelease { lock, vc, notices })
+            .expect("send lock release");
+    }
+
+    /// Global barrier across all nodes.
+    pub fn barrier(&mut self) {
+        self.inner.sync_events += 1;
+        let epoch = self.inner.barrier_epoch;
+        if self.ft.in_recovery() {
+            match self.ft.recovery_barrier(&mut self.inner, epoch) {
+                RecoveryStep::Replayed => {
+                    self.inner.barrier_epoch += 1;
+                    self.inner.ctx.stats.barriers += 1;
+                    if !self.ft.in_recovery() {
+                        self.leave_recovery();
+                    }
+                    return;
+                }
+                RecoveryStep::LogExhausted => self.leave_recovery(),
+            }
+        }
+        self.end_interval();
+        self.inner.barrier_epoch += 1;
+        let notices: Vec<WriteNotice> = self
+            .inner
+            .history
+            .iter()
+            .filter(|n| !self.inner.last_barrier_vc.covers(n.interval))
+            .copied()
+            .collect();
+        let me = self.inner.me();
+        if me == self.inner.cfg.barrier_manager() {
+            let now = self.inner.ctx.now();
+            let vc = self.inner.vc.clone();
+            let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
+            mgr.arrive(me, &vc, &notices, now);
+            while self
+                .inner
+                .barrier_mgr
+                .as_ref()
+                .expect("manager state")
+                .arrived_count()
+                < self.inner.cfg.n_nodes
+            {
+                let env = self.inner.ctx.recv().expect("cluster channel closed");
+                self.handle_async(env, false);
+            }
+            let handler = self.inner.ctx.cost.cpu.message_handler;
+            let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
+            let release_time = mgr.latest_arrival.max(now) + handler;
+            let merged_vc = mgr.merged_vc.clone();
+            let merged_notices = std::mem::take(&mut mgr.merged_notices);
+            mgr.reset();
+            for node in 0..self.inner.cfg.n_nodes {
+                if node != me {
+                    self.inner
+                        .ctx
+                        .send_from(
+                            release_time,
+                            node,
+                            Msg::BarrierRelease {
+                                epoch,
+                                vc: merged_vc.clone(),
+                                notices: merged_notices.clone(),
+                            },
+                        )
+                        .expect("send barrier release");
+                }
+            }
+            self.inner.ctx.wait_until(release_time);
+            // The manager logs the (self-directed) release like everyone
+            // else, so ML replay sees the same record stream.
+            let own_release = Msg::BarrierRelease {
+                epoch,
+                vc: merged_vc.clone(),
+                notices: merged_notices.clone(),
+            };
+            self.ft.on_incoming(&mut self.inner, &own_release);
+            self.apply_sync_notices(SyncKind::Barrier(epoch), &merged_notices, &merged_vc);
+        } else {
+            let vc = self.inner.vc.clone();
+            self.inner
+                .ctx
+                .send(
+                    self.inner.cfg.barrier_manager(),
+                    Msg::BarrierArrive { epoch, vc, notices },
+                )
+                .expect("send barrier arrive");
+            let env =
+                self.wait_for(|m| matches!(m, Msg::BarrierRelease { epoch: e, .. } if *e == epoch));
+            self.ft.on_incoming(&mut self.inner, &env.payload);
+            if let Msg::BarrierRelease { vc, notices, .. } = env.payload {
+                self.apply_sync_notices(SyncKind::Barrier(epoch), &notices, &vc);
+            }
+        }
+        self.inner.last_barrier_vc = self.inner.vc.clone();
+        let lb = self.inner.last_barrier_vc.clone();
+        self.inner.history.retain(|n| !lb.covers(n.interval));
+        self.inner.ctx.stats.barriers += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Interval management
+    // ---------------------------------------------------------------
+
+    /// Close the current interval: create diffs for dirtied pages, flush
+    /// them to their homes, wait for acks, and run the logging protocol's
+    /// flush hooks. No-op (except the ML flush) when nothing was written.
+    fn end_interval(&mut self) {
+        self.pump();
+        // ML flushes its volatile log of incoming messages before the
+        // node communicates — fully on the critical path.
+        let pre = self.ft.flush_before_send(&mut self.inner);
+        if pre > SimDuration::ZERO {
+            self.inner.ctx.advance(pre);
+            self.inner.ctx.stats.disk_time += pre;
+        }
+        let dirty = self.inner.pages.dirty_pages();
+        if dirty.is_empty() {
+            return;
+        }
+        let iv = self.inner.current_interval();
+        self.inner.next_interval += 1;
+        self.inner.vc.observe(iv);
+        let page_size = self.inner.pages.page_size();
+
+        let mut per_home: HashMap<NodeId, Vec<PageDiff>> = HashMap::new();
+        let mut all_diffs: Vec<PageDiff> = Vec::new();
+        let mut home_diffs: Vec<PageDiff> = Vec::new();
+        for &p in &dirty {
+            self.inner
+                .history
+                .push(WriteNotice { page: p, interval: iv });
+            let me = self.inner.me();
+            let e = self.inner.pages.entry_mut(p);
+            e.dirty = false;
+            if e.home == me {
+                // Home writes update the home copy in place; only the
+                // version advances. With a logging protocol that needs
+                // it, diff the home's own writes into the log set (but
+                // never onto the wire).
+                e.version.as_mut().expect("home version").observe(iv);
+                if let Some(twin) = e.twin.take() {
+                    let frame = e.frame.as_ref().expect("home frame");
+                    let diff = PageDiff::create(p, &twin, frame);
+                    self.inner.ctx.charge_copy(2 * page_size);
+                    if !diff.is_empty() {
+                        home_diffs.push(diff);
+                    }
+                }
+                continue;
+            }
+            let twin = e.twin.take().expect("dirty non-home page without twin");
+            e.state = PageState::ReadOnly;
+            let home = e.home;
+            let frame = e.frame.as_ref().expect("dirty page without frame");
+            let diff = PageDiff::create(p, &twin, frame);
+            // Word-compare of page against twin plus encoding.
+            self.inner.ctx.charge_copy(2 * page_size);
+            self.inner.ctx.stats.diffs_created += 1;
+            self.inner.ctx.stats.diff_bytes += diff.encoded_size() as u64;
+            if diff.is_empty() {
+                continue; // silent write (same values): nothing to flush
+            }
+            per_home.entry(home).or_default().push(diff.clone());
+            all_diffs.push(diff);
+        }
+        self.ft.on_diffs_created(&mut self.inner, iv, &all_diffs);
+        if !home_diffs.is_empty() {
+            self.ft.on_home_diffs(&mut self.inner, iv, &home_diffs);
+        }
+
+        let n_flushes = per_home.len();
+        for (home, diffs) in per_home {
+            self.inner
+                .ctx
+                .send(home, Msg::DiffFlush { writer: iv, diffs })
+                .expect("send diff flush");
+        }
+        // CCL issues its log flush here so the disk access proceeds in
+        // parallel with the diff round-trips.
+        let (post, overlappable) = self.ft.flush_after_send(&mut self.inner);
+        let t0 = self.inner.ctx.now();
+        let mut pending = n_flushes;
+        while pending > 0 {
+            let env =
+                self.wait_for(|m| matches!(m, Msg::DiffAck { writer } if *writer == iv));
+            let _ = env;
+            pending -= 1;
+        }
+        let waited = self.inner.ctx.now() - t0;
+        if post > SimDuration::ZERO {
+            if overlappable {
+                let hidden = post.as_nanos().min(waited.as_nanos());
+                self.inner.ctx.stats.disk_time_overlapped += SimDuration(hidden);
+                let residual = post.saturating_sub(waited);
+                if residual > SimDuration::ZERO {
+                    self.inner.ctx.advance(residual);
+                    self.inner.ctx.stats.disk_time += residual;
+                }
+            } else {
+                self.inner.ctx.advance(post);
+                self.inner.ctx.stats.disk_time += post;
+            }
+        }
+    }
+
+    /// Process incoming notices at an acquire/barrier: invalidate named
+    /// remote copies, extend the notice history, merge the clock.
+    fn apply_sync_notices(&mut self, kind: SyncKind, notices: &[WriteNotice], vc_in: &VClock) {
+        let me = self.inner.me() as u32;
+        // Freshness is judged against the clock as it stood *before*
+        // this batch: several notices share one interval (one per page
+        // written in it), and observing the interval at the first one
+        // must not mask its siblings.
+        let vc_before = self.inner.vc.clone();
+        let mut fresh: Vec<WriteNotice> = Vec::new();
+        for n in notices {
+            if vc_before.covers(n.interval) || fresh.contains(n) {
+                continue;
+            }
+            fresh.push(*n);
+            self.inner.vc.observe(n.interval);
+            self.inner.history.push(*n);
+            if n.interval.node != me && !self.inner.pages.is_home(n.page) {
+                debug_assert!(
+                    self.inner.pages.entry(n.page).twin.is_none(),
+                    "invalidation of a page with an open twin: intervals \
+                     must be delimited before notices are applied"
+                );
+                self.inner.pages.invalidate(n.page);
+            }
+        }
+        self.inner.vc.join(vc_in);
+        let vc = self.inner.vc.clone();
+        self.ft.on_notices(&mut self.inner, kind, &fresh, &vc);
+    }
+
+    // ---------------------------------------------------------------
+    // Message service
+    // ---------------------------------------------------------------
+
+    /// Drain the inbox, servicing requests (called at fault/sync points
+    /// and whenever the node blocks). While replaying from the log after
+    /// a crash, everything is deferred instead: serving a peer from a
+    /// half-restored memory image would hand out corrupt data.
+    pub fn pump(&mut self) {
+        if self.ft.in_recovery() {
+            while let Some(env) = self.inner.ctx.try_recv() {
+                self.inner.deferred.push(env);
+            }
+            return;
+        }
+        while let Some(env) = self.inner.ctx.try_recv() {
+            self.handle_async(env, false);
+        }
+    }
+
+    /// Block until a message matching `pred` arrives, servicing all
+    /// other traffic asynchronously. During recovery, unrelated traffic
+    /// is deferred instead (survivors' requests wait until replay ends).
+    fn wait_for<F: Fn(&Msg) -> bool>(&mut self, pred: F) -> Envelope<Msg> {
+        loop {
+            let env = self.inner.ctx.recv().expect("cluster channel closed");
+            if pred(&env.payload) {
+                self.inner.ctx.absorb(&env);
+                return env;
+            }
+            if self.ft.in_recovery() {
+                self.inner.deferred.push(env);
+            } else {
+                self.handle_async(env, false);
+            }
+        }
+    }
+
+    /// Log replay has finished: stamp the recovery end time and service
+    /// everything that was deferred while replaying.
+    fn leave_recovery(&mut self) {
+        if self.inner.recovery_exit.is_none() {
+            self.inner.recovery_exit = Some(self.inner.ctx.now());
+        }
+        self.drain_deferred();
+    }
+
+    /// Process messages deferred during recovery, in arrival order.
+    fn drain_deferred(&mut self) {
+        let deferred = std::mem::take(&mut self.inner.deferred);
+        for env in deferred {
+            self.handle_async(env, true);
+        }
+    }
+
+    /// Service one asynchronous protocol message. `deferred` marks
+    /// messages replayed after recovery, whose service time is "now"
+    /// rather than their (long past) arrival time.
+    fn handle_async(&mut self, env: Envelope<Msg>, deferred: bool) {
+        let handler = self.inner.ctx.cost.cpu.message_handler;
+        let base = if deferred {
+            env.arrive_at.max(self.inner.ctx.now())
+        } else {
+            env.arrive_at
+        };
+        let done = base + handler;
+        match &env.payload {
+            Msg::PageRequest { page } => {
+                let page = *page;
+                debug_assert!(self.inner.pages.is_home(page), "page request at non-home");
+                self.inner
+                    .pages
+                    .note_remote_fetch(page, self.ft.needs_home_write_twins());
+                let e = self.inner.pages.entry(page);
+                let data = e.frame.as_ref().expect("home frame").bytes().to_vec();
+                let version = e.version.clone().expect("home version");
+                let copy_cost = self.inner.ctx.cost.cpu.copy(data.len());
+                self.inner
+                    .ctx
+                    .send_from(done + copy_cost, env.src, Msg::PageReply { page, data, version })
+                    .expect("send page reply");
+            }
+            Msg::DiffFlush { writer, diffs } => {
+                self.ft.on_incoming(&mut self.inner, &env.payload);
+                let payload: usize = diffs.iter().map(|d| d.encoded_size()).sum();
+                let copy_cost = self.inner.ctx.cost.cpu.copy(payload);
+                let mut pages = Vec::with_capacity(diffs.len());
+                for d in diffs {
+                    self.inner.pages.apply_home_diff(d, *writer);
+                    pages.push(d.page);
+                }
+                self.ft.on_updates_applied(&mut self.inner, *writer, &pages);
+                self.inner
+                    .ctx
+                    .send_from(done + copy_cost, env.src, Msg::DiffAck { writer: *writer })
+                    .expect("send diff ack");
+            }
+            Msg::LockRequest { lock, vc } => {
+                let lock = *lock;
+                debug_assert_eq!(
+                    self.inner.cfg.lock_manager(lock),
+                    self.inner.me(),
+                    "lock request at non-manager"
+                );
+                let st = self.inner.locks.state_mut(lock);
+                if st.held {
+                    st.queue.push_back(PendingAcquire {
+                        node: env.src,
+                        vc: vc.clone(),
+                        arrive: env.arrive_at,
+                    });
+                } else {
+                    st.held = true;
+                    let grant_at = done.max(st.last_release + handler);
+                    let notices = st.notices_for(vc);
+                    let lvc = st.vc.clone();
+                    self.inner
+                        .ctx
+                        .send_from(
+                            grant_at,
+                            env.src,
+                            Msg::LockGrant {
+                                lock,
+                                vc: lvc,
+                                notices,
+                            },
+                        )
+                        .expect("send lock grant");
+                }
+            }
+            Msg::LockRelease { lock, vc, notices } => {
+                let lock = *lock;
+                let st = self.inner.locks.state_mut(lock);
+                st.record_release(vc, notices, env.arrive_at);
+                if let Some(next) = st.queue.pop_front() {
+                    st.held = true;
+                    let grant_at = done.max(next.arrive + handler);
+                    let out_notices = st.notices_for(&next.vc);
+                    let lvc = st.vc.clone();
+                    self.inner
+                        .ctx
+                        .send_from(
+                            grant_at,
+                            next.node,
+                            Msg::LockGrant {
+                                lock,
+                                vc: lvc,
+                                notices: out_notices,
+                            },
+                        )
+                        .expect("send queued lock grant");
+                }
+            }
+            Msg::BarrierArrive { epoch, vc, notices } => {
+                debug_assert_eq!(
+                    self.inner.me(),
+                    self.inner.cfg.barrier_manager(),
+                    "barrier arrive at non-manager"
+                );
+                // If the manager is already inside barrier(), its own
+                // epoch counter has advanced past the arrivals' epoch.
+                debug_assert!(
+                    *epoch == self.inner.barrier_epoch
+                        || *epoch + 1 == self.inner.barrier_epoch,
+                    "barrier epoch skew: arrival {} vs manager {}",
+                    epoch,
+                    self.inner.barrier_epoch
+                );
+                let at = env.arrive_at;
+                self.inner
+                    .barrier_mgr
+                    .as_mut()
+                    .expect("barrier manager state")
+                    .arrive(env.src, vc, notices, at);
+            }
+            Msg::RecoveryPageRequest { page, required } => {
+                let page = *page;
+                debug_assert!(self.inner.pages.is_home(page));
+                self.inner
+                    .pages
+                    .note_remote_fetch(page, self.ft.needs_home_write_twins());
+                let e = self.inner.pages.entry(page);
+                let version = e.version.clone().expect("home version");
+                let (advanced, data, version) = if version.dominated_by(required) {
+                    (
+                        false,
+                        e.frame.as_ref().expect("home frame").bytes().to_vec(),
+                        version,
+                    )
+                } else {
+                    (
+                        true,
+                        e.base.as_ref().expect("home base").bytes().to_vec(),
+                        e.base_version.clone().expect("base version"),
+                    )
+                };
+                let copy_cost = self.inner.ctx.cost.cpu.copy(data.len());
+                self.inner
+                    .ctx
+                    .send_from(
+                        done + copy_cost,
+                        env.src,
+                        Msg::RecoveryPageReply {
+                            page,
+                            advanced,
+                            data,
+                            version,
+                        },
+                    )
+                    .expect("send recovery page reply");
+            }
+            Msg::LoggedDiffRequest { .. } => {
+                self.ft.serve_logged_diffs(&mut self.inner, &env);
+            }
+            other => unreachable!(
+                "unexpected asynchronous message {} at node {}",
+                other.kind(),
+                self.inner.me()
+            ),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Crash / recovery entry
+    // ---------------------------------------------------------------
+
+    /// Simulate a crash of this node: volatile state (page frames,
+    /// clocks, manager tables) reverts to the last checkpoint image;
+    /// stable storage survives. The fault-tolerance layer then prepares
+    /// replay. The caller restarts the application program.
+    pub fn crash_and_reset(&mut self) {
+        let n = self.inner.cfg.n_nodes;
+        self.inner.crashed_at = Some(self.inner.ctx.now());
+        self.inner.recovery_exit = None;
+        self.inner.pages.reset_to_base();
+        self.inner.vc = VClock::new(n);
+        self.inner.next_interval = 0;
+        self.inner.history.clear();
+        self.inner.last_barrier_vc = VClock::new(n);
+        self.inner.locks.clear();
+        if let Some(mgr) = self.inner.barrier_mgr.as_mut() {
+            *mgr = BarrierMgr::new(n);
+        }
+        self.inner.lock_grant_vcs.clear();
+        self.inner.barrier_epoch = 0;
+        self.inner.sync_events = 0;
+        self.ft.begin_recovery(&mut self.inner);
+    }
+
+    /// Total encoded bytes of a message (diagnostics helper).
+    pub fn msg_bytes(msg: &Msg) -> usize {
+        msg.encoded_size()
+    }
+}

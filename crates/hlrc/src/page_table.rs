@@ -1,0 +1,348 @@
+//! Per-node page table: the DSM's view of every shared page.
+
+use pagemem::{PageDiff, PageFrame, PageId, PageState, Twin, VClock};
+use simnet::NodeId;
+
+use crate::config::DsmConfig;
+
+/// One shared page as seen by one node.
+#[derive(Debug, Clone)]
+pub struct PageEntry {
+    /// The page's home node (static).
+    pub home: NodeId,
+    /// Local protection state. Home copies are born `ReadOnly` (write
+    /// detection re-armed each interval) and are never invalidated.
+    pub state: PageState,
+    /// Local frame, if a copy exists. Home copies always exist.
+    pub frame: Option<PageFrame>,
+    /// Twin taken at the first write of the current interval (non-home).
+    pub twin: Option<Twin>,
+    /// Home-copy version: per-writer count of applied intervals.
+    /// `Some` only at the home node.
+    pub version: Option<VClock>,
+    /// Last checkpointed home copy (initially all zeros); the base from
+    /// which recovery reconstructs when the live copy has advanced.
+    /// `Some` only at the home node.
+    pub base: Option<PageFrame>,
+    /// Version of `base`.
+    pub base_version: Option<VClock>,
+    /// Written during the current interval?
+    pub dirty: bool,
+    /// Home-side: has any remote node ever fetched this page? Only such
+    /// pages can need recovery reconstruction, so only they pay the
+    /// home-write twin/diff cost under CCL.
+    pub remote_fetched: bool,
+    /// Non-home side: was a copy ever installed here? Recovery prefetch
+    /// restores only pages the (deterministically replayed) execution
+    /// actually caches.
+    pub was_cached: bool,
+}
+
+/// The full table for one node.
+#[derive(Debug)]
+pub struct PageTable {
+    entries: Vec<PageEntry>,
+    page_size: usize,
+    me: NodeId,
+    n_nodes: usize,
+}
+
+impl PageTable {
+    /// Build the table for node `me`: home pages get zeroed frames and
+    /// zeroed version clocks; remote pages start `Invalid` with no frame.
+    pub fn new(cfg: &DsmConfig, me: NodeId) -> PageTable {
+        let page_size = cfg.layout.page_size();
+        let entries = (0..cfg.n_pages)
+            .map(|p| {
+                let home = cfg.home_of(p);
+                if home == me {
+                    PageEntry {
+                        home,
+                        state: PageState::ReadOnly,
+                        frame: Some(PageFrame::zeroed(page_size)),
+                        twin: None,
+                        version: Some(VClock::new(cfg.n_nodes)),
+                        base: Some(PageFrame::zeroed(page_size)),
+                        base_version: Some(VClock::new(cfg.n_nodes)),
+                        dirty: false,
+                        remote_fetched: false,
+                        was_cached: false,
+                    }
+                } else {
+                    PageEntry {
+                        home,
+                        state: PageState::Invalid,
+                        frame: None,
+                        twin: None,
+                        version: None,
+                        base: None,
+                        base_version: None,
+                        dirty: false,
+                        remote_fetched: false,
+                        was_cached: false,
+                    }
+                }
+            })
+            .collect();
+        PageTable {
+            entries,
+            page_size,
+            me,
+            n_nodes: cfg.n_nodes,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is `page` homed at this node?
+    pub fn is_home(&self, page: PageId) -> bool {
+        self.entries[page as usize].home == self.me
+    }
+
+    /// Shared view of an entry.
+    pub fn entry(&self, page: PageId) -> &PageEntry {
+        &self.entries[page as usize]
+    }
+
+    /// Mutable view of an entry.
+    pub fn entry_mut(&mut self, page: PageId) -> &mut PageEntry {
+        &mut self.entries[page as usize]
+    }
+
+    /// The local frame of `page`.
+    ///
+    /// # Panics
+    /// Panics if no local copy exists (protocol bug: access without
+    /// `ensure_access`).
+    pub fn frame(&self, page: PageId) -> &PageFrame {
+        self.entries[page as usize]
+            .frame
+            .as_ref()
+            .expect("access to page without a local copy")
+    }
+
+    /// Mutable local frame of `page`.
+    pub fn frame_mut(&mut self, page: PageId) -> &mut PageFrame {
+        self.entries[page as usize]
+            .frame
+            .as_mut()
+            .expect("write to page without a local copy")
+    }
+
+    /// Pages dirtied in the current interval.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dirty)
+            .map(|(p, _)| p as PageId)
+            .collect()
+    }
+
+    /// Install a fetched copy of a non-home page.
+    pub fn install_copy(&mut self, page: PageId, data: &[u8], state: PageState) {
+        let e = &mut self.entries[page as usize];
+        debug_assert_ne!(e.home, self.me, "installing a copy of a home page");
+        e.frame = Some(PageFrame::from_bytes(data));
+        e.state = state;
+        e.was_cached = true;
+    }
+
+    /// Drop the local copy of a non-home page (write-invalidation).
+    pub fn invalidate(&mut self, page: PageId) {
+        let e = &mut self.entries[page as usize];
+        debug_assert_ne!(e.home, self.me, "invalidating a home page");
+        e.frame = None;
+        e.twin = None;
+        e.state = PageState::Invalid;
+        e.dirty = false;
+    }
+
+    /// Apply a writer's diff to the home copy, bumping its version.
+    pub fn apply_home_diff(&mut self, diff: &PageDiff, writer: pagemem::IntervalId) {
+        let e = &mut self.entries[diff.page as usize];
+        debug_assert_eq!(e.home, self.me, "diff flushed to a non-home node");
+        diff.apply(e.frame.as_mut().expect("home frame missing"));
+        e.version
+            .as_mut()
+            .expect("home version missing")
+            .observe(writer);
+    }
+
+    /// Reset all volatile state to the post-checkpoint image: home copies
+    /// revert to their checkpoint base, remote copies are dropped.
+    /// Stable storage (the disk) is *not* touched — that is the point.
+    pub fn reset_to_base(&mut self) {
+        for e in &mut self.entries {
+            e.twin = None;
+            e.dirty = false;
+            e.remote_fetched = false;
+            e.was_cached = false;
+            if e.home == self.me {
+                let base = e.base.as_ref().expect("home base missing").clone();
+                e.frame = Some(base);
+                e.version = e.base_version.clone();
+                e.state = PageState::ReadOnly;
+            } else {
+                e.frame = None;
+                e.state = PageState::Invalid;
+            }
+        }
+    }
+
+    /// Promote current home copies to be the new checkpoint base
+    /// (called when a checkpoint is taken).
+    pub fn promote_base(&mut self) {
+        for e in &mut self.entries {
+            if e.home == self.me {
+                e.base = e.frame.clone();
+                e.base_version = e.version.clone();
+            }
+        }
+    }
+
+    /// Reassign `page`'s home (explicit data distribution, as the
+    /// paper-era applications do). Must be called identically on every
+    /// node before the page is first accessed; idempotent, so a
+    /// post-crash re-execution of the allocation phase is harmless.
+    pub fn set_home(&mut self, page: PageId, home: NodeId) {
+        let n = self.n_nodes;
+        let e = &mut self.entries[page as usize];
+        if e.home == home {
+            return;
+        }
+        e.home = home;
+        if home == self.me {
+            e.state = PageState::ReadOnly;
+            e.frame = Some(PageFrame::zeroed(self.page_size));
+            e.version = Some(VClock::new(n));
+            e.base = Some(PageFrame::zeroed(self.page_size));
+            e.base_version = Some(VClock::new(n));
+        } else {
+            e.state = PageState::Invalid;
+            e.frame = None;
+            e.version = None;
+            e.base = None;
+            e.base_version = None;
+        }
+        e.twin = None;
+        e.dirty = false;
+        e.remote_fetched = false;
+        e.was_cached = false;
+    }
+
+    /// Mark a home page as remotely fetched, promoting its current
+    /// contents to be the reconstruction base if this is the first
+    /// fetch and `track_home_writes` (CCL) is on: from here on the
+    /// home's own writes are captured as diffs, so "base + logged
+    /// diffs" can rebuild any later state of the page.
+    pub fn note_remote_fetch(&mut self, page: PageId, track_home_writes: bool) {
+        let e = &mut self.entries[page as usize];
+        debug_assert_eq!(e.home, self.me);
+        if e.remote_fetched {
+            return;
+        }
+        e.remote_fetched = true;
+        if track_home_writes {
+            e.base = e.frame.clone();
+            e.base_version = e.version.clone();
+            if e.dirty && e.twin.is_none() {
+                // Mid-interval promotion: capture only the writes that
+                // follow it (the earlier ones are in the base).
+                e.twin = Some(Twin::of(e.frame.as_ref().expect("home frame")));
+            }
+        }
+    }
+
+    /// Iterate all entries with their page ids.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageEntry)> {
+        self.entries.iter().enumerate().map(|(p, e)| (p as PageId, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagemem::IntervalId;
+
+    fn cfg() -> DsmConfig {
+        DsmConfig::new(2, 4).with_page_size(64)
+    }
+
+    #[test]
+    fn home_pages_are_resident_remote_invalid() {
+        let t = PageTable::new(&cfg(), 0);
+        assert!(t.is_home(0) && t.is_home(1));
+        assert!(!t.is_home(2) && !t.is_home(3));
+        assert_eq!(t.entry(0).state, PageState::ReadOnly);
+        assert!(t.entry(0).frame.is_some());
+        assert_eq!(t.entry(2).state, PageState::Invalid);
+        assert!(t.entry(2).frame.is_none());
+    }
+
+    #[test]
+    fn install_and_invalidate_remote_copy() {
+        let mut t = PageTable::new(&cfg(), 0);
+        t.install_copy(2, &[7u8; 64], PageState::ReadOnly);
+        assert_eq!(t.frame(2).bytes()[0], 7);
+        t.invalidate(2);
+        assert_eq!(t.entry(2).state, PageState::Invalid);
+        assert!(t.entry(2).frame.is_none());
+    }
+
+    #[test]
+    fn apply_home_diff_bumps_version() {
+        let mut t = PageTable::new(&cfg(), 0);
+        let base = PageFrame::zeroed(64);
+        let twin = Twin::of(&base);
+        let mut m = base.clone();
+        m.write_u64(0, 5);
+        let d = PageDiff::create(1, &twin, &m);
+        let iv = IntervalId { node: 1, seq: 0 };
+        t.apply_home_diff(&d, iv);
+        assert_eq!(t.frame(1).read_u64(0), 5);
+        assert!(t.entry(1).version.as_ref().unwrap().covers(iv));
+    }
+
+    #[test]
+    fn reset_to_base_restores_checkpoint_image() {
+        let mut t = PageTable::new(&cfg(), 0);
+        t.frame_mut(0).write_u64(0, 99);
+        t.install_copy(2, &[1u8; 64], PageState::ReadOnly);
+        t.reset_to_base();
+        assert_eq!(t.frame(0).read_u64(0), 0, "home copy back to base");
+        assert!(t.entry(2).frame.is_none(), "remote copies dropped");
+    }
+
+    #[test]
+    fn promote_base_captures_current_state() {
+        let mut t = PageTable::new(&cfg(), 0);
+        t.frame_mut(0).write_u64(0, 42);
+        t.promote_base();
+        t.frame_mut(0).write_u64(0, 77);
+        t.reset_to_base();
+        assert_eq!(t.frame(0).read_u64(0), 42);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut t = PageTable::new(&cfg(), 0);
+        assert!(t.dirty_pages().is_empty());
+        t.entry_mut(0).dirty = true;
+        t.entry_mut(3).dirty = true;
+        assert_eq!(t.dirty_pages(), vec![0, 3]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Synchronization-manager state: locks and the global barrier.
+//!
+//! Each lock has a statically assigned manager node (TreadMarks style);
+//! the barrier manager is node 0. Managers service requests inside
+//! their asynchronous message handler.
+
+use std::collections::{HashMap, VecDeque};
+
+use pagemem::VClock;
+use simnet::{NodeId, SimTime};
+
+use crate::msg::WriteNotice;
+
+/// A queued lock request.
+#[derive(Debug, Clone)]
+pub struct PendingAcquire {
+    /// Requesting node.
+    pub node: NodeId,
+    /// Requester's vector clock (for notice filtering at grant time).
+    pub vc: VClock,
+    /// Virtual arrival time of the request at the manager.
+    pub arrive: SimTime,
+}
+
+/// Manager-side state of one lock.
+#[derive(Debug)]
+pub struct LockState {
+    /// Currently granted to someone?
+    pub held: bool,
+    /// Virtual time at which the last release was processed.
+    pub last_release: SimTime,
+    /// The lock's timestamp: joined clocks of every releaser so far.
+    pub vc: VClock,
+    /// Notices carried along the lock's release chain.
+    pub notices: Vec<WriteNotice>,
+    /// FIFO of waiting acquirers.
+    pub queue: VecDeque<PendingAcquire>,
+}
+
+impl LockState {
+    fn new(n_nodes: usize) -> LockState {
+        LockState {
+            held: false,
+            last_release: SimTime::ZERO,
+            vc: VClock::new(n_nodes),
+            notices: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Notices the acquirer (with clock `vc`) has not yet seen.
+    pub fn notices_for(&self, vc: &VClock) -> Vec<WriteNotice> {
+        self.notices
+            .iter()
+            .filter(|n| !vc.covers(n.interval))
+            .copied()
+            .collect()
+    }
+
+    /// Record a release: merge the releaser's clock and fresh notices.
+    pub fn record_release(&mut self, vc: &VClock, notices: &[WriteNotice], at: SimTime) {
+        self.vc.join(vc);
+        for n in notices {
+            if !self.notices.contains(n) {
+                self.notices.push(*n);
+            }
+        }
+        self.held = false;
+        self.last_release = self.last_release.max(at);
+    }
+}
+
+/// The set of locks this node manages (created lazily).
+#[derive(Debug)]
+pub struct LockTable {
+    locks: HashMap<u32, LockState>,
+    n_nodes: usize,
+}
+
+impl LockTable {
+    /// Empty table for an `n_nodes` cluster.
+    pub fn new(n_nodes: usize) -> LockTable {
+        LockTable {
+            locks: HashMap::new(),
+            n_nodes,
+        }
+    }
+
+    /// State of `lock`, created free on first touch.
+    pub fn state_mut(&mut self, lock: u32) -> &mut LockState {
+        let n = self.n_nodes;
+        self.locks.entry(lock).or_insert_with(|| LockState::new(n))
+    }
+
+    /// Drop all state (crash of the manager wipes volatile memory).
+    pub fn clear(&mut self) {
+        self.locks.clear();
+    }
+}
+
+/// Barrier-manager state for the current episode.
+#[derive(Debug)]
+pub struct BarrierMgr {
+    n_nodes: usize,
+    /// Which nodes have arrived this episode.
+    arrived: Vec<bool>,
+    arrived_count: usize,
+    /// Latest virtual arrival time across all arrivals.
+    pub latest_arrival: SimTime,
+    /// Join of all arrivals' clocks.
+    pub merged_vc: VClock,
+    /// Union of all arrivals' notices.
+    pub merged_notices: Vec<WriteNotice>,
+}
+
+impl BarrierMgr {
+    /// Fresh manager state for an `n`-node cluster.
+    pub fn new(n_nodes: usize) -> BarrierMgr {
+        BarrierMgr {
+            n_nodes,
+            arrived: vec![false; n_nodes],
+            arrived_count: 0,
+            latest_arrival: SimTime::ZERO,
+            merged_vc: VClock::new(n_nodes),
+            merged_notices: Vec::new(),
+        }
+    }
+
+    /// Record one node's arrival. Returns true when everyone is in.
+    pub fn arrive(
+        &mut self,
+        node: NodeId,
+        vc: &VClock,
+        notices: &[WriteNotice],
+        at: SimTime,
+    ) -> bool {
+        assert!(!self.arrived[node], "node {node} arrived twice at barrier");
+        self.arrived[node] = true;
+        self.arrived_count += 1;
+        self.latest_arrival = self.latest_arrival.max(at);
+        self.merged_vc.join(vc);
+        for n in notices {
+            if !self.merged_notices.contains(n) {
+                self.merged_notices.push(*n);
+            }
+        }
+        self.arrived_count == self.n_nodes
+    }
+
+    /// Reset for the next episode.
+    pub fn reset(&mut self) {
+        self.arrived.iter_mut().for_each(|a| *a = false);
+        self.arrived_count = 0;
+        self.latest_arrival = SimTime::ZERO;
+        self.merged_notices.clear();
+        // merged_vc persists monotonically across episodes.
+    }
+
+    /// How many have arrived so far.
+    pub fn arrived_count(&self) -> usize {
+        self.arrived_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagemem::IntervalId;
+
+    fn notice(page: u32, node: u32, seq: u32) -> WriteNotice {
+        WriteNotice {
+            page,
+            interval: IntervalId { node, seq },
+        }
+    }
+
+    #[test]
+    fn lock_release_chain_accumulates_notices() {
+        let mut t = LockTable::new(4);
+        let st = t.state_mut(3);
+        let mut vc1 = VClock::new(4);
+        vc1.observe(IntervalId { node: 1, seq: 0 });
+        st.record_release(&vc1, &[notice(9, 1, 0)], SimTime(100));
+        assert!(!st.held);
+        assert_eq!(st.last_release, SimTime(100));
+
+        // An acquirer that saw nothing gets the notice.
+        let fresh = VClock::new(4);
+        assert_eq!(st.notices_for(&fresh), vec![notice(9, 1, 0)]);
+        // One that already covers it does not.
+        assert!(st.notices_for(&vc1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_notices_not_stored_twice() {
+        let mut t = LockTable::new(2);
+        let st = t.state_mut(0);
+        let vc = VClock::new(2);
+        st.record_release(&vc, &[notice(1, 0, 0), notice(1, 0, 0)], SimTime(1));
+        st.record_release(&vc, &[notice(1, 0, 0)], SimTime(2));
+        assert_eq!(st.notices.len(), 1);
+    }
+
+    #[test]
+    fn lock_clear_wipes_state() {
+        let mut t = LockTable::new(2);
+        t.state_mut(0).held = true;
+        t.clear();
+        assert!(!t.state_mut(0).held);
+    }
+
+    #[test]
+    fn barrier_completes_when_all_arrive() {
+        let mut b = BarrierMgr::new(3);
+        let vc = VClock::new(3);
+        assert!(!b.arrive(0, &vc, &[notice(4, 0, 0)], SimTime(10)));
+        assert!(!b.arrive(2, &vc, &[], SimTime(30)));
+        assert!(b.arrive(1, &vc, &[notice(4, 0, 0), notice(5, 1, 0)], SimTime(20)));
+        assert_eq!(b.latest_arrival, SimTime(30));
+        assert_eq!(b.merged_notices.len(), 2);
+        assert_eq!(b.arrived_count(), 3);
+    }
+
+    #[test]
+    fn barrier_reset_clears_arrivals_keeps_vc() {
+        let mut b = BarrierMgr::new(2);
+        let mut vc = VClock::new(2);
+        vc.observe(IntervalId { node: 0, seq: 4 });
+        b.arrive(0, &vc, &[], SimTime(5));
+        b.arrive(1, &vc, &[notice(0, 0, 4)], SimTime(6));
+        b.reset();
+        assert_eq!(b.arrived_count(), 0);
+        assert!(b.merged_notices.is_empty());
+        assert_eq!(b.merged_vc.get(0), 5, "vc is monotone across episodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut b = BarrierMgr::new(2);
+        let vc = VClock::new(2);
+        b.arrive(0, &vc, &[], SimTime(1));
+        b.arrive(0, &vc, &[], SimTime(2));
+    }
+}

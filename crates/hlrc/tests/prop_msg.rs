@@ -1,0 +1,125 @@
+//! Property tests for the protocol message codec: any message the
+//! protocol can construct must survive the wire bit-for-bit, and its
+//! reported wire size must be exact (the traffic/log statistics depend
+//! on it).
+
+use hlrc::{Msg, WriteNotice, HEADER_BYTES};
+use pagemem::{Decode, DiffRun, Encode, IntervalId, PageDiff, VClock};
+use proptest::prelude::*;
+use simnet::WireSized;
+
+fn arb_interval() -> impl Strategy<Value = IntervalId> {
+    (0u32..8, 0u32..10_000).prop_map(|(node, seq)| IntervalId { node, seq })
+}
+
+fn arb_vclock() -> impl Strategy<Value = VClock> {
+    proptest::collection::vec(0u32..10_000, 1..9).prop_map(|v| {
+        let mut c = VClock::new(v.len());
+        for (i, x) in v.into_iter().enumerate() {
+            c.set(i as u32, x);
+        }
+        c
+    })
+}
+
+fn arb_notices() -> impl Strategy<Value = Vec<WriteNotice>> {
+    proptest::collection::vec(
+        (0u32..1024, arb_interval()).prop_map(|(page, interval)| WriteNotice { page, interval }),
+        0..20,
+    )
+}
+
+fn arb_diff() -> impl Strategy<Value = PageDiff> {
+    (
+        0u32..1024,
+        proptest::collection::vec(
+            ((0u32..64), proptest::collection::vec(any::<u8>(), 4..17)),
+            0..8,
+        ),
+    )
+        .prop_map(|(page, raw)| PageDiff {
+            page,
+            runs: raw
+                .into_iter()
+                .map(|(w, mut data)| {
+                    data.truncate(data.len() & !3); // word multiple
+                    DiffRun {
+                        offset: w * 4,
+                        data,
+                    }
+                })
+                .filter(|r| !r.data.is_empty())
+                .collect(),
+        })
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (0u32..1024).prop_map(|page| Msg::PageRequest { page }),
+        (0u32..1024, proptest::collection::vec(any::<u8>(), 0..256), arb_vclock()).prop_map(
+            |(page, data, version)| Msg::PageReply {
+                page,
+                data,
+                version
+            }
+        ),
+        (arb_interval(), proptest::collection::vec(arb_diff(), 0..5))
+            .prop_map(|(writer, diffs)| Msg::DiffFlush { writer, diffs }),
+        arb_interval().prop_map(|writer| Msg::DiffAck { writer }),
+        (0u32..64, arb_vclock()).prop_map(|(lock, vc)| Msg::LockRequest { lock, vc }),
+        (0u32..64, arb_vclock(), arb_notices())
+            .prop_map(|(lock, vc, notices)| Msg::LockGrant { lock, vc, notices }),
+        (0u32..64, arb_vclock(), arb_notices())
+            .prop_map(|(lock, vc, notices)| Msg::LockRelease { lock, vc, notices }),
+        (0u32..1000, arb_vclock(), arb_notices())
+            .prop_map(|(epoch, vc, notices)| Msg::BarrierArrive { epoch, vc, notices }),
+        (0u32..1000, arb_vclock(), arb_notices())
+            .prop_map(|(epoch, vc, notices)| Msg::BarrierRelease { epoch, vc, notices }),
+        (0u32..1024, arb_vclock())
+            .prop_map(|(page, required)| Msg::RecoveryPageRequest { page, required }),
+        (
+            0u32..1024,
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+            arb_vclock()
+        )
+            .prop_map(|(page, advanced, data, version)| Msg::RecoveryPageReply {
+                page,
+                advanced,
+                data,
+                version
+            }),
+        (0u32..1024, proptest::collection::vec(0u32..10_000, 0..10))
+            .prop_map(|(page, seqs)| Msg::LoggedDiffRequest { page, seqs }),
+        (
+            0u32..1024,
+            proptest::collection::vec((arb_interval(), arb_diff()), 0..5)
+        )
+            .prop_map(|(page, diffs)| Msg::LoggedDiffReply { page, diffs }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_roundtrips(msg in arb_msg()) {
+        let bytes = msg.encode_to_vec();
+        let back = Msg::decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(msg.wire_size(), HEADER_BYTES + bytes.len());
+    }
+
+    #[test]
+    fn truncated_messages_never_panic(msg in arb_msg(), cut in 0usize..64) {
+        let bytes = msg.encode_to_vec();
+        let end = bytes.len().saturating_sub(cut).max(1).min(bytes.len());
+        // Decoding any prefix must return an error or a value, never panic.
+        let _ = Msg::decode_from_slice(&bytes[..end]);
+    }
+
+    #[test]
+    fn corrupted_tag_is_rejected(msg in arb_msg(), tag in 13u8..255) {
+        let mut bytes = msg.encode_to_vec();
+        bytes[0] = tag;
+        prop_assert!(Msg::decode_from_slice(&bytes).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end coherence tests for the HLRC protocol on a simulated
+//! cluster: these exercise the actual message exchanges (fetches, diff
+//! flushes, notices) across real threads.
+
+use hlrc::{DsmConfig, HlrcNode, NoLogging};
+use simnet::{run_cluster, SimTime};
+
+fn spawn<F, R>(cfg: DsmConfig, f: F) -> Vec<R>
+where
+    F: Fn(HlrcNode) -> R + Send + Sync,
+    R: Send,
+{
+    run_cluster(cfg.n_nodes, cfg.cost, move |ctx| {
+        let node = HlrcNode::new(ctx, cfg, Box::new(NoLogging));
+        f(node)
+    })
+}
+
+fn small_cfg(n: usize, pages: u32) -> DsmConfig {
+    DsmConfig::new(n, pages).with_page_size(256)
+}
+
+#[test]
+fn producer_consumer_through_barrier() {
+    // Node 0 writes a value into a page homed at node 1; after a
+    // barrier, node 1 (reading its home copy) and node 2 (fetching)
+    // both see it.
+    let cfg = small_cfg(3, 3); // page p is homed at node p
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 0 {
+            node.write_u64(256 + 8, 4242); // page 1, homed at node 1
+        }
+        node.barrier();
+        let v = node.read_u64(256 + 8);
+        node.barrier();
+        v
+    });
+    assert_eq!(got, vec![4242, 4242, 4242]);
+}
+
+#[test]
+fn multiple_writers_merge_at_home() {
+    // Two nodes write disjoint words of the same page (homed at a
+    // third); after the barrier everyone sees both updates — the
+    // multiple-writer protocol in action.
+    let cfg = small_cfg(3, 3);
+    let base = 2 * 256; // page 2, homed at node 2
+    let got = spawn(cfg, move |mut node| {
+        match node.inner.me() {
+            0 => node.write_u64(base, 11),
+            1 => node.write_u64(base + 64, 22),
+            _ => {}
+        }
+        node.barrier();
+        let a = node.read_u64(base);
+        let b = node.read_u64(base + 64);
+        node.barrier();
+        (a, b)
+    });
+    assert!(got.iter().all(|&(a, b)| a == 11 && b == 22));
+}
+
+#[test]
+fn lock_protected_counter_is_atomic() {
+    // Classic mutual-exclusion increment: every node adds its id+1 to a
+    // shared counter N times under a lock; total must be exact.
+    const ROUNDS: u64 = 5;
+    let cfg = small_cfg(4, 4);
+    let got = spawn(cfg, move |mut node| {
+        for _ in 0..ROUNDS {
+            node.acquire(7);
+            let v = node.read_u64(0);
+            node.write_u64(0, v + node.inner.me() as u64 + 1);
+            node.release(7);
+        }
+        node.barrier();
+        let total = node.read_u64(0);
+        node.barrier();
+        total
+    });
+    let expect = ROUNDS * (1 + 2 + 3 + 4);
+    assert!(got.iter().all(|&t| t == expect), "got {got:?}");
+}
+
+#[test]
+fn invalidation_forces_refetch_of_new_data() {
+    // Node 1 reads a page (cached), node 0 then modifies it across a
+    // barrier; node 1's copy must be invalidated and re-fetched.
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        let addr = 0; // page 0, homed at node 0
+        if node.inner.me() == 0 {
+            node.write_u64(addr, 1);
+        }
+        node.barrier();
+        let first = node.read_u64(addr);
+        node.barrier();
+        if node.inner.me() == 0 {
+            node.write_u64(addr, 2);
+        }
+        node.barrier();
+        let second = node.read_u64(addr);
+        node.barrier();
+        (first, second, node.inner.ctx.stats.page_fetches)
+    });
+    assert_eq!((got[0].0, got[0].1), (1, 2));
+    assert_eq!((got[1].0, got[1].1), (1, 2));
+    // node 1 fetched the page twice (once per read generation)
+    assert_eq!(got[1].2, 2);
+}
+
+#[test]
+fn home_accesses_take_no_fetches() {
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 0 {
+            for i in 0..8 {
+                node.write_u64(i * 8, i as u64);
+            }
+            for i in 0..8 {
+                assert_eq!(node.read_u64(i * 8), i as u64);
+            }
+        }
+        node.barrier();
+        (
+            node.inner.ctx.stats.page_fetches,
+            node.inner.ctx.stats.twins_created,
+            node.inner.ctx.stats.write_faults,
+        )
+    });
+    let (fetches, twins, wfaults) = got[0];
+    assert_eq!(fetches, 0, "home accesses never fetch");
+    assert_eq!(twins, 0, "home writes make no twins");
+    assert_eq!(wfaults, 1, "one write-detection trap per interval");
+}
+
+#[test]
+fn diffs_flow_to_home_not_whole_pages() {
+    // A remote writer modifying one word sends a diff, not the page.
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 1 {
+            node.write_u64(8, 99); // page 0, homed at node 0
+        }
+        node.barrier();
+        (node.inner.ctx.stats.diffs_created, node.inner.ctx.stats.diff_bytes)
+    });
+    assert_eq!(got[1].0, 1);
+    assert!(
+        got[1].1 < 64,
+        "single-word diff should be tiny, got {} bytes",
+        got[1].1
+    );
+    // And the home sees the update.
+    let cfg2 = small_cfg(2, 2);
+    let vals = spawn(cfg2, |mut node| {
+        if node.inner.me() == 1 {
+            node.write_u64(8, 99);
+        }
+        node.barrier();
+        node.read_u64(8)
+    });
+    assert_eq!(vals, vec![99, 99]);
+}
+
+#[test]
+fn successive_intervals_accumulate_at_home() {
+    // A writer updates the same remote page across several barriers;
+    // each interval's diff lands at the home in order.
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        for round in 1..=4u64 {
+            if node.inner.me() == 1 {
+                node.write_u64(16, round * 10);
+                node.write_u64(24, round);
+            }
+            node.barrier();
+            let a = node.read_u64(16);
+            let b = node.read_u64(24);
+            assert_eq!((a, b), (round * 10, round));
+            node.barrier();
+        }
+        node.inner.vc.get(1)
+    });
+    // Node 1 produced one interval per round.
+    assert!(got.iter().all(|&c| c == 4));
+}
+
+#[test]
+fn clocks_synchronize_at_barriers() {
+    // After a barrier, everyone's virtual clock is at least the
+    // latest arrival (no node "time travels" past the barrier).
+    let cfg = small_cfg(3, 3);
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 2 {
+            // Straggler: burn compute before arriving.
+            node.inner.ctx.charge_flops(1_000_000);
+        }
+        let before = node.inner.ctx.now();
+        node.barrier();
+        let after = node.inner.ctx.now();
+        (before, after)
+    });
+    let slowest_before: SimTime = got.iter().map(|&(b, _)| b).max().unwrap();
+    assert!(
+        got.iter().all(|&(_, a)| a >= slowest_before),
+        "barrier must not release before the last arrival: {got:?}"
+    );
+}
+
+#[test]
+fn lock_chain_transfers_notices_without_barrier() {
+    // P0 writes under the lock, P1 acquires the same lock next and must
+    // see the write (notice chain through the lock manager).
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        let addr = 256; // page 1, homed at node 1
+        let v = if node.inner.me() == 0 {
+            node.acquire(0);
+            node.write_u64(addr, 7);
+            node.release(0);
+            node.barrier();
+            0
+        } else {
+            // The barrier orders the second acquire after P0's release
+            // (keeps the test deterministic without relying on timing).
+            node.barrier();
+            node.acquire(0);
+            let v = node.read_u64(addr);
+            node.release(0);
+            v
+        };
+        // Final barrier keeps every node alive until all lock traffic
+        // (including requests to managers) has been served.
+        node.barrier();
+        v
+    });
+    assert_eq!(got[1], 7);
+}
+
+#[test]
+fn eight_node_stress_mixed_traffic() {
+    // All 8 nodes write their own stripe of a shared array (pages homed
+    // block-wise), then read a neighbour's stripe each round.
+    let cfg = small_cfg(8, 16);
+    let got = spawn(cfg, |mut node| {
+        let me = node.inner.me();
+        let stripe = 2 * 256; // two pages per node
+        for round in 0..3u64 {
+            for w in 0..(stripe / 8) {
+                node.write_u64(me * stripe + w * 8, round * 1000 + me as u64);
+            }
+            node.barrier();
+            let neigh = (me + 1) % 8;
+            let v = node.read_u64(neigh * stripe);
+            assert_eq!(v, round * 1000 + neigh as u64);
+            node.barrier();
+        }
+        node.inner.ctx.stats.barriers
+    });
+    assert!(got.iter().all(|&b| b == 6));
+}
+
+#[test]
+fn contended_lock_queues_grant_in_order() {
+    // All nodes pile onto one lock at once; the manager queues and
+    // grants one at a time, and every critical section is atomic.
+    let cfg = small_cfg(4, 4);
+    let got = spawn(cfg, |mut node| {
+        node.barrier(); // align the contention burst
+        node.acquire(3);
+        let v = node.read_u64(0);
+        // A tiny compute gap inside the critical section.
+        node.inner.ctx.charge_flops(10_000);
+        node.write_u64(0, v + 1);
+        node.release(3);
+        node.barrier();
+        let v = node.read_u64(0);
+        node.barrier(); // keep the home reachable until everyone has read
+        v
+    });
+    assert!(got.iter().all(|&v| v == 4), "{got:?}");
+}
+
+#[test]
+fn two_locks_do_not_interfere() {
+    let cfg = small_cfg(4, 4);
+    let got = spawn(cfg, |mut node| {
+        let (lock, addr) = if node.inner.me() % 2 == 0 { (10, 0) } else { (11, 256) };
+        for _ in 0..4 {
+            node.acquire(lock);
+            let v = node.read_u64(addr);
+            node.write_u64(addr, v + 1);
+            node.release(lock);
+        }
+        node.barrier();
+        let a = node.read_u64(0);
+        let b = node.read_u64(256);
+        node.barrier();
+        (a, b)
+    });
+    assert!(got.iter().all(|&(a, b)| a == 8 && b == 8), "{got:?}");
+}
+
+#[test]
+fn write_faults_on_read_only_copy_upgrade_in_place() {
+    // Read a remote page (ReadOnly copy), then write it: the upgrade
+    // must twin the existing copy without a second fetch.
+    let cfg = small_cfg(2, 2);
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 0 {
+            node.write_u64(256, 5); // page 1, homed at node 1
+        }
+        node.barrier();
+        if node.inner.me() == 0 {
+            let before_fetches = node.inner.ctx.stats.page_fetches;
+            let v = node.read_u64(256); // may refetch after invalidation
+            let fetches_after_read = node.inner.ctx.stats.page_fetches;
+            node.write_u64(256, v + 1); // upgrade: no new fetch
+            assert_eq!(node.inner.ctx.stats.page_fetches, fetches_after_read);
+            let _ = before_fetches;
+        }
+        node.barrier();
+        let v = node.read_u64(256);
+        node.barrier();
+        v
+    });
+    assert!(got.iter().all(|&v| v == 6));
+}
+
+#[test]
+fn empty_intervals_produce_no_notices() {
+    // Barriers without writes must not generate diffs, notices, or
+    // invalidations.
+    let cfg = small_cfg(3, 3);
+    let got = spawn(cfg, |mut node| {
+        if node.inner.me() == 0 {
+            node.write_u64(0, 1);
+        }
+        node.barrier();
+        let _ = node.read_u64(0); // everyone caches page 0
+        node.barrier();
+        for _ in 0..5 {
+            node.barrier(); // idle barriers
+        }
+        let fetches_before = node.inner.ctx.stats.page_fetches;
+        let v = node.read_u64(0); // still cached: no refetch
+        let fetches_after = node.inner.ctx.stats.page_fetches;
+        node.barrier();
+        (v, fetches_after - fetches_before)
+    });
+    for (i, &(v, extra_fetches)) in got.iter().enumerate() {
+        assert_eq!(v, 1);
+        if i != 0 {
+            assert_eq!(extra_fetches, 0, "node {i} refetched despite no writes");
+        }
+    }
+}

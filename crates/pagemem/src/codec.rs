@@ -1,0 +1,303 @@
+//! Hand-rolled binary wire/log codec.
+//!
+//! Everything the DSM puts on the network or into a log is encoded with
+//! this codec, so the byte counts the experiments report (log sizes,
+//! traffic) are the bytes a real implementation would move. Little-endian
+//! fixed-width integers plus length-prefixed byte strings — the same
+//! flavour of encoding TreadMarks used for its UDP messages.
+
+use std::fmt;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the decoder needed.
+    Truncated {
+        /// Bytes the decoder tried to consume.
+        needed: usize,
+        /// Bytes actually remaining in the input.
+        remaining: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        context: &'static str,
+        /// The unrecognized tag value.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, had {remaining}")
+            }
+            CodecError::BadTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Create an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Create a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Raw bytes, no length prefix (fixed-size payloads like full pages).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Create a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed byte string (owned).
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Exactly `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+}
+
+/// Types encodable with the wire codec.
+pub trait Encode {
+    /// Encode `self` onto the writer.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encoded size in bytes (defaults to encoding and measuring;
+    /// hot types override with a direct computation).
+    fn encoded_size(&self) -> usize {
+        self.encode_to_vec().len()
+    }
+}
+
+/// Types decodable with the wire codec.
+pub trait Decode: Sized {
+    /// Decode one value from the reader.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: decode from a full buffer, requiring it be consumed.
+    fn decode_from_slice(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(CodecError::Truncated {
+                needed: 0,
+                remaining: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 1);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn raw_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_raw(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_raw(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let e = r.get_u32().unwrap_err();
+        assert_eq!(e, CodecError::Truncated { needed: 4, remaining: 2 });
+    }
+
+    #[test]
+    fn truncated_byte_string_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u32(10); // claims 10 bytes follow
+        w.put_raw(&[1, 2]);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.get_bytes(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Pair(u32, u64);
+
+    impl Encode for Pair {
+        fn encode(&self, w: &mut ByteWriter) {
+            w.put_u32(self.0);
+            w.put_u64(self.1);
+        }
+    }
+
+    impl Decode for Pair {
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+            Ok(Pair(r.get_u32()?, r.get_u64()?))
+        }
+    }
+
+    #[test]
+    fn trait_roundtrip_and_size() {
+        let p = Pair(5, 6);
+        let bytes = p.encode_to_vec();
+        assert_eq!(p.encoded_size(), 12);
+        assert_eq!(Pair::decode_from_slice(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_from_slice_rejects_trailing_garbage() {
+        let mut bytes = Pair(5, 6).encode_to_vec();
+        bytes.push(0xFF);
+        assert!(Pair::decode_from_slice(&bytes).is_err());
+    }
+}

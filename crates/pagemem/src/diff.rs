@@ -1,0 +1,278 @@
+//! Twins and diffs: the multiple-writer write-collection machinery.
+//!
+//! Before the first write to a non-home page in an interval, the DSM
+//! makes a *twin* (pristine copy). At the next release or barrier it
+//! *diffs* the modified page against its twin — comparing 4-byte words,
+//! as TreadMarks did — and ships the run-length-encoded result to the
+//! page's home node, which applies it to the home copy.
+
+use crate::addr::PageId;
+use crate::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use crate::page::PageFrame;
+
+/// Word granularity of diff comparison, in bytes.
+pub const DIFF_WORD: usize = 4;
+
+/// A pristine pre-write copy of a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Twin {
+    data: PageFrame,
+}
+
+impl Twin {
+    /// Snapshot `page` before the first write of the interval.
+    pub fn of(page: &PageFrame) -> Twin {
+        Twin { data: page.clone() }
+    }
+
+    /// The pristine bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.data.bytes()
+    }
+
+    /// The pristine page frame.
+    pub fn frame(&self) -> &PageFrame {
+        &self.data
+    }
+}
+
+/// One contiguous modified byte range within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset within the page (word-aligned).
+    pub offset: u32,
+    /// Replacement bytes (length a multiple of the diff word).
+    pub data: Vec<u8>,
+}
+
+/// The encoded summary of modifications made to one page in one interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageDiff {
+    /// Which shared page this diff modifies.
+    pub page: PageId,
+    /// Modified runs in ascending, non-overlapping offset order.
+    pub runs: Vec<DiffRun>,
+}
+
+impl PageDiff {
+    /// Compare `current` against its `twin` and collect modified words.
+    ///
+    /// # Panics
+    /// Panics if the twin and page sizes differ or are not multiples of
+    /// the diff word.
+    pub fn create(page: PageId, twin: &Twin, current: &PageFrame) -> PageDiff {
+        let old = twin.bytes();
+        let new = current.bytes();
+        assert_eq!(old.len(), new.len(), "twin/page size mismatch");
+        assert_eq!(new.len() % DIFF_WORD, 0, "page not word-divisible");
+
+        let mut runs = Vec::new();
+        let mut run_start: Option<usize> = None;
+        let words = new.len() / DIFF_WORD;
+        for w in 0..words {
+            let at = w * DIFF_WORD;
+            let changed = old[at..at + DIFF_WORD] != new[at..at + DIFF_WORD];
+            match (changed, run_start) {
+                (true, None) => run_start = Some(at),
+                (false, Some(start)) => {
+                    runs.push(DiffRun {
+                        offset: start as u32,
+                        data: new[start..at].to_vec(),
+                    });
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            runs.push(DiffRun {
+                offset: start as u32,
+                data: new[start..].to_vec(),
+            });
+        }
+        PageDiff { page, runs }
+    }
+
+    /// No modifications at all?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total modified bytes carried.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Apply this diff to `target` (the home copy, or a copy being
+    /// reconstructed during recovery).
+    ///
+    /// # Panics
+    /// Panics if a run falls outside the page.
+    pub fn apply(&self, target: &mut PageFrame) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            let end = start + run.data.len();
+            target.bytes_mut()[start..end].copy_from_slice(&run.data);
+        }
+    }
+}
+
+impl Encode for PageDiff {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.page);
+        w.put_u16(self.runs.len() as u16);
+        for run in &self.runs {
+            w.put_u32(run.offset);
+            w.put_bytes(&run.data);
+        }
+    }
+
+    fn encoded_size(&self) -> usize {
+        4 + 2 + self.runs.iter().map(|r| 4 + 4 + r.data.len()).sum::<usize>()
+    }
+}
+
+impl Decode for PageDiff {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let page = r.get_u32()?;
+        let n = r.get_u16()? as usize;
+        let mut runs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let offset = r.get_u32()?;
+            let data = r.get_bytes()?;
+            runs.push(DiffRun { offset, data });
+        }
+        Ok(PageDiff { page, runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(vals: &[(usize, u64)], size: usize) -> PageFrame {
+        let mut p = PageFrame::zeroed(size);
+        for &(off, v) in vals {
+            p.write_u64(off, v);
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let p = page_with(&[(0, 7)], 64);
+        let t = Twin::of(&p);
+        let d = PageDiff::create(3, &t, &p);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let p = page_with(&[], 64);
+        let t = Twin::of(&p);
+        let mut p2 = p.clone();
+        p2.write_u32(8, 0xFFFF_FFFF);
+        let d = PageDiff::create(0, &t, &p2);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].data.len(), 4);
+    }
+
+    #[test]
+    fn adjacent_words_merge_into_one_run() {
+        let p = PageFrame::zeroed(64);
+        let t = Twin::of(&p);
+        let mut p2 = p.clone();
+        p2.write_u64(16, u64::MAX); // words at 16 and 20
+        let d = PageDiff::create(0, &t, &p2);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 16);
+        assert_eq!(d.runs[0].data.len(), 8);
+    }
+
+    #[test]
+    fn separated_changes_make_separate_runs() {
+        let p = PageFrame::zeroed(64);
+        let t = Twin::of(&p);
+        let mut p2 = p.clone();
+        p2.write_u32(0, 1);
+        p2.write_u32(32, 2);
+        let d = PageDiff::create(0, &t, &p2);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].offset, 0);
+        assert_eq!(d.runs[1].offset, 32);
+    }
+
+    #[test]
+    fn change_at_page_end_is_captured() {
+        let p = PageFrame::zeroed(64);
+        let t = Twin::of(&p);
+        let mut p2 = p.clone();
+        p2.write_u32(60, 9);
+        let d = PageDiff::create(0, &t, &p2);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 60);
+    }
+
+    #[test]
+    fn apply_reconstructs_modified_page() {
+        let base = page_with(&[(0, 11), (24, 22)], 64);
+        let t = Twin::of(&base);
+        let mut modified = base.clone();
+        modified.write_u64(24, 99);
+        modified.write_u32(40, 7);
+        let d = PageDiff::create(0, &t, &modified);
+
+        let mut rebuilt = base.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, modified);
+    }
+
+    #[test]
+    fn disjoint_diffs_commute_multiple_writers() {
+        // Two writers of the same page modifying disjoint words (the
+        // multiple-writer, data-race-free case): applying the two diffs
+        // to the home copy in either order gives the same result.
+        let base = PageFrame::zeroed(64);
+        let t = Twin::of(&base);
+
+        let mut w1 = base.clone();
+        w1.write_u64(0, 111);
+        let d1 = PageDiff::create(0, &t, &w1);
+
+        let mut w2 = base.clone();
+        w2.write_u64(32, 222);
+        let d2 = PageDiff::create(0, &t, &w2);
+
+        let mut home_a = base.clone();
+        d1.apply(&mut home_a);
+        d2.apply(&mut home_a);
+        let mut home_b = base.clone();
+        d2.apply(&mut home_b);
+        d1.apply(&mut home_b);
+        assert_eq!(home_a, home_b);
+        assert_eq!(home_a.read_u64(0), 111);
+        assert_eq!(home_a.read_u64(32), 222);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let base = PageFrame::zeroed(128);
+        let t = Twin::of(&base);
+        let mut m = base.clone();
+        m.write_u64(8, 1);
+        m.write_u32(100, 2);
+        let d = PageDiff::create(17, &t, &m);
+        let bytes = d.encode_to_vec();
+        assert_eq!(bytes.len(), d.encoded_size());
+        assert_eq!(PageDiff::decode_from_slice(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let t = Twin::of(&PageFrame::zeroed(64));
+        PageDiff::create(0, &t, &PageFrame::zeroed(128));
+    }
+}

@@ -1,0 +1,33 @@
+//! # pagemem — paged shared-memory substrate
+//!
+//! The memory-management layer under the home-based DSM:
+//!
+//! * [`PageLayout`]/[`PageId`] — the flat shared address space and its
+//!   page-granular coherence units;
+//! * [`PageFrame`] — the physical bytes of one page on one node;
+//! * [`PageState`]/[`Access`]/[`Fault`] — the VM-protection state machine
+//!   (software access checks substituting for mprotect/SIGSEGV, see
+//!   DESIGN.md);
+//! * [`Twin`]/[`PageDiff`] — multiple-writer write collection: pristine
+//!   copies and word-granular run-length diffs;
+//! * [`VClock`]/[`IntervalId`] — lazy-release-consistency interval
+//!   timestamps;
+//! * [`codec`] — the binary wire/log codec that makes every reported
+//!   byte count real.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod codec;
+mod diff;
+mod page;
+mod protect;
+mod vclock;
+
+pub use addr::{PageId, PageLayout};
+pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+pub use diff::{DiffRun, PageDiff, Twin, DIFF_WORD};
+pub use page::PageFrame;
+pub use protect::{Access, Fault, PageState};
+pub use vclock::{IntervalId, VClock, VOrder};

@@ -1,0 +1,37 @@
+//! Error type for the cluster substrate.
+
+use std::fmt;
+
+/// Errors raised by the simulated cluster runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The peer's channel is gone — the node exited or panicked.
+    Disconnected,
+    /// A message was addressed to a node id outside the cluster.
+    UnknownNode(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disconnected => write!(f, "peer channel disconnected"),
+            SimError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for substrate operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SimError::Disconnected.to_string(), "peer channel disconnected");
+        assert_eq!(SimError::UnknownNode(3).to_string(), "unknown node id 3");
+    }
+}

@@ -1,0 +1,39 @@
+//! # simnet — simulated cluster substrate for the CCL reproduction
+//!
+//! This crate stands in for the physical testbed of Kongmunvattana &
+//! Tzeng's ICPP'99 paper (eight Sun Ultra-5 workstations on 100 Mbps
+//! Ethernet with local disks): it provides
+//!
+//! * **virtual time** ([`SimTime`], [`SimDuration`]) — per-node clocks
+//!   advanced by explicit, deterministic cost charges;
+//! * **hardware cost models** ([`CostModel`]: network, disk, CPU),
+//!   calibrated to the paper's 1999 hardware;
+//! * **a message transport** ([`Endpoint`], [`Envelope`]) with
+//!   share-nothing node isolation — every cross-node interaction is an
+//!   explicit message, as over sockets;
+//! * **simulated stable storage** ([`SimDisk`]) holding byte-exact log
+//!   and checkpoint streams that survive a simulated node crash;
+//! * **a node runtime** ([`NodeCtx`], [`run_cluster`]) running one OS
+//!   thread per DSM process.
+//!
+//! Higher layers (`hlrc`, `ftlog`, `ccl-core`) implement the actual DSM
+//! protocols on top of these primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod error;
+mod models;
+mod node;
+mod router;
+mod stats;
+mod time;
+
+pub use disk::{DiskCounters, SimDisk};
+pub use error::{SimError, SimResult};
+pub use models::{CostModel, CpuModel, DiskModel, NetworkModel};
+pub use node::{run_cluster, NodeCtx};
+pub use router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
+pub use stats::NodeStats;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,274 @@
+//! Per-node runtime context and cluster launcher.
+//!
+//! A [`NodeCtx`] bundles everything a DSM process owns on its machine:
+//! its virtual clock, its network endpoint, its local disk, its hardware
+//! cost model, and its statistics. One OS thread runs each node;
+//! [`run_cluster`] spawns them and joins their results.
+
+use std::thread;
+
+use crate::disk::SimDisk;
+use crate::error::SimResult;
+use crate::models::CostModel;
+use crate::router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
+use crate::stats::NodeStats;
+use crate::time::{SimDuration, SimTime};
+
+/// The local machine of one DSM process.
+pub struct NodeCtx<M> {
+    id: NodeId,
+    n_nodes: usize,
+    clock: SimTime,
+    /// Hardware cost model (shared by all nodes in a homogeneous cluster).
+    pub cost: CostModel,
+    ep: Endpoint<M>,
+    /// This node's local stable storage.
+    pub disk: SimDisk,
+    /// Execution counters.
+    pub stats: NodeStats,
+}
+
+impl<M: WireSized> NodeCtx<M> {
+    fn new(ep: Endpoint<M>, cost: CostModel) -> NodeCtx<M> {
+        NodeCtx {
+            id: ep.id(),
+            n_nodes: ep.n_nodes(),
+            clock: SimTime::ZERO,
+            cost,
+            disk: SimDisk::new(cost.disk),
+            ep,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's id in the cluster.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Current virtual time at this node.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance the clock by a charged cost.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Move the clock forward to `t` (no-op if already past it) and
+    /// account the jump as wait time.
+    pub fn wait_until(&mut self, t: SimTime) {
+        if t > self.clock {
+            self.stats.wait_time += t - self.clock;
+            self.clock = t;
+        }
+    }
+
+    /// Charge application arithmetic.
+    pub fn charge_flops(&mut self, n: u64) {
+        let d = self.cost.cpu.flops(n);
+        self.stats.compute_time += d;
+        self.clock += d;
+    }
+
+    /// Charge a memory copy/compare of `bytes`.
+    pub fn charge_copy(&mut self, bytes: usize) {
+        let d = self.cost.cpu.copy(bytes);
+        self.stats.compute_time += d;
+        self.clock += d;
+    }
+
+    /// Send `payload` to `dst`, stamping departure now and arrival per
+    /// the network model.
+    pub fn send(&mut self, dst: NodeId, payload: M) -> SimResult<()> {
+        let sent_at = self.clock;
+        self.send_from(sent_at, dst, payload)
+    }
+
+    /// Send with an explicit logical departure time.
+    ///
+    /// Asynchronous protocol handlers (the "communication processor")
+    /// reply relative to the *request's arrival*, not to wherever the
+    /// host application happens to have advanced its own clock.
+    pub fn send_from(&mut self, sent_at: SimTime, dst: NodeId, payload: M) -> SimResult<()> {
+        let size = payload.wire_size();
+        // Loopback messages (manager talking to itself) skip the wire:
+        // a real implementation short-circuits these in memory.
+        let arrive_at = if dst == self.id {
+            sent_at + SimDuration::from_micros(1)
+        } else {
+            sent_at + self.cost.net.transfer_time(size)
+        };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += size as u64;
+        self.ep.send(Envelope {
+            src: self.id,
+            dst,
+            sent_at,
+            arrive_at,
+            payload,
+        })
+    }
+
+    /// Block until the next envelope arrives. Does not touch the clock;
+    /// the caller decides whether the arrival is synchronous (absorb its
+    /// arrival time) or served asynchronously.
+    pub fn recv(&mut self) -> SimResult<Envelope<M>> {
+        let env = self.ep.recv()?;
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.payload.wire_size() as u64;
+        Ok(env)
+    }
+
+    /// Non-blocking inbox poll (used to service requests mid-compute).
+    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+        let env = self.ep.try_recv()?;
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.payload.wire_size() as u64;
+        Some(env)
+    }
+
+    /// Absorb a synchronously awaited message: the node was blocked, so
+    /// its clock jumps to the arrival time (counted as wait).
+    pub fn absorb(&mut self, env: &Envelope<M>) {
+        self.wait_until(env.arrive_at);
+    }
+
+    /// Time at which an asynchronous handler finishes servicing `env`
+    /// (arrival + fixed handler entry cost), before any per-byte work.
+    pub fn service_time(&self, env: &Envelope<M>) -> SimTime {
+        env.arrive_at + self.cost.cpu.message_handler
+    }
+}
+
+/// Spawn `n` node threads, run `f` on each, and collect the results in
+/// node order. Panics in a node propagate after all threads are joined.
+pub fn run_cluster<M, R, F>(n: usize, cost: CostModel, f: F) -> Vec<R>
+where
+    M: WireSized + Send + 'static,
+    R: Send,
+    F: Fn(NodeCtx<M>) -> R + Send + Sync,
+{
+    let eps = make_endpoints::<M>(n);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let ctx = NodeCtx::new(ep, cost);
+                s.spawn(move || f(ctx))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Blob(usize);
+
+    impl WireSized for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn clock_charges_accumulate() {
+        let results = run_cluster::<Blob, _, _>(1, CostModel::default(), |mut ctx| {
+            ctx.charge_flops(1000);
+            ctx.charge_copy(4096);
+            (ctx.now(), ctx.stats)
+        });
+        let (now, stats) = results[0];
+        assert_eq!(now.as_nanos(), 45 * 1000 + 3 * 4096);
+        assert_eq!(stats.compute_time.as_nanos(), now.as_nanos());
+    }
+
+    #[test]
+    fn request_reply_advances_requester_clock() {
+        // Node 0 asks node 1 for a 4 KB page; node 1 services it
+        // asynchronously. Node 0's clock must land at
+        // request transfer + handler + reply transfer.
+        let results = run_cluster::<Blob, _, _>(2, CostModel::default(), |mut ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, Blob(64)).unwrap();
+                let reply = ctx.recv().unwrap();
+                ctx.absorb(&reply);
+                ctx.now().as_nanos()
+            } else {
+                let req = ctx.recv().unwrap();
+                let done = ctx.service_time(&req);
+                ctx.send_from(done, req.src, Blob(4096)).unwrap();
+                0
+            }
+        });
+        let m = CostModel::default();
+        let expect = (m.net.transfer_time(64)
+            + m.cpu.message_handler
+            + m.net.transfer_time(4096))
+        .as_nanos();
+        assert_eq!(results[0], expect);
+    }
+
+    #[test]
+    fn wait_until_never_moves_backwards() {
+        run_cluster::<Blob, _, _>(1, CostModel::default(), |mut ctx| {
+            ctx.advance(SimDuration::from_millis(5));
+            let before = ctx.now();
+            ctx.wait_until(SimTime(1));
+            assert_eq!(ctx.now(), before);
+            ctx.wait_until(before + SimDuration::from_millis(1));
+            assert_eq!(ctx.now(), before + SimDuration::from_millis(1));
+            assert_eq!(ctx.stats.wait_time, SimDuration::from_millis(1));
+        });
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let results = run_cluster::<Blob, _, _>(2, CostModel::default(), |mut ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, Blob(100)).unwrap();
+                ctx.stats
+            } else {
+                ctx.recv().unwrap();
+                ctx.stats
+            }
+        });
+        assert_eq!(results[0].msgs_sent, 1);
+        assert_eq!(results[0].bytes_sent, 100);
+        assert_eq!(results[1].msgs_recv, 1);
+        assert_eq!(results[1].bytes_recv, 100);
+    }
+
+    #[test]
+    fn all_pairs_exchange() {
+        const N: usize = 4;
+        let results = run_cluster::<Blob, _, _>(N, CostModel::default(), |mut ctx| {
+            for dst in 0..N {
+                if dst != ctx.id() {
+                    ctx.send(dst, Blob(8)).unwrap();
+                }
+            }
+            let mut got = 0;
+            while got < N - 1 {
+                ctx.recv().unwrap();
+                got += 1;
+            }
+            got
+        });
+        assert!(results.iter().all(|&g| g == N - 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Message transport between cluster nodes.
+//!
+//! Each node owns an [`Endpoint`]: a receiver for its inbox plus senders
+//! to every node in the cluster. Nodes share *nothing* else — all
+//! cross-node interaction goes through [`Envelope`]s, exactly as it would
+//! over sockets on the paper's Ethernet cluster. Virtual arrival times
+//! are stamped by the sender from the [`NetworkModel`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::{SimError, SimResult};
+use crate::time::SimTime;
+
+/// Index of a node (process) in the cluster: `0..n_nodes`.
+pub type NodeId = usize;
+
+/// Types that know their encoded wire size, used to charge transfer time.
+///
+/// Implementations should return the size the message would occupy in a
+/// real implementation's UDP payload (headers included), because those
+/// are the byte counts the paper's log-size and traffic numbers reflect.
+pub trait WireSized {
+    /// Encoded payload size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual time at which the sender put it on the wire.
+    pub sent_at: SimTime,
+    /// Virtual time at which it reaches the destination.
+    pub arrive_at: SimTime,
+    /// The message body.
+    pub payload: M,
+}
+
+/// One node's attachment to the cluster interconnect.
+pub struct Endpoint<M> {
+    id: NodeId,
+    rx: Receiver<Envelope<M>>,
+    txs: Vec<Sender<Envelope<M>>>,
+}
+
+impl<M> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Cluster size.
+    pub fn n_nodes(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Deliver an envelope to its destination's inbox.
+    pub fn send(&self, env: Envelope<M>) -> SimResult<()> {
+        let tx = self.txs.get(env.dst).ok_or(SimError::UnknownNode(env.dst))?;
+        tx.send(env).map_err(|_| SimError::Disconnected)
+    }
+
+    /// Block until the next envelope arrives in this node's inbox.
+    pub fn recv(&self) -> SimResult<Envelope<M>> {
+        self.rx.recv().map_err(|_| SimError::Disconnected)
+    }
+
+    /// Non-blocking poll of the inbox.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Build fully connected endpoints for an `n`-node cluster.
+pub fn make_endpoints<M>(n: usize) -> Vec<Endpoint<M>> {
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(id, rx)| Endpoint {
+            id,
+            rx,
+            txs: txs.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(u32);
+
+    impl WireSized for Ping {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    fn env(src: NodeId, dst: NodeId, p: Ping) -> Envelope<Ping> {
+        Envelope {
+            src,
+            dst,
+            sent_at: SimTime::ZERO,
+            arrive_at: SimTime(100),
+            payload: p,
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let eps = make_endpoints::<Ping>(3);
+        eps[0].send(env(0, 2, Ping(7))).unwrap();
+        let got = eps[2].recv().unwrap();
+        assert_eq!(got.payload, Ping(7));
+        assert_eq!(got.src, 0);
+        assert_eq!(got.arrive_at, SimTime(100));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let eps = make_endpoints::<Ping>(1);
+        eps[0].send(env(0, 0, Ping(1))).unwrap();
+        assert_eq!(eps[0].recv().unwrap().payload, Ping(1));
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let eps = make_endpoints::<Ping>(2);
+        let e = eps[0].send(env(0, 9, Ping(0)));
+        assert_eq!(e.unwrap_err(), SimError::UnknownNode(9));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let eps = make_endpoints::<Ping>(2);
+        assert!(eps[1].try_recv().is_none());
+        eps[0].send(env(0, 1, Ping(3))).unwrap();
+        assert_eq!(eps[1].try_recv().unwrap().payload, Ping(3));
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let eps = make_endpoints::<Ping>(2);
+        for i in 0..10 {
+            eps[0].send(env(0, 1, Ping(i))).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(eps[1].recv().unwrap().payload, Ping(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = make_endpoints::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                a.send(env(0, 1, Ping(42))).unwrap();
+            });
+            let got = b.recv().unwrap();
+            assert_eq!(got.payload, Ping(42));
+        });
+    }
+}

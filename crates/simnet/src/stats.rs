@@ -1,0 +1,132 @@
+//! Per-node execution statistics.
+//!
+//! These counters feed the paper's Table 2 (log sizes, flush counts,
+//! execution times) and the message/traffic analysis behind Figures 4–5.
+
+use crate::time::SimDuration;
+
+/// Counters accumulated by one DSM node over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Protocol messages sent / received.
+    pub msgs_sent: u64,
+    /// Protocol messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes sent / received.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Page-protection faults taken (read + write).
+    pub read_faults: u64,
+    /// Write faults taken.
+    pub write_faults: u64,
+    /// Full pages fetched from a home node.
+    pub page_fetches: u64,
+    /// Diffs created at releases/barriers, and their encoded bytes.
+    pub diffs_created: u64,
+    /// Diff bytes encoded at releases/barriers.
+    pub diff_bytes: u64,
+    /// Twin copies made.
+    pub twins_created: u64,
+    /// Volatile-log flushes to stable storage, and the bytes flushed.
+    pub log_flushes: u64,
+    /// Bytes flushed to the log.
+    pub log_bytes: u64,
+    /// Lock acquisitions and barrier episodes completed.
+    pub lock_acquires: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Virtual time spent in application compute charges.
+    pub compute_time: SimDuration,
+    /// Virtual time spent blocked on remote replies / synchronization.
+    pub wait_time: SimDuration,
+    /// Virtual time spent on (non-overlapped) stable-storage accesses.
+    pub disk_time: SimDuration,
+    /// Disk time that was hidden behind communication (CCL overlap).
+    pub disk_time_overlapped: SimDuration,
+}
+
+impl NodeStats {
+    /// Merge another node's counters into this one (cluster totals).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recv += other.bytes_recv;
+        self.read_faults += other.read_faults;
+        self.write_faults += other.write_faults;
+        self.page_fetches += other.page_fetches;
+        self.diffs_created += other.diffs_created;
+        self.diff_bytes += other.diff_bytes;
+        self.twins_created += other.twins_created;
+        self.log_flushes += other.log_flushes;
+        self.log_bytes += other.log_bytes;
+        self.lock_acquires += other.lock_acquires;
+        self.barriers += other.barriers;
+        self.compute_time += other.compute_time;
+        self.wait_time += other.wait_time;
+        self.disk_time += other.disk_time;
+        self.disk_time_overlapped += other.disk_time_overlapped;
+    }
+
+    /// Total page faults (read + write).
+    pub fn faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+
+    /// Mean flushed-log size in bytes (Table 2's "Mean Log Size" column).
+    pub fn mean_log_flush_bytes(&self) -> f64 {
+        if self.log_flushes == 0 {
+            0.0
+        } else {
+            self.log_bytes as f64 / self.log_flushes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NodeStats {
+            msgs_sent: 3,
+            log_bytes: 100,
+            compute_time: SimDuration::from_nanos(5),
+            ..Default::default()
+        };
+        let b = NodeStats {
+            msgs_sent: 4,
+            log_bytes: 50,
+            compute_time: SimDuration::from_nanos(7),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 7);
+        assert_eq!(a.log_bytes, 150);
+        assert_eq!(a.compute_time.as_nanos(), 12);
+    }
+
+    #[test]
+    fn mean_log_flush_handles_zero() {
+        let s = NodeStats::default();
+        assert_eq!(s.mean_log_flush_bytes(), 0.0);
+        let s = NodeStats {
+            log_flushes: 4,
+            log_bytes: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_log_flush_bytes(), 250.0);
+    }
+
+    #[test]
+    fn faults_sum_read_and_write() {
+        let s = NodeStats {
+            read_faults: 2,
+            write_faults: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.faults(), 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration: the four paper applications run on the DSM
+//! cluster and must produce *bit-identical* results to their serial
+//! references, on every node, under every logging protocol.
+
+use ccl_apps::App;
+use ccl_core::{run_program, ClusterSpec, Protocol};
+
+fn tiny_spec(app: App, nodes: usize, protocol: Protocol) -> ClusterSpec {
+    let page = 256;
+    ClusterSpec::new(nodes, app.tiny_pages(page) + 4)
+        .with_page_size(page)
+        .with_protocol(protocol)
+}
+
+fn check_app(app: App, nodes: usize, protocol: Protocol) {
+    let expect = app.tiny_reference();
+    let out = run_program(tiny_spec(app, nodes, protocol), move |dsm| app.run_tiny(dsm));
+    for n in &out.nodes {
+        assert_eq!(
+            n.result,
+            expect,
+            "{} with {:?} on {} nodes: node {} digest mismatch",
+            app.name(),
+            protocol,
+            nodes,
+            n.node
+        );
+    }
+}
+
+#[test]
+fn fft3d_matches_reference_no_logging() {
+    check_app(App::Fft3d, 4, Protocol::None);
+}
+
+#[test]
+fn mg_matches_reference_no_logging() {
+    check_app(App::Mg, 4, Protocol::None);
+}
+
+#[test]
+fn shallow_matches_reference_no_logging() {
+    check_app(App::Shallow, 4, Protocol::None);
+}
+
+#[test]
+fn water_matches_reference_no_logging() {
+    check_app(App::Water, 4, Protocol::None);
+}
+
+#[test]
+fn all_apps_match_reference_under_ml() {
+    for app in App::ALL {
+        check_app(app, 4, Protocol::Ml);
+    }
+}
+
+#[test]
+fn all_apps_match_reference_under_ccl() {
+    for app in App::ALL {
+        check_app(app, 4, Protocol::Ccl);
+    }
+}
+
+#[test]
+fn apps_scale_to_eight_nodes() {
+    for app in App::ALL {
+        check_app(app, 8, Protocol::Ccl);
+    }
+}
+
+#[test]
+fn apps_run_on_two_nodes() {
+    for app in App::ALL {
+        check_app(app, 2, Protocol::Ml);
+    }
+}
+
+#[test]
+fn logging_never_changes_results() {
+    // The same program must produce the same digest regardless of the
+    // logging protocol (logging is supposed to be transparent).
+    for app in App::ALL {
+        let digests: Vec<u64> =
+            [Protocol::None, Protocol::Ml, Protocol::Ccl, Protocol::CclNoOverlap]
+                .iter()
+                .map(|&p| {
+                    run_program(tiny_spec(app, 4, p), move |dsm| app.run_tiny(dsm)).nodes[0].result
+                })
+                .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{}: digests differ across protocols: {digests:?}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn single_node_degenerate_cluster_matches() {
+    // A one-node "cluster" exercises the degenerate protocol paths
+    // (every page home-local, manager talking to itself).
+    for app in App::ALL {
+        check_app(app, 1, Protocol::Ccl);
+    }
+}
