@@ -307,8 +307,12 @@ pub fn reference_digest(cfg: &FftConfig) -> u64 {
                 fft_pencil(a, b);
             }
             for z in 0..cfg.nz {
-                pr = (0..cfg.ny).map(|y| re[index(cfg, x, y, z)]).collect::<Vec<_>>();
-                pi = (0..cfg.ny).map(|y| im[index(cfg, x, y, z)]).collect::<Vec<_>>();
+                pr = (0..cfg.ny)
+                    .map(|y| re[index(cfg, x, y, z)])
+                    .collect::<Vec<_>>();
+                pi = (0..cfg.ny)
+                    .map(|y| im[index(cfg, x, y, z)])
+                    .collect::<Vec<_>>();
                 fft_pencil(&mut pr, &mut pi);
                 for y in 0..cfg.ny {
                     re[index(cfg, x, y, z)] = pr[y];
@@ -318,8 +322,12 @@ pub fn reference_digest(cfg: &FftConfig) -> u64 {
         }
         for y in 0..cfg.ny {
             for z in 0..cfg.nz {
-                pr = (0..cfg.nx).map(|x| re[index(cfg, x, y, z)]).collect::<Vec<_>>();
-                pi = (0..cfg.nx).map(|x| im[index(cfg, x, y, z)]).collect::<Vec<_>>();
+                pr = (0..cfg.nx)
+                    .map(|x| re[index(cfg, x, y, z)])
+                    .collect::<Vec<_>>();
+                pi = (0..cfg.nx)
+                    .map(|x| im[index(cfg, x, y, z)])
+                    .collect::<Vec<_>>();
                 fft_pencil(&mut pr, &mut pi);
                 for x in 0..cfg.nx {
                     re[index(cfg, x, y, z)] = pr[x];

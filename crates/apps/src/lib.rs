@@ -115,7 +115,10 @@ impl App {
         match self {
             App::Fft3d => {
                 let c = fft3d::FftConfig::paper();
-                format!("{}x{}x{} grid, {} iterations", c.nx, c.ny, c.nz, c.iterations)
+                format!(
+                    "{}x{}x{} grid, {} iterations",
+                    c.nx, c.ny, c.nz, c.iterations
+                )
             }
             App::Mg => {
                 let c = mg::MgConfig::paper();

@@ -95,14 +95,17 @@ fn my_planes(n: usize, me: usize, nodes: usize) -> (usize, usize) {
 /// Dirichlet boundary).
 fn sweep(dsm: &mut Dsm, lv: &Level, src: bool, me: usize, nodes: usize) {
     let n = lv.n;
-    let (from, to) = if src { (&lv.u, &lv.tmp) } else { (&lv.tmp, &lv.u) };
+    let (from, to) = if src {
+        (&lv.u, &lv.tmp)
+    } else {
+        (&lv.tmp, &lv.u)
+    };
     let (zlo, zhi) = my_planes(n, me, nodes);
     for z in zlo..zhi {
         for y in 0..n {
             for x in 0..n {
                 let i = idx(n, x, y, z);
-                let interior =
-                    x > 0 && x < n - 1 && y > 0 && y < n - 1 && z > 0 && z < n - 1;
+                let interior = x > 0 && x < n - 1 && y > 0 && y < n - 1 && z > 0 && z < n - 1;
                 if !interior {
                     dsm.write(to, i, 0.0);
                     continue;
@@ -140,8 +143,7 @@ fn restrict(dsm: &mut Dsm, fine: &Level, coarse: &Level, me: usize, nodes: usize
         for yc in 0..nc {
             for xc in 0..nc {
                 let (x, y, z) = (xc * 2, yc * 2, zc * 2);
-                let interior =
-                    x > 0 && x < nf - 1 && y > 0 && y < nf - 1 && z > 0 && z < nf - 1;
+                let interior = x > 0 && x < nf - 1 && y > 0 && y < nf - 1 && z > 0 && z < nf - 1;
                 let r = if interior {
                     let i = idx(nf, x, y, z);
                     let u = dsm.read(&fine.u, i);
@@ -173,7 +175,12 @@ fn prolongate(dsm: &mut Dsm, coarse: &Level, fine: &Level, me: usize, nodes: usi
     for z in zlo..zhi {
         for y in 0..nf {
             for x in 0..nf {
-                let c = idx(nc, (x / 2).min(nc - 1), (y / 2).min(nc - 1), (z / 2).min(nc - 1));
+                let c = idx(
+                    nc,
+                    (x / 2).min(nc - 1),
+                    (y / 2).min(nc - 1),
+                    (z / 2).min(nc - 1),
+                );
                 let corr = dsm.read(&coarse.u, c);
                 if corr != 0.0 {
                     let i = idx(nf, x, y, z);
@@ -297,12 +304,8 @@ pub fn reference_digest(cfg: &MgConfig) -> u64 {
                 for yc in 0..nc {
                     for xc in 0..nc {
                         let (x, y, z) = (xc * 2, yc * 2, zc * 2);
-                        let interior = x > 0
-                            && x < nf - 1
-                            && y > 0
-                            && y < nf - 1
-                            && z > 0
-                            && z < nf - 1;
+                        let interior =
+                            x > 0 && x < nf - 1 && y > 0 && y < nf - 1 && z > 0 && z < nf - 1;
                         if interior {
                             let i = idx(nf, x, y, z);
                             let u = levels[l].u[i];
@@ -312,8 +315,7 @@ pub fn reference_digest(cfg: &MgConfig) -> u64 {
                                 + levels[l].u[idx(nf, x, y + 1, z)]
                                 + levels[l].u[idx(nf, x, y, z - 1)]
                                 + levels[l].u[idx(nf, x, y, z + 1)];
-                            coarse_f[idx(nc, xc, yc, zc)] =
-                                levels[l].f[i] - (6.0 * u - nb);
+                            coarse_f[idx(nc, xc, yc, zc)] = levels[l].f[i] - (6.0 * u - nb);
                         }
                     }
                 }

@@ -81,10 +81,9 @@ pub fn initial_fields(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
             v[at(n, x, y)] = (psi[y * (n + 1) + x + 1] - psi[y * (n + 1) + x]) / DX;
             // Positive-definite pressure, as in the original kernel
             // (the z-field divides by a 4-point sum of p).
-            p[at(n, x, y)] = PCF
-                * (((x as f64) * di).cos() + ((y as f64) * dj).cos())
-                * (EL / 1000.0)
-                + 50_000.0;
+            p[at(n, x, y)] =
+                PCF * (((x as f64) * di).cos() + ((y as f64) * dj).cos()) * (EL / 1000.0)
+                    + 50_000.0;
         }
     }
     (u, v, p)
@@ -195,8 +194,7 @@ pub fn run(dsm: &mut Dsm, cfg: &ShallowConfig) -> u64 {
                             + dsm.read(&g.cv, at(n, x, ys))
                             + dsm.read(&g.cv, at(n, x, y)))
                         / 4.0
-                    - tdtsdx
-                        * (dsm.read(&g.h, at(n, x, y)) - dsm.read(&g.h, at(n, xw, y)));
+                    - tdtsdx * (dsm.read(&g.h, at(n, x, y)) - dsm.read(&g.h, at(n, xw, y)));
                 let vnew = dsm.read(&g.vold, at(n, x, y))
                     - tdts8
                         * (dsm.read(&g.z, at(n, x, yn)) + dsm.read(&g.z, at(n, x, y)))
@@ -205,13 +203,10 @@ pub fn run(dsm: &mut Dsm, cfg: &ShallowConfig) -> u64 {
                             + dsm.read(&g.cu, at(n, xw, y))
                             + dsm.read(&g.cu, at(n, x, y)))
                         / 4.0
-                    - tdtsdy
-                        * (dsm.read(&g.h, at(n, x, yn)) - dsm.read(&g.h, at(n, x, y)));
+                    - tdtsdy * (dsm.read(&g.h, at(n, x, yn)) - dsm.read(&g.h, at(n, x, y)));
                 let pnew = dsm.read(&g.pold, at(n, x, y))
-                    - tdtsdx
-                        * (dsm.read(&g.cu, at(n, xe, y)) - dsm.read(&g.cu, at(n, x, y)))
-                    - tdtsdy
-                        * (dsm.read(&g.cv, at(n, x, yn)) - dsm.read(&g.cv, at(n, x, y)));
+                    - tdtsdx * (dsm.read(&g.cu, at(n, xe, y)) - dsm.read(&g.cu, at(n, x, y)))
+                    - tdtsdy * (dsm.read(&g.cv, at(n, x, yn)) - dsm.read(&g.cv, at(n, x, y)));
                 dsm.write(&g.unew, at(n, x, y), unew);
                 dsm.write(&g.vnew, at(n, x, y), vnew);
                 dsm.write(&g.pnew, at(n, x, y), pnew);
@@ -224,11 +219,7 @@ pub fn run(dsm: &mut Dsm, cfg: &ShallowConfig) -> u64 {
         for y in ylo..yhi {
             for x in 0..n {
                 let i = at(n, x, y);
-                let (uc, vc, pc) = (
-                    dsm.read(&g.u, i),
-                    dsm.read(&g.v, i),
-                    dsm.read(&g.p, i),
-                );
+                let (uc, vc, pc) = (dsm.read(&g.u, i), dsm.read(&g.v, i), dsm.read(&g.p, i));
                 let (un, vn, pn) = (
                     dsm.read(&g.unew, i),
                     dsm.read(&g.vnew, i),
@@ -310,13 +301,19 @@ pub fn reference_digest(cfg: &ShallowConfig) -> u64 {
                 unew[at(n, x, y)] = uold[at(n, x, y)]
                     + tdts8
                         * (z[at(n, xe, y)] + z[at(n, x, y)])
-                        * (cv[at(n, xe, y)] + cv[at(n, xe, ys)] + cv[at(n, x, ys)] + cv[at(n, x, y)])
+                        * (cv[at(n, xe, y)]
+                            + cv[at(n, xe, ys)]
+                            + cv[at(n, x, ys)]
+                            + cv[at(n, x, y)])
                         / 4.0
                     - tdtsdx * (h[at(n, x, y)] - h[at(n, xw, y)]);
                 vnew[at(n, x, y)] = vold[at(n, x, y)]
                     - tdts8
                         * (z[at(n, x, yn)] + z[at(n, x, y)])
-                        * (cu[at(n, x, yn)] + cu[at(n, xw, yn)] + cu[at(n, xw, y)] + cu[at(n, x, y)])
+                        * (cu[at(n, x, yn)]
+                            + cu[at(n, xw, yn)]
+                            + cu[at(n, xw, y)]
+                            + cu[at(n, x, y)])
                         / 4.0
                     - tdtsdy * (h[at(n, x, yn)] - h[at(n, x, y)]);
                 pnew[at(n, x, y)] = pold[at(n, x, y)]

@@ -57,11 +57,7 @@ const BOX: f64 = 10.0;
 /// in the parallel kernel and the serial reference).
 pub fn initial_position(i: usize) -> [f64; 3] {
     let mut g = SplitMix64::new(0x3A7E5_u64 ^ (i as u64) << 3);
-    [
-        g.next_f64() * BOX,
-        g.next_f64() * BOX,
-        g.next_f64() * BOX,
-    ]
+    [g.next_f64() * BOX, g.next_f64() * BOX, g.next_f64() * BOX]
 }
 
 /// Pairwise force contribution and potential energy for molecules at
@@ -108,8 +104,8 @@ pub fn run(dsm: &mut Dsm, cfg: &WaterConfig) -> u64 {
     // Initialize own block.
     for i in lo..hi {
         let p = initial_position(i);
-        for k in 0..3 {
-            dsm.write(&pos, 3 * i + k, p[k]);
+        for (k, &coord) in p.iter().enumerate() {
+            dsm.write(&pos, 3 * i + k, coord);
             dsm.write(&vel, 3 * i + k, 0.0);
         }
     }
@@ -240,8 +236,8 @@ pub fn reference_digest(cfg: &WaterConfig) -> u64 {
     }
     let mut sum = Checksum::new();
     for p in &pos {
-        for k in 0..3 {
-            sum.push_f64(p[k]);
+        for &coord in p.iter().take(3) {
+            sum.push_f64(coord);
         }
     }
     sum.push_u64(energy as u64);

@@ -21,12 +21,7 @@ fn main() {
         for protocol in [Protocol::None, Protocol::Ml, Protocol::Ccl] {
             let t = run_paper(app, protocol).exec_time().as_secs_f64();
             let norm = 100.0 * t / base;
-            println!(
-                "  {:<26} {:>6.1}  |{}",
-                protocol.label(),
-                norm,
-                bar(norm)
-            );
+            println!("  {:<26} {:>6.1}  |{}", protocol.label(), norm, bar(norm));
         }
         println!();
     }

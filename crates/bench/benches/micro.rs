@@ -1,14 +1,52 @@
-//! Criterion micro-benchmarks of the substrate operations the protocols
-//! are built from: twin/diff creation and application, the wire codec,
+//! Micro-benchmarks of the substrate operations the protocols are built
+//! from: twin/diff creation and application, the wire codec,
 //! vector-clock operations, and stable-storage log appends.
+//!
+//! Self-contained timing harness (median of repeated batches over
+//! `std::time::Instant`) — no external benchmarking framework.
 //!
 //! Run with: `cargo bench -p ccl-bench --bench micro`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use pagemem::{Decode, Encode, IntervalId, PageDiff, PageFrame, Twin, VClock};
 use simnet::{DiskModel, SimDisk};
 
 const PAGE: usize = 4096;
+
+/// Time `f` over `iters` iterations, repeated in `batches` batches, and
+/// report the best per-iteration time in nanoseconds (least-noise
+/// estimator for short deterministic kernels).
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    const BATCHES: usize = 7;
+    const WARMUP: usize = 3;
+    // Calibrate the iteration count to ~10ms per batch.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 10 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for batch in 0..WARMUP + BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+        if batch >= WARMUP && per_iter < best {
+            best = per_iter;
+        }
+    }
+    println!("{name:<28} {best:>10.1} ns/iter  ({iters} iters/batch)");
+}
 
 fn dirty_page(words: usize) -> (Twin, PageFrame) {
     let base = PageFrame::zeroed(PAGE);
@@ -21,81 +59,67 @@ fn dirty_page(words: usize) -> (Twin, PageFrame) {
     (twin, cur)
 }
 
-fn bench_diff(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diff");
-    g.throughput(Throughput::Bytes(PAGE as u64));
+fn bench_diff() {
     for words in [1usize, 16, 128] {
         let (twin, cur) = dirty_page(words);
-        g.bench_function(format!("create/{words}w"), |b| {
-            b.iter(|| PageDiff::create(0, &twin, &cur))
+        bench(&format!("diff/create/{words}w"), || {
+            black_box(PageDiff::create(0, black_box(&twin), black_box(&cur)));
         });
         let diff = PageDiff::create(0, &twin, &cur);
-        g.bench_function(format!("apply/{words}w"), |b| {
-            b.iter_batched(
-                || twin.frame().clone(),
-                |mut frame| diff.apply(&mut frame),
-                BatchSize::SmallInput,
-            )
+        let mut frame = twin.frame().clone();
+        bench(&format!("diff/apply/{words}w"), || {
+            diff.apply(black_box(&mut frame));
         });
     }
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
+fn bench_codec() {
     let (twin, cur) = dirty_page(64);
     let diff = PageDiff::create(7, &twin, &cur);
     let bytes = diff.encode_to_vec();
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("diff_encode", |b| b.iter(|| diff.encode_to_vec()));
-    g.bench_function("diff_decode", |b| {
-        b.iter(|| PageDiff::decode_from_slice(&bytes).unwrap())
+    bench("codec/diff_encode", || {
+        black_box(black_box(&diff).encode_to_vec());
     });
-    g.finish();
+    bench("codec/diff_decode", || {
+        black_box(PageDiff::decode_from_slice(black_box(&bytes)).unwrap());
+    });
 }
 
-fn bench_vclock(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vclock");
+fn bench_vclock() {
     let mut a = VClock::new(8);
     let mut b8 = VClock::new(8);
     for i in 0..8 {
         a.set(i, i * 7);
         b8.set(i, 50 - i * 3);
     }
-    g.bench_function("join", |b| {
-        b.iter_batched(
-            || a.clone(),
-            |mut x| x.join(&b8),
-            BatchSize::SmallInput,
-        )
+    bench("vclock/join", || {
+        let mut x = black_box(a.clone());
+        x.join(black_box(&b8));
+        black_box(x);
     });
-    g.bench_function("compare", |b| b.iter(|| a.compare(&b8)));
-    g.bench_function("observe", |b| {
-        b.iter_batched(
-            || a.clone(),
-            |mut x| x.observe(IntervalId { node: 3, seq: 99 }),
-            BatchSize::SmallInput,
-        )
+    bench("vclock/compare", || {
+        black_box(black_box(&a).compare(black_box(&b8)));
     });
-    g.finish();
+    bench("vclock/observe", || {
+        let mut x = black_box(a.clone());
+        x.observe(IntervalId { node: 3, seq: 99 });
+        black_box(x);
+    });
 }
 
-fn bench_disk_log(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stable_log");
+fn bench_disk_log() {
     for record_size in [64usize, 1024, 4096] {
-        g.throughput(Throughput::Bytes(record_size as u64 * 16));
-        g.bench_function(format!("flush16x{record_size}"), |b| {
-            b.iter_batched(
-                || SimDisk::new(DiskModel::ULTRA5_LOCAL),
-                |mut disk| {
-                    disk.flush_records("log", (0..16).map(|i| vec![i as u8; record_size]))
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("stable_log/flush16x{record_size}"), || {
+            let mut disk = SimDisk::new(DiskModel::ULTRA5_LOCAL);
+            black_box(disk.flush_records("log", (0..16).map(|i| vec![i as u8; record_size])));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_diff, bench_codec, bench_vclock, bench_disk_log);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks (best-of-batches, ns/iter)");
+    bench_diff();
+    bench_codec();
+    bench_vclock();
+    bench_disk_log();
+}

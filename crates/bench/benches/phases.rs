@@ -1,0 +1,29 @@
+//! Machine-readable run telemetry: per-node phase breakdowns as JSON.
+//!
+//! Runs each application under {None, ML, CCL} at small scale and
+//! prints one JSON object per run (see `RunOutput::phases_json`): the
+//! run label, total execution time, and for every node where its time
+//! went — compute, synchronization wait, critical-path disk, and the
+//! disk time hidden behind communication. The four components sum to
+//! the node's finish time by construction.
+//!
+//! Run with: `cargo bench -p ccl-bench --bench phases`
+//! Pipe through `python3 -m json.tool --json-lines` (or jq) to pretty-
+//! print.
+
+use ccl_apps::App;
+use ccl_core::{run_program, ClusterSpec, Protocol};
+
+fn main() {
+    let page = 256;
+    for app in App::ALL {
+        for protocol in [Protocol::None, Protocol::Ml, Protocol::Ccl] {
+            let spec = ClusterSpec::new(4, app.tiny_pages(page) + 4)
+                .with_page_size(page)
+                .with_protocol(protocol);
+            let out = run_program(spec, move |dsm| app.run_tiny(dsm));
+            let label = format!("{}/{:?}", app.name(), protocol);
+            println!("{}", out.phases_json(&label));
+        }
+    }
+}

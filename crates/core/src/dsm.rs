@@ -219,8 +219,7 @@ impl Dsm {
     /// returned by [`Dsm::restored_state`] after a crash.
     pub fn checkpoint(&mut self, app_state: &[u8]) {
         let d = ftlog::take_checkpoint(&mut self.node.inner, app_state);
-        self.node.inner.ctx.advance(d);
-        self.node.inner.ctx.stats.disk_time += d;
+        self.node.inner.ctx.charge_disk(d);
         self.node.ft.on_checkpoint(&mut self.node.inner);
     }
 
@@ -238,11 +237,13 @@ impl Dsm {
     pub(crate) fn handle_crash(&mut self) {
         let crash_instant = self.node.inner.ctx.now();
         let delay = self.crash.map_or(SimDuration::ZERO, |c| c.detection_delay);
-        self.node.inner.ctx.advance(delay);
+        // The cluster sits in the crash-detection timeout: blocked, not
+        // computing.
+        self.node.inner.ctx.charge_wait(delay);
         self.node.crash_and_reset();
         // The crash happened before the detection delay; recovery time
         // (exit - crashed_at) therefore includes detection.
-        self.node.inner.crashed_at = Some(crash_instant);
+        self.node.inner.ctx.crashed_at = Some(crash_instant);
         self.restored = self.node.ft.restored_app_state();
         self.alloc_cursor = 0;
         self.barriers_done = 0;

@@ -28,9 +28,9 @@
 #![warn(missing_docs)]
 
 mod dsm;
+mod runner;
 mod shared;
 mod spec;
-mod runner;
 
 pub use dsm::Dsm;
 pub use runner::{run_program, NodeOutput, RunOutput};

@@ -5,7 +5,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use hlrc::{HlrcNode, Msg, NoLogging};
-use simnet::{run_cluster, DiskCounters, NodeId, NodeStats, SimTime};
+use simnet::{run_cluster, DiskCounters, NodeId, NodeStats, PhaseBreakdown, SimTime, TraceEvent};
 
 use crate::dsm::{CrashToken, Dsm};
 use crate::spec::{ClusterSpec, Protocol};
@@ -23,6 +23,12 @@ pub struct NodeOutput<R> {
     pub disk: DiskCounters,
     /// Virtual time at which this node finished the program.
     pub finish: SimTime,
+    /// Where this node's time went; the four components sum to
+    /// `finish`.
+    pub phases: PhaseBreakdown,
+    /// Structured telemetry stream, in nondecreasing virtual-time
+    /// order.
+    pub trace: Vec<TraceEvent>,
     /// When the injected crash happened here (if this node failed).
     pub crashed_at: Option<SimTime>,
     /// When log replay ended and the node resumed live operation.
@@ -39,7 +45,11 @@ pub struct RunOutput<R> {
 impl<R> RunOutput<R> {
     /// The run's execution time: the latest finish across nodes.
     pub fn exec_time(&self) -> SimTime {
-        self.nodes.iter().map(|n| n.finish).max().unwrap_or(SimTime::ZERO)
+        self.nodes
+            .iter()
+            .map(|n| n.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Cluster-wide merged statistics.
@@ -74,6 +84,39 @@ impl<R> RunOutput<R> {
             let end = n.recovery_exit?;
             Some(end.saturating_since(start))
         })
+    }
+
+    /// Machine-readable run telemetry: per-node phase breakdown (all
+    /// times in nanoseconds) plus trace-event counts, as a JSON string.
+    /// The bench harness prints this for downstream tooling.
+    pub fn phases_json(&self, label: &str) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"run\":\"{label}\",\"exec_time_ns\":{},\"nodes\":[",
+            self.exec_time().as_nanos()
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let p = n.phases;
+            let _ = write!(
+                s,
+                "{{\"node\":{},\"finish_ns\":{},\"compute_ns\":{},\"wait_ns\":{},\
+                 \"disk_ns\":{},\"hidden_ns\":{},\"events\":{}}}",
+                n.node,
+                n.finish.as_nanos(),
+                p.compute.as_nanos(),
+                p.wait.as_nanos(),
+                p.disk.as_nanos(),
+                p.hidden.as_nanos(),
+                n.trace.len()
+            );
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -147,15 +190,17 @@ where
         // Implicit final barrier: keeps managers and homes reachable
         // until every node has finished all its protocol traffic.
         dsm.barrier();
-        let inner = &dsm.node.inner;
+        let inner = &mut dsm.node.inner;
         NodeOutput {
             node: id,
             result,
             stats: inner.ctx.stats,
             disk: inner.ctx.disk.counters(),
             finish: inner.ctx.now(),
-            crashed_at: inner.crashed_at,
-            recovery_exit: inner.recovery_exit,
+            phases: inner.ctx.stats.phases(),
+            trace: inner.ctx.take_trace(),
+            crashed_at: inner.ctx.crashed_at,
+            recovery_exit: inner.ctx.recovery_exit,
         }
     });
     RunOutput { nodes: results }
@@ -186,7 +231,12 @@ mod tests {
 
     #[test]
     fn all_protocols_agree_on_results() {
-        for p in [Protocol::None, Protocol::Ml, Protocol::Ccl, Protocol::CclNoOverlap] {
+        for p in [
+            Protocol::None,
+            Protocol::Ml,
+            Protocol::Ccl,
+            Protocol::CclNoOverlap,
+        ] {
             let out = run_program(tiny_spec(p), counter_program);
             assert!(
                 out.nodes.iter().all(|n| n.result == 4),
@@ -215,8 +265,11 @@ mod tests {
     fn crash_recovery_preserves_results_ccl() {
         let spec = tiny_spec(Protocol::Ccl).with_crash(CrashPlan::new(1, 2));
         let out = run_program(spec, counter_program);
-        assert!(out.nodes.iter().all(|n| n.result == 4), "{:?}",
-            out.nodes.iter().map(|n| n.result).collect::<Vec<_>>());
+        assert!(
+            out.nodes.iter().all(|n| n.result == 4),
+            "{:?}",
+            out.nodes.iter().map(|n| n.result).collect::<Vec<_>>()
+        );
         assert!(out.recovery_time().is_some());
     }
 
@@ -226,5 +279,59 @@ mod tests {
         let out = run_program(spec, counter_program);
         assert!(out.nodes.iter().all(|n| n.result == 4));
         assert!(out.recovery_time().is_some());
+    }
+
+    /// The accounting invariant behind the phase breakdown: every clock
+    /// advance in the engine is charged to exactly one category, so
+    /// compute + wait + disk + hidden equals the node's finish time —
+    /// under every protocol, crash or not.
+    #[test]
+    fn phase_breakdown_sums_to_finish_time() {
+        let mut specs = vec![
+            tiny_spec(Protocol::None),
+            tiny_spec(Protocol::Ml),
+            tiny_spec(Protocol::Ccl),
+            tiny_spec(Protocol::CclNoOverlap),
+            tiny_spec(Protocol::Ccl).with_crash(CrashPlan::new(1, 2)),
+            tiny_spec(Protocol::Ml).with_crash(CrashPlan::new(1, 2)),
+        ];
+        for spec in specs.drain(..) {
+            let label = format!("{:?} crash={}", spec.protocol, spec.crash.is_some());
+            let out = run_program(spec, counter_program);
+            for n in &out.nodes {
+                assert_eq!(
+                    n.phases.total().as_nanos(),
+                    n.finish.as_nanos(),
+                    "node {} phase sum deviates from finish ({label}): {:?}",
+                    n.node,
+                    n.phases
+                );
+            }
+        }
+    }
+
+    /// Telemetry contract: each node's trace is nondecreasing in
+    /// virtual time and tagged with the emitting node.
+    #[test]
+    fn trace_events_are_time_ordered_per_node() {
+        let spec = tiny_spec(Protocol::Ccl).with_crash(CrashPlan::new(1, 2));
+        let out = run_program(spec, counter_program);
+        let mut total = 0;
+        for n in &out.nodes {
+            let mut last = simnet::SimTime::ZERO;
+            for ev in &n.trace {
+                assert_eq!(ev.node, n.node, "event from a foreign node in the stream");
+                assert!(
+                    ev.at >= last,
+                    "node {} trace goes backwards: {:?} after {:?}",
+                    n.node,
+                    ev,
+                    last
+                );
+                last = ev.at;
+            }
+            total += n.trace.len();
+        }
+        assert!(total > 0, "a CCL crash run must emit telemetry");
     }
 }

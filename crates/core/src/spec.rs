@@ -148,9 +148,6 @@ mod tests {
 
     #[test]
     fn table2_protocols() {
-        assert_eq!(
-            Protocol::TABLE2.map(|p| p.label()),
-            ["none", "ml", "ccl"]
-        );
+        assert_eq!(Protocol::TABLE2.map(|p| p.label()), ["none", "ml", "ccl"]);
     }
 }

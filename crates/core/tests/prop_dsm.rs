@@ -4,28 +4,34 @@
 //! node, under every logging protocol, and across injected crashes.
 
 use ccl_core::{run_program, ClusterSpec, CrashPlan, Dsm, Protocol};
-use proptest::prelude::*;
+use minicheck::{check, Rng};
 
 const NODES: usize = 3;
 const CELLS: usize = 96; // 3 x 256-byte pages, block-distributed
+const CASES: u64 = 24;
 
 /// One round: for each touched cell, which node writes which value.
 type Round = Vec<(usize, usize, u64)>; // (cell, writer, value)
 
-fn arb_schedule() -> impl Strategy<Value = Vec<Round>> {
-    proptest::collection::vec(
-        proptest::collection::vec(
-            (0usize..CELLS, 0usize..NODES, 1u64..1_000_000),
-            0..24,
-        )
-        .prop_map(|mut round: Round| {
+fn arb_schedule(rng: &mut Rng) -> Vec<Round> {
+    let rounds = rng.usize_in(1, 6);
+    (0..rounds)
+        .map(|_| {
+            let mut round: Round = (0..rng.usize_in(0, 24))
+                .map(|_| {
+                    (
+                        rng.usize_in(0, CELLS),
+                        rng.usize_in(0, NODES),
+                        rng.u64_in(1, 1_000_000),
+                    )
+                })
+                .collect();
             // One writer per cell per round keeps the schedule DRF.
             round.sort_by_key(|(c, _, _)| *c);
             round.dedup_by_key(|(c, _, _)| *c);
             round
-        }),
-        1..6,
-    )
+        })
+        .collect()
 }
 
 fn model_final(schedule: &[Round]) -> Vec<u64> {
@@ -58,7 +64,7 @@ fn dsm_program(schedule: Vec<Round>) -> impl Fn(&mut Dsm) -> Vec<u64> + Send + S
     }
 }
 
-fn check(schedule: Vec<Round>, protocol: Protocol, crash: Option<CrashPlan>) {
+fn run_check(schedule: Vec<Round>, protocol: Protocol, crash: Option<CrashPlan>) {
     let expect = model_final(&schedule);
     let mut spec = ClusterSpec::new(NODES, 8)
         .with_page_size(256)
@@ -72,43 +78,47 @@ fn check(schedule: Vec<Round>, protocol: Protocol, crash: Option<CrashPlan>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn random_schedules_match_model_no_logging() {
+    check("random_schedules_match_model_no_logging", CASES, |rng| {
+        run_check(arb_schedule(rng), Protocol::None, None);
+    });
+}
 
-    #[test]
-    fn random_schedules_match_model_no_logging(schedule in arb_schedule()) {
-        check(schedule, Protocol::None, None);
-    }
+#[test]
+fn random_schedules_match_model_ccl() {
+    check("random_schedules_match_model_ccl", CASES, |rng| {
+        run_check(arb_schedule(rng), Protocol::Ccl, None);
+    });
+}
 
-    #[test]
-    fn random_schedules_match_model_ccl(schedule in arb_schedule()) {
-        check(schedule, Protocol::Ccl, None);
-    }
+#[test]
+fn random_schedules_match_model_ml() {
+    check("random_schedules_match_model_ml", CASES, |rng| {
+        run_check(arb_schedule(rng), Protocol::Ml, None);
+    });
+}
 
-    #[test]
-    fn random_schedules_match_model_ml(schedule in arb_schedule()) {
-        check(schedule, Protocol::Ml, None);
-    }
-
-    #[test]
-    fn random_schedules_survive_crashes_ccl(
-        schedule in arb_schedule(),
-        victim in 1usize..NODES,
-        after in 1u64..8,
-    ) {
+#[test]
+fn random_schedules_survive_crashes_ccl() {
+    check("random_schedules_survive_crashes_ccl", CASES, |rng| {
+        let schedule = arb_schedule(rng);
+        let victim = rng.usize_in(1, NODES);
+        let after = rng.u64_in(1, 8);
         let rounds = schedule.len() as u64;
         let crash = CrashPlan::new(victim, after.min(rounds * 2));
-        check(schedule, Protocol::Ccl, Some(crash));
-    }
+        run_check(schedule, Protocol::Ccl, Some(crash));
+    });
+}
 
-    #[test]
-    fn random_schedules_survive_crashes_ml(
-        schedule in arb_schedule(),
-        victim in 1usize..NODES,
-        after in 1u64..8,
-    ) {
+#[test]
+fn random_schedules_survive_crashes_ml() {
+    check("random_schedules_survive_crashes_ml", CASES, |rng| {
+        let schedule = arb_schedule(rng);
+        let victim = rng.usize_in(1, NODES);
+        let after = rng.u64_in(1, 8);
         let rounds = schedule.len() as u64;
         let crash = CrashPlan::new(victim, after.min(rounds * 2));
-        check(schedule, Protocol::Ml, Some(crash));
-    }
+        run_check(schedule, Protocol::Ml, Some(crash));
+    });
 }

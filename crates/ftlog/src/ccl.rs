@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind, WriteNotice};
 use pagemem::{Decode, Encode, IntervalId, PageDiff, PageId, PageState, VClock};
-use simnet::{Envelope, SimDuration, SimTime};
+use simnet::{Envelope, SimDuration, SimTime, TraceKind};
 
 use crate::log_record::{CclRecord, SyncTag};
 
@@ -114,8 +114,12 @@ impl CclLogger {
         }
     }
 
-    fn stage(&mut self, rec: CclRecord) {
-        self.staged_bytes += rec.encoded_size();
+    fn stage(&mut self, inner: &mut NodeInner, rec: CclRecord) {
+        let bytes = rec.encoded_size();
+        inner.ctx.trace(TraceKind::LogAppend {
+            bytes: bytes as u64,
+        });
+        self.staged_bytes += bytes;
         self.staged.push(rec);
     }
 
@@ -126,9 +130,9 @@ impl CclLogger {
             return (SimDuration::ZERO, SimDuration::ZERO);
         }
         let bytes = self.staged_bytes;
-        let mut pos = inner.ctx.disk.record_count(CCL_STREAM);
+        let base_pos = inner.ctx.disk.record_count(CCL_STREAM);
         let mut encoded = Vec::with_capacity(self.staged.len());
-        for rec in self.staged.drain(..) {
+        for (pos, rec) in (base_pos..).zip(self.staged.drain(..)) {
             if let CclRecord::Diffs { interval, diffs } = &rec {
                 for d in diffs {
                     self.diff_index.insert((d.page, interval.seq), pos);
@@ -140,13 +144,16 @@ impl CclLogger {
                 }
             }
             encoded.push(rec.encode_to_vec());
-            pos += 1;
         }
         self.staged_bytes = 0;
         let _ = inner.ctx.disk.flush_records(CCL_STREAM, encoded);
         let drain = inner.ctx.disk.model().drain_time(bytes);
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
+        inner.ctx.trace(TraceKind::LogFlush {
+            bytes: bytes as u64,
+            overlapped: self.overlap,
+        });
         (inner.ctx.disk.model().buffered_write_cost(bytes), drain)
     }
 
@@ -178,14 +185,18 @@ impl CclLogger {
             for (writer, seqs) in per_writer {
                 inner
                     .ctx
-                    .send(writer as usize, Msg::LoggedDiffRequest { page: *page, seqs })
+                    .send(
+                        writer as usize,
+                        Msg::LoggedDiffRequest { page: *page, seqs },
+                    )
                     .expect("send logged diff request");
                 outstanding += 1;
             }
         }
         for _ in 0..outstanding {
-            let env =
-                inner.wait_for_deferring(|m| matches!(m, Msg::LoggedDiffReply { .. }));
+            let env = inner
+                .ctx
+                .wait_for_deferring(|m| matches!(m, Msg::LoggedDiffReply { .. }));
             if let Msg::LoggedDiffReply { page, diffs } = env.payload {
                 for (iv, d) in diffs {
                     inner.ctx.charge_copy(d.encoded_size());
@@ -220,9 +231,9 @@ impl CclLogger {
         }
         let mut advanced: Vec<(PageId, Vec<u8>, VClock)> = Vec::new();
         for _ in 0..pages.len() {
-            let env = inner.wait_for_deferring(|m| {
-                matches!(m, Msg::RecoveryPageReply { page, .. } if pages.contains(page))
-            });
+            let env = inner.ctx.wait_for_deferring(
+                |m| matches!(m, Msg::RecoveryPageReply { page, .. } if pages.contains(page)),
+            );
             if let Msg::RecoveryPageReply {
                 page,
                 advanced: adv,
@@ -313,10 +324,9 @@ impl CclLogger {
             // One sequential log read per replayed interval (bandwidth
             // plus a syscall, no seek: the log is scanned in order).
             let _ = inner.ctx.disk.read_cost(batch_bytes); // counters
-            let cost = inner.ctx.disk.model().drain_time(batch_bytes)
-                + SimDuration::from_micros(20);
-            inner.ctx.advance(cost);
-            inner.ctx.stats.disk_time += cost;
+            let cost =
+                inner.ctx.disk.model().drain_time(batch_bytes) + SimDuration::from_micros(20);
+            inner.ctx.charge_disk(cost);
         }
         let Some((notices, vc)) = sync else {
             // Log exhausted: pre-crash state reached. (The cursor can
@@ -436,6 +446,9 @@ impl CclLogger {
             }
         }
 
+        inner.ctx.trace(TraceKind::RecoveryReplay {
+            notices: fresh.len() as u32,
+        });
         // Eagerly leave recovery when the log is fully consumed.
         if self
             .replay
@@ -479,11 +492,14 @@ impl FaultTolerance for CclLogger {
             SyncKind::Barrier(e) => SyncTag::Barrier(e),
             SyncKind::Release(_) => unreachable!("notices never arrive at a release"),
         };
-        self.stage(CclRecord::Sync {
-            tag,
-            notices: notices.to_vec(),
-            vc: vc.clone(),
-        });
+        self.stage(
+            inner,
+            CclRecord::Sync {
+                tag,
+                notices: notices.to_vec(),
+                vc: vc.clone(),
+            },
+        );
         // Flush at barrier completion so a barrier-aligned crash finds
         // the episode's notices on disk (lock-acquire notices keep the
         // paper's schedule: flushed at the subsequent release). The
@@ -493,8 +509,7 @@ impl FaultTolerance for CclLogger {
             let (cpu, drain) = self.flush_staged(inner);
             if drain > SimDuration::ZERO {
                 if self.overlap {
-                    inner.ctx.advance(cpu);
-                    inner.ctx.stats.disk_time += cpu;
+                    inner.ctx.charge_disk(cpu);
                     let start = inner.ctx.now().max(self.disk_free_at);
                     self.disk_free_at = start + drain;
                     inner.ctx.stats.disk_time_overlapped += drain;
@@ -502,40 +517,40 @@ impl FaultTolerance for CclLogger {
                     // Ablation A1: no latency tolerance anywhere —
                     // write-through with the full access cost.
                     let d = cpu + inner.ctx.disk.model().access_latency + drain;
-                    inner.ctx.advance(d);
-                    inner.ctx.stats.disk_time += d;
+                    inner.ctx.charge_disk(d);
                 }
             }
         }
     }
 
-    fn on_updates_applied(&mut self, _inner: &mut NodeInner, writer: IntervalId, pages: &[PageId]) {
-        self.stage(CclRecord::Updates {
-            writer,
-            pages: pages.to_vec(),
-        });
+    fn on_updates_applied(&mut self, inner: &mut NodeInner, writer: IntervalId, pages: &[PageId]) {
+        self.stage(
+            inner,
+            CclRecord::Updates {
+                writer,
+                pages: pages.to_vec(),
+            },
+        );
     }
 
     fn on_diffs_created(
         &mut self,
-        _inner: &mut NodeInner,
+        inner: &mut NodeInner,
         interval: IntervalId,
         diffs: &[PageDiff],
     ) {
         if !diffs.is_empty() {
-            self.stage(CclRecord::Diffs {
-                interval,
-                diffs: diffs.to_vec(),
-            });
+            self.stage(
+                inner,
+                CclRecord::Diffs {
+                    interval,
+                    diffs: diffs.to_vec(),
+                },
+            );
         }
     }
 
-    fn on_home_diffs(
-        &mut self,
-        _inner: &mut NodeInner,
-        interval: IntervalId,
-        diffs: &[PageDiff],
-    ) {
+    fn on_home_diffs(&mut self, _inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {
         for d in diffs {
             self.home_diff_cache
                 .insert((d.page, interval.seq), d.clone());
@@ -568,6 +583,7 @@ impl FaultTolerance for CclLogger {
     }
 
     fn begin_recovery(&mut self, inner: &mut NodeInner) {
+        inner.ctx.trace(TraceKind::RecoveryBegin);
         self.staged.clear();
         self.staged_bytes = 0;
         self.diff_index.clear();
@@ -591,11 +607,7 @@ impl FaultTolerance for CclLogger {
             notices_seen: Vec::new(),
             own_diffs: HashMap::new(),
         });
-        if self
-            .replay
-            .as_ref()
-            .is_some_and(|r| r.records.is_empty())
-        {
+        if self.replay.as_ref().is_some_and(|r| r.records.is_empty()) {
             // Nothing was ever logged (crash before the first flush).
             self.replay = None;
         }
@@ -626,7 +638,12 @@ impl FaultTolerance for CclLogger {
         self.advance_to_sync(inner, SyncTag::Barrier(epoch))
     }
 
-    fn recovery_fault(&mut self, inner: &mut NodeInner, page: PageId, _write: bool) -> RecoveryStep {
+    fn recovery_fault(
+        &mut self,
+        inner: &mut NodeInner,
+        page: PageId,
+        _write: bool,
+    ) -> RecoveryStep {
         // First-touch pages have no notice and therefore were not
         // prefetched; reconstruct on demand.
         self.prefetch_pages(inner, &[page]);
@@ -655,8 +672,8 @@ impl FaultTolerance for CclLogger {
                     }
                 }
             }
-            disk_cost = inner.ctx.disk.model().access_latency
-                + inner.ctx.disk.model().drain_time(total);
+            disk_cost =
+                inner.ctx.disk.model().access_latency + inner.ctx.disk.model().drain_time(total);
             let _ = inner.ctx.disk.read_cost(total); // counters
             self.serve_cache = Some(cache);
         }
@@ -676,7 +693,14 @@ impl FaultTolerance for CclLogger {
         let done = inner.ctx.service_time(env) + disk_cost + inner.ctx.cost.cpu.copy(payload);
         inner
             .ctx
-            .send_from(done, env.src, Msg::LoggedDiffReply { page: *page, diffs: out })
+            .send_from(
+                done,
+                env.src,
+                Msg::LoggedDiffReply {
+                    page: *page,
+                    diffs: out,
+                },
+            )
             .expect("send logged diff reply");
     }
 }

@@ -15,7 +15,7 @@
 
 use hlrc::NodeInner;
 use pagemem::{ByteReader, ByteWriter, CodecError, Decode, Encode, VClock};
-use simnet::SimDuration;
+use simnet::{SimDuration, TraceKind};
 
 /// Stream holding the latest checkpoint's metadata record.
 pub const CKPT_META: &str = "ckpt.meta";
@@ -89,10 +89,12 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
         app_state: app_state.to_vec(),
     };
     inner.ctx.disk.truncate(CKPT_META);
-    let d1 = inner
-        .ctx
-        .disk
-        .flush_records(CKPT_META, vec![meta.encode_to_vec()]);
+    let meta_bytes = meta.encode_to_vec();
+    let total = meta_bytes.len() + page_records.iter().map(Vec::len).sum::<usize>();
+    inner.ctx.trace(TraceKind::Checkpoint {
+        bytes: total as u64,
+    });
+    let d1 = inner.ctx.disk.flush_records(CKPT_META, vec![meta_bytes]);
     let d2 = inner.ctx.disk.flush_records(CKPT_PAGES, page_records);
     // The in-memory base copies become the stable checkpoint image the
     // recovery path restores from.
@@ -106,8 +108,7 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
 pub fn restore_meta(inner: &mut NodeInner) -> Option<Vec<u8>> {
     let bytes = inner.ctx.disk.peek_stream(CKPT_META).first()?.clone();
     let cost = inner.ctx.disk.read_cost(bytes.len());
-    inner.ctx.advance(cost);
-    inner.ctx.stats.disk_time += cost;
+    inner.ctx.charge_disk(cost);
     let meta = CheckpointMeta::decode_from_slice(&bytes).expect("corrupt checkpoint meta");
     inner.vc = meta.vc;
     inner.next_interval = meta.next_interval;

@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod checkpoint;
 mod ccl;
+pub mod checkpoint;
 mod log_record;
 mod ml;
 mod recovery;

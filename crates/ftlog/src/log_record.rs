@@ -14,7 +14,9 @@
 //! encoded bytes of every incoming coherence message.
 
 use hlrc::WriteNotice;
-use pagemem::{ByteReader, ByteWriter, CodecError, Decode, Encode, IntervalId, PageDiff, PageId, VClock};
+use pagemem::{
+    ByteReader, ByteWriter, CodecError, Decode, Encode, IntervalId, PageDiff, PageId, VClock,
+};
 
 /// Which synchronization operation a [`CclRecord::Sync`] belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

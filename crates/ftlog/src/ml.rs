@@ -17,7 +17,7 @@
 
 use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind};
 use pagemem::{Decode, Encode, PageState, VClock};
-use simnet::{SimDuration, SimTime};
+use simnet::{SimDuration, SimTime, TraceKind};
 
 use crate::recovery::replay_apply_notices;
 
@@ -63,6 +63,10 @@ impl MlLogger {
         self.staged_bytes = 0;
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
+        inner.ctx.trace(TraceKind::LogFlush {
+            bytes: bytes as u64,
+            overlapped: false,
+        });
         let cpu = inner.ctx.disk.model().buffered_write_cost(bytes);
         let now = inner.ctx.now();
         let backpressure = self.disk_free_at.saturating_since(now);
@@ -80,10 +84,8 @@ impl MlLogger {
         let cursor = self.cursor.as_mut().expect("not in recovery");
         let (bytes, _) = inner.ctx.disk.read_record(ML_STREAM, *cursor)?;
         *cursor += 1;
-        let cost = inner.ctx.disk.model().drain_time(bytes.len())
-            + SimDuration::from_micros(100);
-        inner.ctx.advance(cost);
-        inner.ctx.stats.disk_time += cost;
+        let cost = inner.ctx.disk.model().drain_time(bytes.len()) + SimDuration::from_micros(100);
+        inner.ctx.charge_disk(cost);
         Some(Msg::decode_from_slice(&bytes).expect("corrupt ML log record"))
     }
 
@@ -119,7 +121,7 @@ impl FaultTolerance for MlLogger {
         "ml"
     }
 
-    fn on_incoming(&mut self, _inner: &mut NodeInner, msg: &Msg) {
+    fn on_incoming(&mut self, inner: &mut NodeInner, msg: &Msg) {
         let log_it = matches!(
             msg,
             Msg::PageReply { .. }
@@ -129,6 +131,9 @@ impl FaultTolerance for MlLogger {
         );
         if log_it {
             let bytes = msg.encode_to_vec();
+            inner.ctx.trace(TraceKind::LogAppend {
+                bytes: bytes.len() as u64,
+            });
             self.staged_bytes += bytes.len();
             self.staged.push(bytes);
         }
@@ -148,8 +153,7 @@ impl FaultTolerance for MlLogger {
         if matches!(kind, SyncKind::Barrier(_)) {
             let d = self.flush_staged(inner);
             if d > SimDuration::ZERO {
-                inner.ctx.advance(d);
-                inner.ctx.stats.disk_time += d;
+                inner.ctx.charge_disk(d);
             }
         }
     }
@@ -161,6 +165,7 @@ impl FaultTolerance for MlLogger {
     }
 
     fn begin_recovery(&mut self, inner: &mut NodeInner) {
+        inner.ctx.trace(TraceKind::RecoveryBegin);
         self.staged.clear();
         self.staged_bytes = 0;
         self.restored_app = crate::checkpoint::restore_meta(inner);
@@ -192,11 +197,18 @@ impl FaultTolerance for MlLogger {
             };
             match &msg {
                 Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
-                Msg::LockGrant { lock: l, vc, notices } => {
+                Msg::LockGrant {
+                    lock: l,
+                    vc,
+                    notices,
+                } => {
                     assert_eq!(*l, lock, "ML replay drift: wrong lock grant");
                     inner.replay_close_interval();
                     replay_apply_notices(inner, notices, vc);
                     inner.lock_grant_vcs.insert(lock, vc.clone());
+                    inner.ctx.trace(TraceKind::RecoveryReplay {
+                        notices: notices.len() as u32,
+                    });
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }
@@ -229,6 +241,9 @@ impl FaultTolerance for MlLogger {
                     inner.last_barrier_vc = inner.vc.clone();
                     let lb = inner.last_barrier_vc.clone();
                     inner.history.retain(|n| !lb.covers(n.interval));
+                    inner.ctx.trace(TraceKind::RecoveryReplay {
+                        notices: notices.len() as u32,
+                    });
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }
@@ -252,6 +267,7 @@ impl FaultTolerance for MlLogger {
                     assert_eq!(*p, page, "ML replay drift: wrong page reply");
                     inner.ctx.charge_copy(data.len());
                     inner.pages.install_copy(page, data, PageState::ReadOnly);
+                    inner.ctx.trace(TraceKind::RecoveryReplay { notices: 0 });
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }

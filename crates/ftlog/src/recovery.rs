@@ -56,7 +56,10 @@ mod tests {
             vc_in.observe(iv);
             let fresh = replay_apply_notices(
                 &mut inner,
-                &[WriteNotice { page: 2, interval: iv }],
+                &[WriteNotice {
+                    page: 2,
+                    interval: iv,
+                }],
                 &vc_in,
             );
             assert_eq!(fresh.len(), 1);
@@ -65,7 +68,10 @@ mod tests {
             // Replaying the same notices again is a no-op.
             let again = replay_apply_notices(
                 &mut inner,
-                &[WriteNotice { page: 2, interval: iv }],
+                &[WriteNotice {
+                    page: 2,
+                    interval: iv,
+                }],
                 &vc_in,
             );
             assert!(again.is_empty());

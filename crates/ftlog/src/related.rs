@@ -23,7 +23,7 @@
 
 use hlrc::{FaultTolerance, Msg, NodeInner, SyncKind, WriteNotice};
 use pagemem::{ByteWriter, Encode, VClock};
-use simnet::SimDuration;
+use simnet::{SimDuration, TraceKind};
 
 /// Flush staging shared by the two record-style loggers.
 #[derive(Default)]
@@ -50,6 +50,10 @@ impl Staged {
         self.bytes = 0;
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
+        inner.ctx.trace(TraceKind::LogFlush {
+            bytes: bytes as u64,
+            overlapped: false,
+        });
         inner.ctx.disk.model().buffered_write_cost(bytes)
             + inner
                 .ctx

@@ -2,83 +2,109 @@
 
 use ftlog::{CclRecord, SyncTag};
 use hlrc::WriteNotice;
+use minicheck::{check, Rng};
 use pagemem::{Decode, DiffRun, Encode, IntervalId, PageDiff, VClock};
-use proptest::prelude::*;
 
-fn arb_interval() -> impl Strategy<Value = IntervalId> {
-    (0u32..8, 0u32..10_000).prop_map(|(node, seq)| IntervalId { node, seq })
+const CASES: u64 = 192;
+
+fn arb_interval(rng: &mut Rng) -> IntervalId {
+    IntervalId {
+        node: rng.u32_in(0, 8),
+        seq: rng.u32_in(0, 10_000),
+    }
 }
 
-fn arb_vclock() -> impl Strategy<Value = VClock> {
-    proptest::collection::vec(0u32..10_000, 1..9).prop_map(|v| {
-        let mut c = VClock::new(v.len());
-        for (i, x) in v.into_iter().enumerate() {
-            c.set(i as u32, x);
-        }
-        c
-    })
+fn arb_vclock(rng: &mut Rng) -> VClock {
+    let n = rng.usize_in(1, 9);
+    let mut c = VClock::new(n);
+    for i in 0..n {
+        c.set(i as u32, rng.u32_in(0, 10_000));
+    }
+    c
 }
 
-fn arb_diff() -> impl Strategy<Value = PageDiff> {
-    (
-        0u32..1024,
-        proptest::collection::vec(((0u32..64), 1usize..5), 0..6),
-    )
-        .prop_map(|(page, raw)| PageDiff {
-            page,
-            runs: raw
-                .into_iter()
-                .map(|(w, words)| DiffRun {
-                    offset: w * 4,
-                    data: vec![0xAB; words * 4],
-                })
-                .collect(),
+fn arb_diff(rng: &mut Rng) -> PageDiff {
+    let page = rng.u32_in(0, 1024);
+    let runs = (0..rng.usize_in(0, 6))
+        .map(|_| {
+            let w = rng.u32_in(0, 64);
+            let words = rng.usize_in(1, 5);
+            DiffRun {
+                offset: w * 4,
+                data: vec![0xAB; words * 4],
+            }
         })
+        .collect();
+    PageDiff { page, runs }
 }
 
-fn arb_record() -> impl Strategy<Value = CclRecord> {
-    prop_oneof![
-        (
-            prop_oneof![
-                (0u32..64).prop_map(SyncTag::Acquire),
-                (0u32..1000).prop_map(SyncTag::Barrier)
-            ],
-            proptest::collection::vec(
-                (0u32..1024, arb_interval())
-                    .prop_map(|(page, interval)| WriteNotice { page, interval }),
-                0..16
-            ),
-            arb_vclock()
-        )
-            .prop_map(|(tag, notices, vc)| CclRecord::Sync { tag, notices, vc }),
-        (arb_interval(), proptest::collection::vec(0u32..1024, 0..16))
-            .prop_map(|(writer, pages)| CclRecord::Updates { writer, pages }),
-        (arb_interval(), proptest::collection::vec(arb_diff(), 0..4))
-            .prop_map(|(interval, diffs)| CclRecord::Diffs { interval, diffs }),
-    ]
+fn arb_record(rng: &mut Rng) -> CclRecord {
+    match rng.u32_in(0, 3) {
+        0 => {
+            let tag = if rng.bool() {
+                SyncTag::Acquire(rng.u32_in(0, 64))
+            } else {
+                SyncTag::Barrier(rng.u32_in(0, 1000))
+            };
+            let notices = (0..rng.usize_in(0, 16))
+                .map(|_| WriteNotice {
+                    page: rng.u32_in(0, 1024),
+                    interval: arb_interval(rng),
+                })
+                .collect();
+            CclRecord::Sync {
+                tag,
+                notices,
+                vc: arb_vclock(rng),
+            }
+        }
+        1 => CclRecord::Updates {
+            writer: arb_interval(rng),
+            pages: (0..rng.usize_in(0, 16))
+                .map(|_| rng.u32_in(0, 1024))
+                .collect(),
+        },
+        _ => CclRecord::Diffs {
+            interval: arb_interval(rng),
+            diffs: (0..rng.usize_in(0, 4)).map(|_| arb_diff(rng)).collect(),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn records_roundtrip(rec in arb_record()) {
+#[test]
+fn records_roundtrip() {
+    check("records_roundtrip", CASES, |rng| {
+        let rec = arb_record(rng);
         let bytes = rec.encode_to_vec();
-        prop_assert_eq!(CclRecord::decode_from_slice(&bytes).unwrap(), rec);
-    }
+        assert_eq!(CclRecord::decode_from_slice(&bytes).unwrap(), rec);
+    });
+}
 
-    /// The economy claim underlying Table 2: an Updates record costs a
-    /// handful of bytes per page regardless of the data volume the
-    /// update carried.
-    #[test]
-    fn update_records_stay_small(writer in arb_interval(),
-                                 pages in proptest::collection::vec(0u32..1024, 0..64)) {
-        let rec = CclRecord::Updates { writer, pages: pages.clone() };
-        prop_assert!(rec.encoded_size() <= 16 + 4 * pages.len());
-    }
+/// The economy claim underlying Table 2: an Updates record costs a
+/// handful of bytes per page regardless of the data volume the
+/// update carried.
+#[test]
+fn update_records_stay_small() {
+    check("update_records_stay_small", CASES, |rng| {
+        let writer = arb_interval(rng);
+        let pages: Vec<u32> = (0..rng.usize_in(0, 64))
+            .map(|_| rng.u32_in(0, 1024))
+            .collect();
+        let rec = CclRecord::Updates {
+            writer,
+            pages: pages.clone(),
+        };
+        assert!(rec.encoded_size() <= 16 + 4 * pages.len());
+    });
+}
 
-    #[test]
-    fn truncated_records_never_panic(rec in arb_record(), cut in 1usize..32) {
+#[test]
+fn truncated_records_never_panic() {
+    check("truncated_records_never_panic", CASES, |rng| {
+        let rec = arb_record(rng);
+        let cut = rng.usize_in(1, 32);
         let bytes = rec.encode_to_vec();
         let end = bytes.len().saturating_sub(cut).max(1).min(bytes.len());
         let _ = CclRecord::decode_from_slice(&bytes[..end]);
-    }
+    });
 }

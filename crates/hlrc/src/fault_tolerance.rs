@@ -77,7 +77,12 @@ pub trait FaultTolerance: Send {
     fn on_updates_applied(&mut self, inner: &mut NodeInner, writer: IntervalId, pages: &[PageId]) {}
 
     /// This node created `diffs` at the end of interval `interval`.
-    fn on_diffs_created(&mut self, inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {
+    fn on_diffs_created(
+        &mut self,
+        inner: &mut NodeInner,
+        interval: IntervalId,
+        diffs: &[PageDiff],
+    ) {
     }
 
     /// Diffs of this node's *own writes to its own home pages* (only

@@ -27,7 +27,7 @@ use pagemem::{
     Access, ByteReader, ByteWriter, CodecError, Decode, Encode, Fault, IntervalId, PageDiff,
     PageFrame, PageId, PageState, Twin, VClock,
 };
-use simnet::{Envelope, NodeCtx, NodeId, SimDuration, WireSized};
+use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, TraceKind, WireSized};
 
 use crate::config::DsmConfig;
 use crate::msg::WriteNotice;
@@ -130,7 +130,11 @@ impl Encode for HMsg {
                 w.put_u8(0);
                 w.put_u32(*page);
             }
-            HMsg::CopyReply { page, data, applied } => {
+            HMsg::CopyReply {
+                page,
+                data,
+                applied,
+            } => {
                 w.put_u8(1);
                 w.put_u32(*page);
                 w.put_bytes(data);
@@ -247,6 +251,14 @@ impl Decode for HMsg {
 impl WireSized for HMsg {
     fn wire_size(&self) -> usize {
         crate::msg::HEADER_BYTES + self.encoded_size()
+    }
+
+    fn encoded_len(&self) -> Option<usize> {
+        Some(self.encoded_size())
+    }
+
+    fn header_len(&self) -> usize {
+        crate::msg::HEADER_BYTES
     }
 }
 
@@ -366,10 +378,16 @@ impl HomelessNode {
             None => {}
             Some(fault) => {
                 let trap = self.ctx.cost.cpu.fault_trap;
-                self.ctx.advance(trap);
+                self.ctx.charge_overhead(trap);
                 match fault {
-                    Fault::ReadMiss => self.ctx.stats.read_faults += 1,
-                    _ => self.ctx.stats.write_faults += 1,
+                    Fault::ReadMiss => {
+                        self.ctx.stats.read_faults += 1;
+                        self.ctx.trace(TraceKind::ReadFault { page });
+                    }
+                    _ => {
+                        self.ctx.stats.write_faults += 1;
+                        self.ctx.trace(TraceKind::WriteFault { page });
+                    }
                 }
                 if matches!(fault, Fault::ReadMiss | Fault::WriteMiss) {
                     self.validate_page(page);
@@ -394,6 +412,8 @@ impl HomelessNode {
     fn validate_page(&mut self, page: PageId) {
         self.ctx.stats.page_fetches += 1;
         let me = self.me();
+        let owner = self.pages[page as usize].owner;
+        self.ctx.trace(TraceKind::PageFetch { page, from: owner });
         if self.pages[page as usize].frame.is_none() {
             let owner = self.pages[page as usize].owner;
             if owner == me {
@@ -402,8 +422,7 @@ impl HomelessNode {
             self.ctx
                 .send(owner, HMsg::CopyRequest { page })
                 .expect("send copy request");
-            let env =
-                self.wait_for(|m| matches!(m, HMsg::CopyReply { page: p, .. } if *p == page));
+            let env = self.wait_for(|m| matches!(m, HMsg::CopyReply { page: p, .. } if *p == page));
             if let HMsg::CopyReply { data, applied, .. } = env.payload {
                 self.ctx.charge_copy(data.len());
                 let e = &mut self.pages[page as usize];
@@ -435,8 +454,7 @@ impl HomelessNode {
         }
         let mut got: HashMap<IntervalId, PageDiff> = HashMap::new();
         for _ in 0..n_requests {
-            let env =
-                self.wait_for(|m| matches!(m, HMsg::DiffReply { page: p, .. } if *p == page));
+            let env = self.wait_for(|m| matches!(m, HMsg::DiffReply { page: p, .. } if *p == page));
             if let HMsg::DiffReply { diffs, .. } = env.payload {
                 for (iv, d) in diffs {
                     self.ctx.charge_copy(d.encoded_size());
@@ -478,7 +496,10 @@ impl HomelessNode {
         self.vc.observe(iv);
         let page_size = self.cfg.layout.page_size();
         for p in dirty {
-            let notice = WriteNotice { page: p, interval: iv };
+            let notice = WriteNotice {
+                page: p,
+                interval: iv,
+            };
             self.history.push(notice);
             let e = &mut self.pages[p as usize];
             e.dirty = false;
@@ -499,6 +520,7 @@ impl HomelessNode {
     fn apply_notices(&mut self, notices: &[WriteNotice], vc_in: &VClock) {
         let me = self.me() as u32;
         let vc_before = self.vc.clone();
+        let mut fresh = 0u32;
         for n in notices {
             if vc_before.covers(n.interval) {
                 continue;
@@ -508,6 +530,7 @@ impl HomelessNode {
             }
             self.vc.observe(n.interval);
             self.history.push(*n);
+            fresh += 1;
             let e = &mut self.pages[n.page as usize];
             e.notices.push(*n);
             if n.interval.node != me {
@@ -519,6 +542,9 @@ impl HomelessNode {
             }
         }
         self.vc.join(vc_in);
+        if fresh > 0 {
+            self.ctx.trace(TraceKind::NoticesApplied { count: fresh });
+        }
     }
 
     /// Acquire a global lock.
@@ -535,6 +561,7 @@ impl HomelessNode {
             self.lock_grant_vcs.insert(lock, vc);
         }
         self.ctx.stats.lock_acquires += 1;
+        self.ctx.trace(TraceKind::LockAcquire { lock });
     }
 
     /// Release a global lock.
@@ -555,12 +582,14 @@ impl HomelessNode {
         self.ctx
             .send(mgr, HMsg::LockRelease { lock, vc, notices })
             .expect("send lock release");
+        self.ctx.trace(TraceKind::LockRelease { lock });
     }
 
     /// Global barrier.
     pub fn barrier(&mut self) {
         self.end_interval();
         let epoch = self.barrier_epoch;
+        self.ctx.trace(TraceKind::BarrierEnter { epoch });
         self.barrier_epoch += 1;
         let notices: Vec<WriteNotice> = self
             .history
@@ -574,12 +603,10 @@ impl HomelessNode {
             let vc = self.vc.clone();
             let mgr = self.barrier_mgr.as_mut().expect("manager");
             mgr.arrive(me, &vc, &notices, now);
-            while self.barrier_mgr.as_ref().expect("manager").arrived_count()
-                < self.cfg.n_nodes
-            {
-                let env = self.ctx.recv().expect("channel closed");
-                self.handle_async(env);
-            }
+            // Gather the cluster: service traffic until everyone arrived.
+            self.service_while(|node| {
+                node.barrier_mgr.as_ref().expect("manager").arrived_count() < node.cfg.n_nodes
+            });
             let handler = self.ctx.cost.cpu.message_handler;
             let mgr = self.barrier_mgr.as_mut().expect("manager");
             let release_time = mgr.latest_arrival.max(now) + handler;
@@ -606,8 +633,8 @@ impl HomelessNode {
             self.ctx
                 .send(0, HMsg::BarrierArrive { epoch, vc, notices })
                 .expect("send barrier arrive");
-            let env =
-                self.wait_for(|m| matches!(m, HMsg::BarrierRelease { epoch: e, .. } if *e == epoch));
+            let env = self
+                .wait_for(|m| matches!(m, HMsg::BarrierRelease { epoch: e, .. } if *e == epoch));
             if let HMsg::BarrierRelease { vc, notices, .. } = env.payload {
                 self.apply_notices(&notices, &vc);
             }
@@ -616,28 +643,31 @@ impl HomelessNode {
         let lb = self.last_barrier_vc.clone();
         self.history.retain(|n| !lb.covers(n.interval));
         self.ctx.stats.barriers += 1;
+        self.ctx.trace(TraceKind::BarrierExit { epoch });
     }
 
-    fn pump(&mut self) {
-        while let Some(env) = self.ctx.try_recv() {
-            self.handle_async(env);
-        }
+    /// Wall-clock-free drain cost model: homeless LRC has no flushes; we
+    /// only expose the archive footprint.
+    pub fn archive_footprint(&self) -> (usize, usize) {
+        (self.archive.len(), self.archive_bytes)
     }
 
-    fn wait_for<F: Fn(&HMsg) -> bool>(&mut self, pred: F) -> Envelope<HMsg> {
-        loop {
-            let env = self.ctx.recv().expect("channel closed");
-            if pred(&env.payload) {
-                self.ctx.absorb(&env);
-                return env;
-            }
-            self.handle_async(env);
-        }
+    /// No-op charge helper mirroring the HLRC-side API.
+    pub fn charge_flops(&mut self, n: u64) {
+        self.ctx.charge_flops(n);
+    }
+}
+
+/// The engine runs the homeless node too: same pump and blocking loop
+/// as HLRC, no deferral (this protocol has no logging/recovery layer).
+impl CoherenceProtocol<HMsg> for HomelessNode {
+    fn ctx(&mut self) -> &mut NodeCtx<HMsg> {
+        &mut self.ctx
     }
 
-    fn handle_async(&mut self, env: Envelope<HMsg>) {
+    fn service(&mut self, env: Envelope<HMsg>, deferred: bool) {
         let handler = self.ctx.cost.cpu.message_handler;
-        let done = env.arrive_at + handler;
+        let done = self.ctx.async_service_base(&env, deferred) + handler;
         match &env.payload {
             HMsg::CopyRequest { page } => {
                 let e = &self.pages[*page as usize];
@@ -727,23 +757,6 @@ impl HomelessNode {
             }
             other => unreachable!("unexpected async {other:?}"),
         }
-    }
-
-    /// Wall-clock-free drain cost model: homeless LRC has no flushes; we
-    /// only expose the archive footprint.
-    pub fn archive_footprint(&self) -> (usize, usize) {
-        (self.archive.len(), self.archive_bytes)
-    }
-
-    /// No-op charge helper mirroring the HLRC-side API.
-    pub fn charge_flops(&mut self, n: u64) {
-        self.ctx.charge_flops(n);
-    }
-
-    /// Avoid dead-code warnings on the duration helper reserved for
-    /// future cost hooks.
-    pub fn idle(&mut self, d: SimDuration) {
-        self.ctx.advance(d);
     }
 }
 
@@ -878,11 +891,17 @@ mod tests {
                 page: 1,
                 diffs: vec![(iv, diff)],
             },
-            HMsg::LockRequest { lock: 3, vc: vc.clone() },
+            HMsg::LockRequest {
+                lock: 3,
+                vc: vc.clone(),
+            },
             HMsg::BarrierRelease {
                 epoch: 2,
                 vc,
-                notices: vec![WriteNotice { page: 0, interval: iv }],
+                notices: vec![WriteNotice {
+                    page: 0,
+                    interval: iv,
+                }],
             },
         ] {
             let bytes = msg.encode_to_vec();

@@ -28,8 +28,9 @@ mod sync;
 
 pub use config::{DsmConfig, HomePolicy};
 pub use fault_tolerance::{FaultTolerance, NoLogging, RecoveryStep, SyncKind};
+pub use homeless::{HMsg, HomelessNode};
 pub use msg::{Msg, WriteNotice, HEADER_BYTES};
 pub use node::{HlrcNode, NodeInner};
 pub use page_table::{PageEntry, PageTable};
-pub use homeless::{HMsg, HomelessNode};
+pub use simnet::CoherenceProtocol;
 pub use sync::{BarrierMgr, LockState, LockTable, PendingAcquire};

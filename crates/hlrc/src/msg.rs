@@ -216,7 +216,11 @@ impl Encode for Msg {
                 w.put_u8(0);
                 w.put_u32(*page);
             }
-            Msg::PageReply { page, data, version } => {
+            Msg::PageReply {
+                page,
+                data,
+                version,
+            } => {
                 w.put_u8(1);
                 w.put_u32(*page);
                 w.put_bytes(data);
@@ -383,6 +387,14 @@ impl WireSized for Msg {
     fn wire_size(&self) -> usize {
         HEADER_BYTES + self.encoded_size()
     }
+
+    fn encoded_len(&self) -> Option<usize> {
+        Some(self.encoded_size())
+    }
+
+    fn header_len(&self) -> usize {
+        HEADER_BYTES
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +425,10 @@ mod tests {
             v
         };
         let iv = IntervalId { node: 1, seq: 3 };
-        let notice = WriteNotice { page: 7, interval: iv };
+        let notice = WriteNotice {
+            page: 7,
+            interval: iv,
+        };
         roundtrip(Msg::PageRequest { page: 3 });
         roundtrip(Msg::PageReply {
             page: 3,
@@ -425,7 +440,10 @@ mod tests {
             diffs: vec![sample_diff()],
         });
         roundtrip(Msg::DiffAck { writer: iv });
-        roundtrip(Msg::LockRequest { lock: 2, vc: vc.clone() });
+        roundtrip(Msg::LockRequest {
+            lock: 2,
+            vc: vc.clone(),
+        });
         roundtrip(Msg::LockGrant {
             lock: 2,
             vc: vc.clone(),

@@ -15,9 +15,9 @@
 
 use std::collections::HashMap;
 
-use pagemem::{Access, Fault, IntervalId, PageDiff, PageId, PageState, Twin, VClock};
 use pagemem::Encode;
-use simnet::{Envelope, NodeCtx, NodeId, SimDuration};
+use pagemem::{Access, Fault, IntervalId, PageDiff, PageId, PageState, Twin, VClock};
+use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, SimDuration, TraceKind};
 
 use crate::config::DsmConfig;
 use crate::fault_tolerance::{FaultTolerance, RecoveryStep, SyncKind};
@@ -51,16 +51,9 @@ pub struct NodeInner {
     pub lock_grant_vcs: HashMap<u32, VClock>,
     /// This node's next barrier episode.
     pub barrier_epoch: u32,
-    /// Messages deferred while replaying from the log after a crash.
-    pub deferred: Vec<Envelope<Msg>>,
     /// Completed synchronization operations (failure injection hooks
     /// count these).
     pub sync_events: u64,
-    /// Virtual time of the simulated crash, if one was injected.
-    pub crashed_at: Option<simnet::SimTime>,
-    /// Virtual time at which log replay finished and the node resumed
-    /// live operation (recovery time = `recovery_exit - crashed_at`).
-    pub recovery_exit: Option<simnet::SimTime>,
 }
 
 impl NodeInner {
@@ -79,10 +72,7 @@ impl NodeInner {
             barrier_mgr: (me == cfg.barrier_manager()).then(|| BarrierMgr::new(n)),
             lock_grant_vcs: HashMap::new(),
             barrier_epoch: 0,
-            deferred: Vec::new(),
             sync_events: 0,
-            crashed_at: None,
-            recovery_exit: None,
             cfg,
             ctx,
         }
@@ -91,20 +81,6 @@ impl NodeInner {
     /// This node's id.
     pub fn me(&self) -> NodeId {
         self.ctx.id()
-    }
-
-    /// Block until a message matching `pred` arrives, deferring every
-    /// other message. Used only during crash recovery, where all normal
-    /// protocol service is postponed until replay finishes.
-    pub fn wait_for_deferring<F: Fn(&Msg) -> bool>(&mut self, pred: F) -> Envelope<Msg> {
-        loop {
-            let env = self.ctx.recv().expect("cluster channel closed");
-            if pred(&env.payload) {
-                self.ctx.absorb(&env);
-                return env;
-            }
-            self.deferred.push(env);
-        }
     }
 
     /// The interval id this node's *current* (open) interval will get.
@@ -130,7 +106,10 @@ impl NodeInner {
         self.vc.observe(iv);
         let me = self.me();
         for p in dirty {
-            self.history.push(WriteNotice { page: p, interval: iv });
+            self.history.push(WriteNotice {
+                page: p,
+                interval: iv,
+            });
             let e = self.pages.entry_mut(p);
             e.dirty = false;
             if e.home == me {
@@ -176,11 +155,10 @@ impl HlrcNode {
             // takes a cheap write-detection trap to produce a notice.
             if access == Access::Write && !self.inner.pages.entry(page).dirty {
                 let trap = self.inner.ctx.cost.cpu.fault_trap;
-                self.inner.ctx.advance(trap);
+                self.inner.ctx.charge_overhead(trap);
                 self.inner.ctx.stats.write_faults += 1;
-                if self.ft.needs_home_write_twins()
-                    && self.inner.pages.entry(page).remote_fetched
-                {
+                self.inner.ctx.trace(TraceKind::WriteFault { page });
+                if self.ft.needs_home_write_twins() && self.inner.pages.entry(page).remote_fetched {
                     // CCL: snapshot the home copy so the end-of-interval
                     // diff of the home's own writes can be logged for
                     // peers' recovery reconstruction.
@@ -199,23 +177,27 @@ impl HlrcNode {
             None => {}
             Some(fault) => {
                 let trap = self.inner.ctx.cost.cpu.fault_trap;
-                self.inner.ctx.advance(trap);
+                self.inner.ctx.charge_overhead(trap);
                 match fault {
-                    Fault::ReadMiss => self.inner.ctx.stats.read_faults += 1,
+                    Fault::ReadMiss => {
+                        self.inner.ctx.stats.read_faults += 1;
+                        self.inner.ctx.trace(TraceKind::ReadFault { page });
+                    }
                     Fault::WriteMiss | Fault::WriteUpgrade => {
-                        self.inner.ctx.stats.write_faults += 1
+                        self.inner.ctx.stats.write_faults += 1;
+                        self.inner.ctx.trace(TraceKind::WriteFault { page });
                     }
                 }
                 if matches!(fault, Fault::ReadMiss | Fault::WriteMiss) {
                     if self.ft.in_recovery() {
-                        let step = self
-                            .ft
-                            .recovery_fault(&mut self.inner, page, access == Access::Write);
+                        let step =
+                            self.ft
+                                .recovery_fault(&mut self.inner, page, access == Access::Write);
                         if step == RecoveryStep::LogExhausted {
-                            self.leave_recovery();
+                            self.resume_live();
                             self.fetch_page(page);
                         } else if !self.ft.in_recovery() {
-                            self.leave_recovery();
+                            self.resume_live();
                         }
                     } else {
                         self.fetch_page(page);
@@ -291,9 +273,14 @@ impl HlrcNode {
         let env = self.wait_for(|m| matches!(m, Msg::PageReply { page: p, .. } if *p == page));
         let page_size = self.inner.pages.page_size();
         self.inner.ctx.charge_copy(page_size);
+        self.inner
+            .ctx
+            .trace(TraceKind::PageFetch { page, from: home });
         self.ft.on_incoming(&mut self.inner, &env.payload);
         if let Msg::PageReply { data, .. } = env.payload {
-            self.inner.pages.install_copy(page, &data, PageState::ReadOnly);
+            self.inner
+                .pages
+                .install_copy(page, &data, PageState::ReadOnly);
         }
     }
 
@@ -309,11 +296,11 @@ impl HlrcNode {
                 RecoveryStep::Replayed => {
                     self.inner.ctx.stats.lock_acquires += 1;
                     if !self.ft.in_recovery() {
-                        self.leave_recovery();
+                        self.resume_live();
                     }
                     return;
                 }
-                RecoveryStep::LogExhausted => self.leave_recovery(),
+                RecoveryStep::LogExhausted => self.resume_live(),
             }
         }
         // LRC: an acquire delimits the current interval.
@@ -331,6 +318,7 @@ impl HlrcNode {
             self.inner.lock_grant_vcs.insert(lock, vc);
         }
         self.inner.ctx.stats.lock_acquires += 1;
+        self.inner.ctx.trace(TraceKind::LockAcquire { lock });
     }
 
     /// Release a global lock.
@@ -361,6 +349,7 @@ impl HlrcNode {
             .ctx
             .send(mgr, Msg::LockRelease { lock, vc, notices })
             .expect("send lock release");
+        self.inner.ctx.trace(TraceKind::LockRelease { lock });
     }
 
     /// Global barrier across all nodes.
@@ -373,14 +362,15 @@ impl HlrcNode {
                     self.inner.barrier_epoch += 1;
                     self.inner.ctx.stats.barriers += 1;
                     if !self.ft.in_recovery() {
-                        self.leave_recovery();
+                        self.resume_live();
                     }
                     return;
                 }
-                RecoveryStep::LogExhausted => self.leave_recovery(),
+                RecoveryStep::LogExhausted => self.resume_live(),
             }
         }
         self.end_interval();
+        self.inner.ctx.trace(TraceKind::BarrierEnter { epoch });
         self.inner.barrier_epoch += 1;
         let notices: Vec<WriteNotice> = self
             .inner
@@ -395,17 +385,15 @@ impl HlrcNode {
             let vc = self.inner.vc.clone();
             let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
             mgr.arrive(me, &vc, &notices, now);
-            while self
-                .inner
-                .barrier_mgr
-                .as_ref()
-                .expect("manager state")
-                .arrived_count()
-                < self.inner.cfg.n_nodes
-            {
-                let env = self.inner.ctx.recv().expect("cluster channel closed");
-                self.handle_async(env, false);
-            }
+            // Gather the cluster: service traffic until everyone arrived.
+            self.service_while(|node| {
+                node.inner
+                    .barrier_mgr
+                    .as_ref()
+                    .expect("manager state")
+                    .arrived_count()
+                    < node.inner.cfg.n_nodes
+            });
             let handler = self.inner.ctx.cost.cpu.message_handler;
             let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
             let release_time = mgr.latest_arrival.max(now) + handler;
@@ -458,6 +446,7 @@ impl HlrcNode {
         let lb = self.inner.last_barrier_vc.clone();
         self.inner.history.retain(|n| !lb.covers(n.interval));
         self.inner.ctx.stats.barriers += 1;
+        self.inner.ctx.trace(TraceKind::BarrierExit { epoch });
     }
 
     // ---------------------------------------------------------------
@@ -473,8 +462,7 @@ impl HlrcNode {
         // node communicates — fully on the critical path.
         let pre = self.ft.flush_before_send(&mut self.inner);
         if pre > SimDuration::ZERO {
-            self.inner.ctx.advance(pre);
-            self.inner.ctx.stats.disk_time += pre;
+            self.inner.ctx.charge_disk(pre);
         }
         let dirty = self.inner.pages.dirty_pages();
         if dirty.is_empty() {
@@ -489,9 +477,10 @@ impl HlrcNode {
         let mut all_diffs: Vec<PageDiff> = Vec::new();
         let mut home_diffs: Vec<PageDiff> = Vec::new();
         for &p in &dirty {
-            self.inner
-                .history
-                .push(WriteNotice { page: p, interval: iv });
+            self.inner.history.push(WriteNotice {
+                page: p,
+                interval: iv,
+            });
             let me = self.inner.me();
             let e = self.inner.pages.entry_mut(p);
             e.dirty = false;
@@ -533,10 +522,14 @@ impl HlrcNode {
 
         let n_flushes = per_home.len();
         for (home, diffs) in per_home {
+            let bytes: u64 = diffs.iter().map(|d| d.encoded_size() as u64).sum();
             self.inner
                 .ctx
                 .send(home, Msg::DiffFlush { writer: iv, diffs })
                 .expect("send diff flush");
+            self.inner
+                .ctx
+                .trace(TraceKind::DiffFlush { to: home, bytes });
         }
         // CCL issues its log flush here so the disk access proceeds in
         // parallel with the diff round-trips.
@@ -544,8 +537,7 @@ impl HlrcNode {
         let t0 = self.inner.ctx.now();
         let mut pending = n_flushes;
         while pending > 0 {
-            let env =
-                self.wait_for(|m| matches!(m, Msg::DiffAck { writer } if *writer == iv));
+            let env = self.wait_for(|m| matches!(m, Msg::DiffAck { writer } if *writer == iv));
             let _ = env;
             pending -= 1;
         }
@@ -556,12 +548,10 @@ impl HlrcNode {
                 self.inner.ctx.stats.disk_time_overlapped += SimDuration(hidden);
                 let residual = post.saturating_sub(waited);
                 if residual > SimDuration::ZERO {
-                    self.inner.ctx.advance(residual);
-                    self.inner.ctx.stats.disk_time += residual;
+                    self.inner.ctx.charge_disk(residual);
                 }
             } else {
-                self.inner.ctx.advance(post);
-                self.inner.ctx.stats.disk_time += post;
+                self.inner.ctx.charge_disk(post);
             }
         }
     }
@@ -593,76 +583,37 @@ impl HlrcNode {
             }
         }
         self.inner.vc.join(vc_in);
+        if !fresh.is_empty() {
+            self.inner.ctx.trace(TraceKind::NoticesApplied {
+                count: fresh.len() as u32,
+            });
+        }
         let vc = self.inner.vc.clone();
         self.ft.on_notices(&mut self.inner, kind, &fresh, &vc);
     }
+}
 
-    // ---------------------------------------------------------------
-    // Message service
-    // ---------------------------------------------------------------
-
-    /// Drain the inbox, servicing requests (called at fault/sync points
-    /// and whenever the node blocks). While replaying from the log after
-    /// a crash, everything is deferred instead: serving a peer from a
-    /// half-restored memory image would hand out corrupt data.
-    pub fn pump(&mut self) {
-        if self.ft.in_recovery() {
-            while let Some(env) = self.inner.ctx.try_recv() {
-                self.inner.deferred.push(env);
-            }
-            return;
-        }
-        while let Some(env) = self.inner.ctx.try_recv() {
-            self.handle_async(env, false);
-        }
+/// The engine runs the HLRC node: the pump, the reply-while-blocked
+/// loop, and the crash/resume lifecycle come from
+/// [`CoherenceProtocol`]; this impl supplies only message service and
+/// the recovery deferral predicate.
+impl CoherenceProtocol<Msg> for HlrcNode {
+    fn ctx(&mut self) -> &mut NodeCtx<Msg> {
+        &mut self.inner.ctx
     }
 
-    /// Block until a message matching `pred` arrives, servicing all
-    /// other traffic asynchronously. During recovery, unrelated traffic
-    /// is deferred instead (survivors' requests wait until replay ends).
-    fn wait_for<F: Fn(&Msg) -> bool>(&mut self, pred: F) -> Envelope<Msg> {
-        loop {
-            let env = self.inner.ctx.recv().expect("cluster channel closed");
-            if pred(&env.payload) {
-                self.inner.ctx.absorb(&env);
-                return env;
-            }
-            if self.ft.in_recovery() {
-                self.inner.deferred.push(env);
-            } else {
-                self.handle_async(env, false);
-            }
-        }
-    }
-
-    /// Log replay has finished: stamp the recovery end time and service
-    /// everything that was deferred while replaying.
-    fn leave_recovery(&mut self) {
-        if self.inner.recovery_exit.is_none() {
-            self.inner.recovery_exit = Some(self.inner.ctx.now());
-        }
-        self.drain_deferred();
-    }
-
-    /// Process messages deferred during recovery, in arrival order.
-    fn drain_deferred(&mut self) {
-        let deferred = std::mem::take(&mut self.inner.deferred);
-        for env in deferred {
-            self.handle_async(env, true);
-        }
+    /// True while replaying from the log after a crash: serving a peer
+    /// from a half-restored memory image would hand out corrupt data.
+    fn deferring(&self) -> bool {
+        self.ft.in_recovery()
     }
 
     /// Service one asynchronous protocol message. `deferred` marks
     /// messages replayed after recovery, whose service time is "now"
     /// rather than their (long past) arrival time.
-    fn handle_async(&mut self, env: Envelope<Msg>, deferred: bool) {
+    fn service(&mut self, env: Envelope<Msg>, deferred: bool) {
         let handler = self.inner.ctx.cost.cpu.message_handler;
-        let base = if deferred {
-            env.arrive_at.max(self.inner.ctx.now())
-        } else {
-            env.arrive_at
-        };
-        let done = base + handler;
+        let done = self.inner.ctx.async_service_base(&env, deferred) + handler;
         match &env.payload {
             Msg::PageRequest { page } => {
                 let page = *page;
@@ -676,7 +627,15 @@ impl HlrcNode {
                 let copy_cost = self.inner.ctx.cost.cpu.copy(data.len());
                 self.inner
                     .ctx
-                    .send_from(done + copy_cost, env.src, Msg::PageReply { page, data, version })
+                    .send_from(
+                        done + copy_cost,
+                        env.src,
+                        Msg::PageReply {
+                            page,
+                            data,
+                            version,
+                        },
+                    )
                     .expect("send page reply");
             }
             Msg::DiffFlush { writer, diffs } => {
@@ -759,8 +718,7 @@ impl HlrcNode {
                 // If the manager is already inside barrier(), its own
                 // epoch counter has advanced past the arrivals' epoch.
                 debug_assert!(
-                    *epoch == self.inner.barrier_epoch
-                        || *epoch + 1 == self.inner.barrier_epoch,
+                    *epoch == self.inner.barrier_epoch || *epoch + 1 == self.inner.barrier_epoch,
                     "barrier epoch skew: arrival {} vs manager {}",
                     epoch,
                     self.inner.barrier_epoch
@@ -818,7 +776,9 @@ impl HlrcNode {
             ),
         }
     }
+}
 
+impl HlrcNode {
     // ---------------------------------------------------------------
     // Crash / recovery entry
     // ---------------------------------------------------------------
@@ -829,8 +789,8 @@ impl HlrcNode {
     /// replay. The caller restarts the application program.
     pub fn crash_and_reset(&mut self) {
         let n = self.inner.cfg.n_nodes;
-        self.inner.crashed_at = Some(self.inner.ctx.now());
-        self.inner.recovery_exit = None;
+        self.inner.ctx.mark_crashed();
+        self.inner.ctx.recovery_exit = None;
         self.inner.pages.reset_to_base();
         self.inner.vc = VClock::new(n);
         self.inner.next_interval = 0;

@@ -269,7 +269,10 @@ impl PageTable {
 
     /// Iterate all entries with their page ids.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageEntry)> {
-        self.entries.iter().enumerate().map(|(p, e)| (p as PageId, e))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(p, e)| (p as PageId, e))
     }
 }
 

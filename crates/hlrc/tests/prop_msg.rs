@@ -4,122 +4,156 @@
 //! on it).
 
 use hlrc::{Msg, WriteNotice, HEADER_BYTES};
+use minicheck::{check, Rng};
 use pagemem::{Decode, DiffRun, Encode, IntervalId, PageDiff, VClock};
-use proptest::prelude::*;
 use simnet::WireSized;
 
-fn arb_interval() -> impl Strategy<Value = IntervalId> {
-    (0u32..8, 0u32..10_000).prop_map(|(node, seq)| IntervalId { node, seq })
+const CASES: u64 = 192;
+
+fn arb_interval(rng: &mut Rng) -> IntervalId {
+    IntervalId {
+        node: rng.u32_in(0, 8),
+        seq: rng.u32_in(0, 10_000),
+    }
 }
 
-fn arb_vclock() -> impl Strategy<Value = VClock> {
-    proptest::collection::vec(0u32..10_000, 1..9).prop_map(|v| {
-        let mut c = VClock::new(v.len());
-        for (i, x) in v.into_iter().enumerate() {
-            c.set(i as u32, x);
-        }
-        c
-    })
+fn arb_vclock(rng: &mut Rng) -> VClock {
+    let n = rng.usize_in(1, 9);
+    let mut c = VClock::new(n);
+    for i in 0..n {
+        c.set(i as u32, rng.u32_in(0, 10_000));
+    }
+    c
 }
 
-fn arb_notices() -> impl Strategy<Value = Vec<WriteNotice>> {
-    proptest::collection::vec(
-        (0u32..1024, arb_interval()).prop_map(|(page, interval)| WriteNotice { page, interval }),
-        0..20,
-    )
-}
-
-fn arb_diff() -> impl Strategy<Value = PageDiff> {
-    (
-        0u32..1024,
-        proptest::collection::vec(
-            ((0u32..64), proptest::collection::vec(any::<u8>(), 4..17)),
-            0..8,
-        ),
-    )
-        .prop_map(|(page, raw)| PageDiff {
-            page,
-            runs: raw
-                .into_iter()
-                .map(|(w, mut data)| {
-                    data.truncate(data.len() & !3); // word multiple
-                    DiffRun {
-                        offset: w * 4,
-                        data,
-                    }
-                })
-                .filter(|r| !r.data.is_empty())
-                .collect(),
+fn arb_notices(rng: &mut Rng) -> Vec<WriteNotice> {
+    (0..rng.usize_in(0, 20))
+        .map(|_| WriteNotice {
+            page: rng.u32_in(0, 1024),
+            interval: arb_interval(rng),
         })
+        .collect()
 }
 
-fn arb_msg() -> impl Strategy<Value = Msg> {
-    prop_oneof![
-        (0u32..1024).prop_map(|page| Msg::PageRequest { page }),
-        (0u32..1024, proptest::collection::vec(any::<u8>(), 0..256), arb_vclock()).prop_map(
-            |(page, data, version)| Msg::PageReply {
-                page,
+fn arb_diff(rng: &mut Rng) -> PageDiff {
+    let page = rng.u32_in(0, 1024);
+    let runs = (0..rng.usize_in(0, 8))
+        .filter_map(|_| {
+            let w = rng.u32_in(0, 64);
+            let len = rng.usize_in(4, 17);
+            let mut data = rng.bytes(len);
+            data.truncate(data.len() & !3); // word multiple
+            (!data.is_empty()).then_some(DiffRun {
+                offset: w * 4,
                 data,
-                version
+            })
+        })
+        .collect();
+    PageDiff { page, runs }
+}
+
+fn arb_msg(rng: &mut Rng) -> Msg {
+    match rng.u32_in(0, 13) {
+        0 => Msg::PageRequest {
+            page: rng.u32_in(0, 1024),
+        },
+        1 => {
+            let len = rng.usize_in(0, 256);
+            Msg::PageReply {
+                page: rng.u32_in(0, 1024),
+                data: rng.bytes(len),
+                version: arb_vclock(rng),
             }
-        ),
-        (arb_interval(), proptest::collection::vec(arb_diff(), 0..5))
-            .prop_map(|(writer, diffs)| Msg::DiffFlush { writer, diffs }),
-        arb_interval().prop_map(|writer| Msg::DiffAck { writer }),
-        (0u32..64, arb_vclock()).prop_map(|(lock, vc)| Msg::LockRequest { lock, vc }),
-        (0u32..64, arb_vclock(), arb_notices())
-            .prop_map(|(lock, vc, notices)| Msg::LockGrant { lock, vc, notices }),
-        (0u32..64, arb_vclock(), arb_notices())
-            .prop_map(|(lock, vc, notices)| Msg::LockRelease { lock, vc, notices }),
-        (0u32..1000, arb_vclock(), arb_notices())
-            .prop_map(|(epoch, vc, notices)| Msg::BarrierArrive { epoch, vc, notices }),
-        (0u32..1000, arb_vclock(), arb_notices())
-            .prop_map(|(epoch, vc, notices)| Msg::BarrierRelease { epoch, vc, notices }),
-        (0u32..1024, arb_vclock())
-            .prop_map(|(page, required)| Msg::RecoveryPageRequest { page, required }),
-        (
-            0u32..1024,
-            any::<bool>(),
-            proptest::collection::vec(any::<u8>(), 0..256),
-            arb_vclock()
-        )
-            .prop_map(|(page, advanced, data, version)| Msg::RecoveryPageReply {
-                page,
-                advanced,
-                data,
-                version
-            }),
-        (0u32..1024, proptest::collection::vec(0u32..10_000, 0..10))
-            .prop_map(|(page, seqs)| Msg::LoggedDiffRequest { page, seqs }),
-        (
-            0u32..1024,
-            proptest::collection::vec((arb_interval(), arb_diff()), 0..5)
-        )
-            .prop_map(|(page, diffs)| Msg::LoggedDiffReply { page, diffs }),
-    ]
+        }
+        2 => Msg::DiffFlush {
+            writer: arb_interval(rng),
+            diffs: (0..rng.usize_in(0, 5)).map(|_| arb_diff(rng)).collect(),
+        },
+        3 => Msg::DiffAck {
+            writer: arb_interval(rng),
+        },
+        4 => Msg::LockRequest {
+            lock: rng.u32_in(0, 64),
+            vc: arb_vclock(rng),
+        },
+        5 => Msg::LockGrant {
+            lock: rng.u32_in(0, 64),
+            vc: arb_vclock(rng),
+            notices: arb_notices(rng),
+        },
+        6 => Msg::LockRelease {
+            lock: rng.u32_in(0, 64),
+            vc: arb_vclock(rng),
+            notices: arb_notices(rng),
+        },
+        7 => Msg::BarrierArrive {
+            epoch: rng.u32_in(0, 1000),
+            vc: arb_vclock(rng),
+            notices: arb_notices(rng),
+        },
+        8 => Msg::BarrierRelease {
+            epoch: rng.u32_in(0, 1000),
+            vc: arb_vclock(rng),
+            notices: arb_notices(rng),
+        },
+        9 => Msg::RecoveryPageRequest {
+            page: rng.u32_in(0, 1024),
+            required: arb_vclock(rng),
+        },
+        10 => {
+            let len = rng.usize_in(0, 256);
+            Msg::RecoveryPageReply {
+                page: rng.u32_in(0, 1024),
+                advanced: rng.bool(),
+                data: rng.bytes(len),
+                version: arb_vclock(rng),
+            }
+        }
+        11 => Msg::LoggedDiffRequest {
+            page: rng.u32_in(0, 1024),
+            seqs: (0..rng.usize_in(0, 10))
+                .map(|_| rng.u32_in(0, 10_000))
+                .collect(),
+        },
+        _ => Msg::LoggedDiffReply {
+            page: rng.u32_in(0, 1024),
+            diffs: (0..rng.usize_in(0, 5))
+                .map(|_| (arb_interval(rng), arb_diff(rng)))
+                .collect(),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn every_message_roundtrips(msg in arb_msg()) {
+#[test]
+fn every_message_roundtrips() {
+    check("every_message_roundtrips", CASES, |rng| {
+        let msg = arb_msg(rng);
         let bytes = msg.encode_to_vec();
         let back = Msg::decode_from_slice(&bytes).unwrap();
-        prop_assert_eq!(&back, &msg);
-        prop_assert_eq!(msg.wire_size(), HEADER_BYTES + bytes.len());
-    }
+        assert_eq!(&back, &msg);
+        assert_eq!(msg.wire_size(), HEADER_BYTES + bytes.len());
+    });
+}
 
-    #[test]
-    fn truncated_messages_never_panic(msg in arb_msg(), cut in 0usize..64) {
+#[test]
+fn truncated_messages_never_panic() {
+    check("truncated_messages_never_panic", CASES, |rng| {
+        let msg = arb_msg(rng);
+        let cut = rng.usize_in(0, 64);
         let bytes = msg.encode_to_vec();
         let end = bytes.len().saturating_sub(cut).max(1).min(bytes.len());
         // Decoding any prefix must return an error or a value, never panic.
         let _ = Msg::decode_from_slice(&bytes[..end]);
-    }
+    });
+}
 
-    #[test]
-    fn corrupted_tag_is_rejected(msg in arb_msg(), tag in 13u8..255) {
+#[test]
+fn corrupted_tag_is_rejected() {
+    check("corrupted_tag_is_rejected", CASES, |rng| {
+        let msg = arb_msg(rng);
+        let tag = rng.u32_in(13, 256) as u8;
         let mut bytes = msg.encode_to_vec();
         bytes[0] = tag;
-        prop_assert!(Msg::decode_from_slice(&bytes).is_err());
-    }
+        assert!(Msg::decode_from_slice(&bytes).is_err());
+    });
 }

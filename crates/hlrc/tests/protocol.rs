@@ -143,7 +143,10 @@ fn diffs_flow_to_home_not_whole_pages() {
             node.write_u64(8, 99); // page 0, homed at node 0
         }
         node.barrier();
-        (node.inner.ctx.stats.diffs_created, node.inner.ctx.stats.diff_bytes)
+        (
+            node.inner.ctx.stats.diffs_created,
+            node.inner.ctx.stats.diff_bytes,
+        )
     });
     assert_eq!(got[1].0, 1);
     assert!(
@@ -286,7 +289,11 @@ fn contended_lock_queues_grant_in_order() {
 fn two_locks_do_not_interfere() {
     let cfg = small_cfg(4, 4);
     let got = spawn(cfg, |mut node| {
-        let (lock, addr) = if node.inner.me() % 2 == 0 { (10, 0) } else { (11, 256) };
+        let (lock, addr) = if node.inner.me() % 2 == 0 {
+            (10, 0)
+        } else {
+            (11, 256)
+        };
         for _ in 0..4 {
             node.acquire(lock);
             let v = node.read_u64(addr);

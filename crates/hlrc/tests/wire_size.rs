@@ -1,0 +1,224 @@
+//! Wire-size contract, one test per message variant: the virtual-time
+//! charge (`wire_size`) must equal the header plus the *actual* encoded
+//! byte length, and the `encoded_len`/`header_len` hooks the engine's
+//! debug assertion relies on must agree with the codec.
+
+use hlrc::homeless::HMsg;
+use hlrc::{Msg, WriteNotice, HEADER_BYTES};
+use pagemem::{Encode, IntervalId, PageDiff, PageFrame, Twin, VClock};
+use simnet::WireSized;
+
+fn check<M: WireSized + Encode>(m: &M) {
+    let body = m.encode_to_vec().len();
+    assert_eq!(m.wire_size(), HEADER_BYTES + body, "wire_size mismatch");
+    assert_eq!(m.encoded_len(), Some(body), "encoded_len mismatch");
+    assert_eq!(m.header_len(), HEADER_BYTES, "header_len mismatch");
+}
+
+fn vc() -> VClock {
+    let mut v = VClock::new(4);
+    v.observe(IntervalId { node: 1, seq: 3 });
+    v.observe(IntervalId { node: 2, seq: 1 });
+    v
+}
+
+fn notices() -> Vec<WriteNotice> {
+    vec![
+        WriteNotice {
+            page: 5,
+            interval: IntervalId { node: 1, seq: 3 },
+        },
+        WriteNotice {
+            page: 9,
+            interval: IntervalId { node: 2, seq: 1 },
+        },
+    ]
+}
+
+fn diff() -> PageDiff {
+    let base = PageFrame::zeroed(256);
+    let twin = Twin::of(&base);
+    let mut cur = PageFrame::zeroed(256);
+    cur.write_u64(8, 0xdead_beef);
+    cur.write_u64(128, 77);
+    PageDiff::create(3, &twin, &cur)
+}
+
+// ---------------------------------------------------------- Msg (HLRC)
+
+#[test]
+fn msg_page_request() {
+    check(&Msg::PageRequest { page: 7 });
+}
+
+#[test]
+fn msg_page_reply() {
+    check(&Msg::PageReply {
+        page: 7,
+        data: vec![0xab; 256],
+        version: vc(),
+    });
+}
+
+#[test]
+fn msg_diff_flush() {
+    check(&Msg::DiffFlush {
+        writer: IntervalId { node: 2, seq: 9 },
+        diffs: vec![diff()],
+    });
+}
+
+#[test]
+fn msg_diff_ack() {
+    check(&Msg::DiffAck {
+        writer: IntervalId { node: 2, seq: 9 },
+    });
+}
+
+#[test]
+fn msg_lock_request() {
+    check(&Msg::LockRequest { lock: 3, vc: vc() });
+}
+
+#[test]
+fn msg_lock_grant() {
+    check(&Msg::LockGrant {
+        lock: 3,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn msg_lock_release() {
+    check(&Msg::LockRelease {
+        lock: 3,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn msg_barrier_arrive() {
+    check(&Msg::BarrierArrive {
+        epoch: 4,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn msg_barrier_release() {
+    check(&Msg::BarrierRelease {
+        epoch: 4,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn msg_recovery_page_request() {
+    check(&Msg::RecoveryPageRequest {
+        page: 11,
+        required: vc(),
+    });
+}
+
+#[test]
+fn msg_recovery_page_reply() {
+    check(&Msg::RecoveryPageReply {
+        page: 11,
+        advanced: true,
+        data: vec![1; 256],
+        version: vc(),
+    });
+}
+
+#[test]
+fn msg_logged_diff_request() {
+    check(&Msg::LoggedDiffRequest {
+        page: 11,
+        seqs: vec![0, 2, 5],
+    });
+}
+
+#[test]
+fn msg_logged_diff_reply() {
+    check(&Msg::LoggedDiffReply {
+        page: 11,
+        diffs: vec![(IntervalId { node: 1, seq: 2 }, diff())],
+    });
+}
+
+// ------------------------------------------------------ HMsg (homeless)
+
+#[test]
+fn hmsg_copy_request() {
+    check(&HMsg::CopyRequest { page: 7 });
+}
+
+#[test]
+fn hmsg_copy_reply() {
+    check(&HMsg::CopyReply {
+        page: 7,
+        data: vec![0xcd; 256],
+        applied: vc(),
+    });
+}
+
+#[test]
+fn hmsg_diff_request() {
+    check(&HMsg::DiffRequest {
+        page: 7,
+        seqs: vec![1, 4],
+    });
+}
+
+#[test]
+fn hmsg_diff_reply() {
+    check(&HMsg::DiffReply {
+        page: 7,
+        diffs: vec![(IntervalId { node: 1, seq: 4 }, diff())],
+    });
+}
+
+#[test]
+fn hmsg_lock_request() {
+    check(&HMsg::LockRequest { lock: 2, vc: vc() });
+}
+
+#[test]
+fn hmsg_lock_grant() {
+    check(&HMsg::LockGrant {
+        lock: 2,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn hmsg_lock_release() {
+    check(&HMsg::LockRelease {
+        lock: 2,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn hmsg_barrier_arrive() {
+    check(&HMsg::BarrierArrive {
+        epoch: 1,
+        vc: vc(),
+        notices: notices(),
+    });
+}
+
+#[test]
+fn hmsg_barrier_release() {
+    check(&HMsg::BarrierRelease {
+        epoch: 1,
+        vc: vc(),
+        notices: notices(),
+    });
+}

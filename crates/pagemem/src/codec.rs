@@ -257,7 +257,13 @@ mod tests {
     fn truncated_reads_error() {
         let mut r = ByteReader::new(&[1, 2]);
         let e = r.get_u32().unwrap_err();
-        assert_eq!(e, CodecError::Truncated { needed: 4, remaining: 2 });
+        assert_eq!(
+            e,
+            CodecError::Truncated {
+                needed: 4,
+                remaining: 2
+            }
+        );
     }
 
     #[test]

@@ -128,7 +128,12 @@ impl Encode for PageDiff {
     }
 
     fn encoded_size(&self) -> usize {
-        4 + 2 + self.runs.iter().map(|r| 4 + 4 + r.data.len()).sum::<usize>()
+        4 + 2
+            + self
+                .runs
+                .iter()
+                .map(|r| 4 + 4 + r.data.len())
+                .sum::<usize>()
     }
 }
 

@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn invalid_faults_on_everything() {
-        assert_eq!(PageState::Invalid.fault_for(Access::Read), Some(Fault::ReadMiss));
-        assert_eq!(PageState::Invalid.fault_for(Access::Write), Some(Fault::WriteMiss));
+        assert_eq!(
+            PageState::Invalid.fault_for(Access::Read),
+            Some(Fault::ReadMiss)
+        );
+        assert_eq!(
+            PageState::Invalid.fault_for(Access::Write),
+            Some(Fault::WriteMiss)
+        );
     }
 
     #[test]
@@ -95,8 +101,14 @@ mod tests {
     #[test]
     fn fault_resolution_states() {
         assert_eq!(PageState::after_fault(Fault::ReadMiss), PageState::ReadOnly);
-        assert_eq!(PageState::after_fault(Fault::WriteMiss), PageState::Writable);
-        assert_eq!(PageState::after_fault(Fault::WriteUpgrade), PageState::Writable);
+        assert_eq!(
+            PageState::after_fault(Fault::WriteMiss),
+            PageState::Writable
+        );
+        assert_eq!(
+            PageState::after_fault(Fault::WriteUpgrade),
+            PageState::Writable
+        );
     }
 
     #[test]

@@ -1,27 +1,27 @@
 //! Property tests for the twin/diff machinery — the invariants the whole
 //! coherence and recovery stack leans on.
 
+use minicheck::{check, Rng};
 use pagemem::{Decode, Encode, PageDiff, PageFrame, Twin, DIFF_WORD};
-use proptest::prelude::*;
 
 const PAGE: usize = 256;
+const CASES: u64 = 128;
 
 /// A page plus an arbitrary set of word-aligned mutations.
-fn page_and_edits() -> impl Strategy<Value = (Vec<u8>, Vec<(usize, [u8; 4])>)> {
-    (
-        proptest::collection::vec(any::<u8>(), PAGE),
-        proptest::collection::vec(
-            ((0..PAGE / DIFF_WORD), any::<[u8; 4]>()),
-            0..32,
-        ),
-    )
-        .prop_map(|(base, edits)| {
-            let edits = edits
-                .into_iter()
-                .map(|(w, bytes)| (w * DIFF_WORD, bytes))
-                .collect();
-            (base, edits)
+fn page_and_edits(rng: &mut Rng) -> (Vec<u8>, Vec<(usize, [u8; 4])>) {
+    let base = rng.bytes(PAGE);
+    let n_edits = rng.usize_in(0, 32);
+    let edits = (0..n_edits)
+        .map(|_| {
+            let word = rng.usize_in(0, PAGE / DIFF_WORD);
+            let mut data = [0u8; 4];
+            for b in &mut data {
+                *b = rng.byte();
+            }
+            (word * DIFF_WORD, data)
         })
+        .collect();
+    (base, edits)
 }
 
 fn apply_edits(base: &[u8], edits: &[(usize, [u8; 4])]) -> PageFrame {
@@ -32,12 +32,13 @@ fn apply_edits(base: &[u8], edits: &[(usize, [u8; 4])]) -> PageFrame {
     p
 }
 
-proptest! {
-    /// diff(twin, current) applied to a copy of the twin reproduces
-    /// `current` exactly — the correctness core of diff-based write
-    /// propagation and of log-based recovery.
-    #[test]
-    fn diff_apply_reconstructs((base, edits) in page_and_edits()) {
+/// diff(twin, current) applied to a copy of the twin reproduces
+/// `current` exactly — the correctness core of diff-based write
+/// propagation and of log-based recovery.
+#[test]
+fn diff_apply_reconstructs() {
+    check("diff_apply_reconstructs", CASES, |rng| {
+        let (base, edits) = page_and_edits(rng);
         let twin_frame = PageFrame::from_bytes(&base);
         let twin = Twin::of(&twin_frame);
         let current = apply_edits(&base, &edits);
@@ -45,51 +46,60 @@ proptest! {
 
         let mut rebuilt = twin_frame.clone();
         diff.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, current);
-    }
+        assert_eq!(rebuilt, current);
+    });
+}
 
-    /// The diff never carries more payload than the page and captures
-    /// no runs when nothing changed.
-    #[test]
-    fn diff_is_minimal((base, edits) in page_and_edits()) {
+/// The diff never carries more payload than the page and captures
+/// no runs when nothing changed.
+#[test]
+fn diff_is_minimal() {
+    check("diff_is_minimal", CASES, |rng| {
+        let (base, edits) = page_and_edits(rng);
         let twin_frame = PageFrame::from_bytes(&base);
         let twin = Twin::of(&twin_frame);
         let current = apply_edits(&base, &edits);
         let diff = PageDiff::create(0, &twin, &current);
 
-        prop_assert!(diff.payload_bytes() <= PAGE);
+        assert!(diff.payload_bytes() <= PAGE);
         if current.bytes() == twin.bytes() {
-            prop_assert!(diff.is_empty());
+            assert!(diff.is_empty());
         }
         // Each changed word must be covered by exactly one run; runs are
         // sorted, non-overlapping, word-aligned.
         let mut last_end = 0usize;
         for run in &diff.runs {
-            prop_assert_eq!(run.offset as usize % DIFF_WORD, 0);
-            prop_assert_eq!(run.data.len() % DIFF_WORD, 0);
-            prop_assert!(run.offset as usize >= last_end);
+            assert_eq!(run.offset as usize % DIFF_WORD, 0);
+            assert_eq!(run.data.len() % DIFF_WORD, 0);
+            assert!(run.offset as usize >= last_end);
             last_end = run.offset as usize + run.data.len();
-            prop_assert!(last_end <= PAGE);
+            assert!(last_end <= PAGE);
         }
-    }
+    });
+}
 
-    /// Wire-codec roundtrip is lossless and `encoded_size` is exact.
-    #[test]
-    fn diff_codec_roundtrip((base, edits) in page_and_edits()) {
+/// Wire-codec roundtrip is lossless and `encoded_size` is exact.
+#[test]
+fn diff_codec_roundtrip() {
+    check("diff_codec_roundtrip", CASES, |rng| {
+        let (base, edits) = page_and_edits(rng);
         let twin_frame = PageFrame::from_bytes(&base);
         let twin = Twin::of(&twin_frame);
         let current = apply_edits(&base, &edits);
         let diff = PageDiff::create(9, &twin, &current);
 
         let bytes = diff.encode_to_vec();
-        prop_assert_eq!(bytes.len(), diff.encoded_size());
+        assert_eq!(bytes.len(), diff.encoded_size());
         let back = PageDiff::decode_from_slice(&bytes).unwrap();
-        prop_assert_eq!(back, diff);
-    }
+        assert_eq!(back, diff);
+    });
+}
 
-    /// Applying a diff twice is idempotent (recovery may replay).
-    #[test]
-    fn diff_apply_idempotent((base, edits) in page_and_edits()) {
+/// Applying a diff twice is idempotent (recovery may replay).
+#[test]
+fn diff_apply_idempotent() {
+    check("diff_apply_idempotent", CASES, |rng| {
+        let (base, edits) = page_and_edits(rng);
         let twin_frame = PageFrame::from_bytes(&base);
         let twin = Twin::of(&twin_frame);
         let current = apply_edits(&base, &edits);
@@ -99,25 +109,40 @@ proptest! {
         diff.apply(&mut once);
         let mut twice = once.clone();
         diff.apply(&mut twice);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// Diffs from writers that touched disjoint words commute on the
-    /// home copy (the multiple-writer protocol's soundness condition
-    /// for data-race-free programs).
-    #[test]
-    fn disjoint_diffs_commute(
-        base in proptest::collection::vec(any::<u8>(), PAGE),
-        words in proptest::collection::btree_set(0..PAGE / DIFF_WORD, 0..24),
-        bytes in any::<[u8; 4]>(),
-    ) {
-        let words: Vec<usize> = words.into_iter().collect();
+/// Diffs from writers that touched disjoint words commute on the
+/// home copy (the multiple-writer protocol's soundness condition
+/// for data-race-free programs).
+#[test]
+fn disjoint_diffs_commute() {
+    check("disjoint_diffs_commute", CASES, |rng| {
+        let base = rng.bytes(PAGE);
+        let n_words = rng.usize_in(0, 24);
+        let mut words: Vec<usize> = (0..n_words)
+            .map(|_| rng.usize_in(0, PAGE / DIFF_WORD))
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        let mut bytes = [0u8; 4];
+        for b in &mut bytes {
+            *b = rng.byte();
+        }
+
         let (w1, w2) = words.split_at(words.len() / 2);
         let twin_frame = PageFrame::from_bytes(&base);
         let twin = Twin::of(&twin_frame);
 
-        let m1 = apply_edits(&base, &w1.iter().map(|&w| (w * 4, bytes)).collect::<Vec<_>>());
-        let m2 = apply_edits(&base, &w2.iter().map(|&w| (w * 4, bytes)).collect::<Vec<_>>());
+        let m1 = apply_edits(
+            &base,
+            &w1.iter().map(|&w| (w * 4, bytes)).collect::<Vec<_>>(),
+        );
+        let m2 = apply_edits(
+            &base,
+            &w2.iter().map(|&w| (w * 4, bytes)).collect::<Vec<_>>(),
+        );
         let d1 = PageDiff::create(0, &twin, &m1);
         let d2 = PageDiff::create(0, &twin, &m2);
 
@@ -127,6 +152,6 @@ proptest! {
         let mut ba = twin_frame.clone();
         d2.apply(&mut ba);
         d1.apply(&mut ba);
-        prop_assert_eq!(ab, ba);
-    }
+        assert_eq!(ab, ba);
+    });
 }

@@ -1,97 +1,132 @@
 //! Property tests for vector clocks and the wire codec.
 
+use minicheck::{check, Rng};
 use pagemem::{ByteReader, ByteWriter, Decode, Encode, IntervalId, VClock, VOrder};
-use proptest::prelude::*;
 
-fn vclock(n: usize) -> impl Strategy<Value = VClock> {
-    proptest::collection::vec(0u32..1000, n).prop_map(|v| {
-        let mut c = VClock::new(v.len());
-        for (i, x) in v.into_iter().enumerate() {
-            c.set(i as u32, x);
-        }
-        c
-    })
+const CASES: u64 = 256;
+
+fn vclock(rng: &mut Rng, n: usize) -> VClock {
+    let mut c = VClock::new(n);
+    for i in 0..n {
+        c.set(i as u32, rng.u32_in(0, 1000));
+    }
+    c
 }
 
-proptest! {
-    /// join is the least upper bound: commutative, idempotent, and
-    /// dominating both inputs.
-    #[test]
-    fn join_is_lub(a in vclock(6), b in vclock(6)) {
+/// join is the least upper bound: commutative, idempotent, and
+/// dominating both inputs.
+#[test]
+fn join_is_lub() {
+    check("join_is_lub", CASES, |rng| {
+        let a = vclock(rng, 6);
+        let b = vclock(rng, 6);
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        prop_assert_eq!(&ab, &ba);
-        prop_assert!(a.dominated_by(&ab));
-        prop_assert!(b.dominated_by(&ab));
+        assert_eq!(&ab, &ba);
+        assert!(a.dominated_by(&ab));
+        assert!(b.dominated_by(&ab));
         let mut again = ab.clone();
         again.join(&a);
-        prop_assert_eq!(again, ab);
-    }
+        assert_eq!(again, ab);
+    });
+}
 
-    /// compare is antisymmetric and consistent with dominated_by.
-    #[test]
-    fn compare_consistency(a in vclock(5), b in vclock(5)) {
+/// compare is antisymmetric and consistent with dominated_by.
+#[test]
+fn compare_consistency() {
+    check("compare_consistency", CASES, |rng| {
+        // Small component range so every ordering actually occurs.
+        let mut a = VClock::new(5);
+        let mut b = VClock::new(5);
+        for i in 0..5 {
+            a.set(i, rng.u32_in(0, 4));
+            b.set(i, rng.u32_in(0, 4));
+        }
         match a.compare(&b) {
             VOrder::Equal => {
-                prop_assert_eq!(b.compare(&a), VOrder::Equal);
-                prop_assert!(a.dominated_by(&b) && b.dominated_by(&a));
+                assert_eq!(b.compare(&a), VOrder::Equal);
+                assert!(a.dominated_by(&b) && b.dominated_by(&a));
             }
             VOrder::Before => {
-                prop_assert_eq!(b.compare(&a), VOrder::After);
-                prop_assert!(a.dominated_by(&b));
-                prop_assert!(!b.dominated_by(&a));
+                assert_eq!(b.compare(&a), VOrder::After);
+                assert!(a.dominated_by(&b));
+                assert!(!b.dominated_by(&a));
             }
             VOrder::After => {
-                prop_assert_eq!(b.compare(&a), VOrder::Before);
-                prop_assert!(b.dominated_by(&a));
+                assert_eq!(b.compare(&a), VOrder::Before);
+                assert!(b.dominated_by(&a));
             }
             VOrder::Concurrent => {
-                prop_assert_eq!(b.compare(&a), VOrder::Concurrent);
-                prop_assert!(!a.dominated_by(&b) && !b.dominated_by(&a));
+                assert_eq!(b.compare(&a), VOrder::Concurrent);
+                assert!(!a.dominated_by(&b) && !b.dominated_by(&a));
             }
         }
-    }
+    });
+}
 
-    /// observe() makes covers() true and is the minimal such update.
-    #[test]
-    fn observe_covers(mut a in vclock(4), node in 0u32..4, seq in 0u32..100) {
+/// observe() makes covers() true and is the minimal such update.
+#[test]
+fn observe_covers() {
+    check("observe_covers", CASES, |rng| {
+        let mut a = vclock(rng, 4);
+        let node = rng.u32_in(0, 4);
+        let seq = rng.u32_in(0, 100);
         let before = a.get(node);
         let iv = IntervalId { node, seq };
         a.observe(iv);
-        prop_assert!(a.covers(iv));
-        prop_assert_eq!(a.get(node), before.max(seq + 1));
-    }
+        assert!(a.covers(iv));
+        assert_eq!(a.get(node), before.max(seq + 1));
+    });
+}
 
-    /// VClock and IntervalId codec roundtrips.
-    #[test]
-    fn vclock_codec_roundtrip(a in vclock(8)) {
+/// VClock and IntervalId codec roundtrips.
+#[test]
+fn vclock_codec_roundtrip() {
+    check("vclock_codec_roundtrip", CASES, |rng| {
+        let a = vclock(rng, 8);
         let bytes = a.encode_to_vec();
-        prop_assert_eq!(bytes.len(), a.encoded_size());
-        prop_assert_eq!(VClock::decode_from_slice(&bytes).unwrap(), a);
-    }
+        assert_eq!(bytes.len(), a.encoded_size());
+        assert_eq!(VClock::decode_from_slice(&bytes).unwrap(), a);
+    });
+}
 
-    #[test]
-    fn interval_codec_roundtrip(node in any::<u32>(), seq in any::<u32>()) {
-        let iv = IntervalId { node, seq };
-        prop_assert_eq!(IntervalId::decode_from_slice(&iv.encode_to_vec()).unwrap(), iv);
-    }
+#[test]
+fn interval_codec_roundtrip() {
+    check("interval_codec_roundtrip", CASES, |rng| {
+        let iv = IntervalId {
+            node: rng.next_u64() as u32,
+            seq: rng.next_u64() as u32,
+        };
+        assert_eq!(
+            IntervalId::decode_from_slice(&iv.encode_to_vec()).unwrap(),
+            iv
+        );
+    });
+}
 
-    /// Mixed scalar/byte-string sequences roundtrip through the codec.
-    #[test]
-    fn writer_reader_roundtrip(
-        items in proptest::collection::vec(
-            prop_oneof![
-                any::<u8>().prop_map(|v| (0u8, v as u64)),
-                any::<u16>().prop_map(|v| (1u8, v as u64)),
-                any::<u32>().prop_map(|v| (2u8, v as u64)),
-                any::<u64>().prop_map(|v| (3u8, v)),
-            ],
-            0..50,
-        ),
-        tail in proptest::collection::vec(any::<u8>(), 0..100),
-    ) {
+/// Mixed scalar/byte-string sequences roundtrip through the codec.
+#[test]
+fn writer_reader_roundtrip() {
+    check("writer_reader_roundtrip", CASES, |rng| {
+        let n_items = rng.usize_in(0, 50);
+        let items: Vec<(u8, u64)> = (0..n_items)
+            .map(|_| {
+                let kind = rng.u32_in(0, 4) as u8;
+                let v = rng.next_u64();
+                let v = match kind {
+                    0 => v & 0xFF,
+                    1 => v & 0xFFFF,
+                    2 => v & 0xFFFF_FFFF,
+                    _ => v,
+                };
+                (kind, v)
+            })
+            .collect();
+        let tail_len = rng.usize_in(0, 100);
+        let tail = rng.bytes(tail_len);
+
         let mut w = ByteWriter::new();
         for &(kind, v) in &items {
             match kind {
@@ -111,9 +146,9 @@ proptest! {
                 2 => r.get_u32().unwrap() as u64,
                 _ => r.get_u64().unwrap(),
             };
-            prop_assert_eq!(got, v);
+            assert_eq!(got, v);
         }
-        prop_assert_eq!(r.get_bytes().unwrap(), tail);
-        prop_assert!(r.is_exhausted());
-    }
+        assert_eq!(r.get_bytes().unwrap(), tail);
+        assert!(r.is_exhausted());
+    });
 }

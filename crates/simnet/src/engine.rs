@@ -1,0 +1,269 @@
+//! Protocol-agnostic coherence engine.
+//!
+//! Every software-DSM node — home-based or homeless, logging or not —
+//! runs the same outer loop: drain the inbox and service peer requests
+//! whenever the application blocks, reply relative to request arrival
+//! (the "communication processor" of the paper's testbed), defer
+//! traffic while replaying a log after a crash, and charge every clock
+//! advance to an accounting category. [`CoherenceProtocol`] captures
+//! that loop once; the protocol crates implement only message service
+//! and state transitions.
+//!
+//! The engine also defines the structured run-telemetry stream: every
+//! coherence-relevant action emits a [`TraceEvent`] (page fault, fetch,
+//! diff flush, write notice, log append/flush, lock/barrier phase,
+//! crash/recovery step), and the per-node accounting rolls up into a
+//! [`PhaseBreakdown`] whose components sum exactly to the node's finish
+//! time.
+
+use crate::node::NodeCtx;
+use crate::router::{Envelope, NodeId, WireSized};
+use crate::stats::NodeStats;
+use crate::time::{SimDuration, SimTime};
+
+/// One structured telemetry record: something coherence-relevant
+/// happened on `node` at virtual time `at`.
+///
+/// Events are stamped with the node's own clock at emission, so the
+/// per-node stream is nondecreasing in `at` by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at the emitting node.
+    pub at: SimTime,
+    /// The emitting node.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kind of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A read page-protection fault was taken.
+    ReadFault {
+        /// Faulting page.
+        page: u32,
+    },
+    /// A write page-protection fault was taken.
+    WriteFault {
+        /// Faulting page.
+        page: u32,
+    },
+    /// A full page copy was fetched from another node.
+    PageFetch {
+        /// Fetched page.
+        page: u32,
+        /// Node the copy came from (home, or owner of the base copy).
+        from: NodeId,
+    },
+    /// Diffs for one closed interval were flushed to a remote node.
+    DiffFlush {
+        /// Destination (home in HLRC, requester in homeless LRC).
+        to: NodeId,
+        /// Encoded diff payload bytes.
+        bytes: u64,
+    },
+    /// Write notices from a remote interval were applied locally.
+    NoticesApplied {
+        /// Number of notices applied.
+        count: u32,
+    },
+    /// A record was appended to the volatile (in-memory) log.
+    LogAppend {
+        /// Encoded record bytes.
+        bytes: u64,
+    },
+    /// The volatile log was flushed to stable storage.
+    LogFlush {
+        /// Bytes written.
+        bytes: u64,
+        /// True if the write was overlapped with communication (its
+        /// latency charged only where it exceeded the wait it hid
+        /// behind).
+        overlapped: bool,
+    },
+    /// A checkpoint was written to stable storage.
+    Checkpoint {
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A lock was acquired (notices from the grant already applied).
+    LockAcquire {
+        /// Lock id.
+        lock: u32,
+    },
+    /// A lock was released.
+    LockRelease {
+        /// Lock id.
+        lock: u32,
+    },
+    /// The node arrived at a barrier (interval closed, diffs flushed).
+    BarrierEnter {
+        /// Barrier episode.
+        epoch: u32,
+    },
+    /// The node was released from a barrier.
+    BarrierExit {
+        /// Barrier episode.
+        epoch: u32,
+    },
+    /// The node crashed (volatile state lost).
+    Crash,
+    /// Log replay began.
+    RecoveryBegin,
+    /// One logged synchronization episode was replayed.
+    RecoveryReplay {
+        /// Write notices reapplied by this episode.
+        notices: u32,
+    },
+    /// Log replay finished; the node resumed live service.
+    RecoveryEnd,
+}
+
+impl TraceKind {
+    /// Stable machine-readable label for this event kind (used by the
+    /// JSON telemetry emitters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::ReadFault { .. } => "read_fault",
+            TraceKind::WriteFault { .. } => "write_fault",
+            TraceKind::PageFetch { .. } => "page_fetch",
+            TraceKind::DiffFlush { .. } => "diff_flush",
+            TraceKind::NoticesApplied { .. } => "notices_applied",
+            TraceKind::LogAppend { .. } => "log_append",
+            TraceKind::LogFlush { .. } => "log_flush",
+            TraceKind::Checkpoint { .. } => "checkpoint",
+            TraceKind::LockAcquire { .. } => "lock_acquire",
+            TraceKind::LockRelease { .. } => "lock_release",
+            TraceKind::BarrierEnter { .. } => "barrier_enter",
+            TraceKind::BarrierExit { .. } => "barrier_exit",
+            TraceKind::Crash => "crash",
+            TraceKind::RecoveryBegin => "recovery_begin",
+            TraceKind::RecoveryReplay { .. } => "recovery_replay",
+            TraceKind::RecoveryEnd => "recovery_end",
+        }
+    }
+}
+
+/// Where one node's virtual time went, as a partition of its finish
+/// time: `compute + wait + disk + hidden` equals the node's final clock
+/// exactly (every clock advance in the engine is charged to exactly one
+/// category).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Application arithmetic plus protocol CPU overhead.
+    pub compute: SimDuration,
+    /// Blocked on remote replies or synchronization, not counting the
+    /// portion that hid overlapped disk writes.
+    pub wait: SimDuration,
+    /// Stalled on stable-storage accesses (synchronous log/checkpoint
+    /// writes and backpressure from a busy disk).
+    pub disk: SimDuration,
+    /// Disk work hidden behind communication wait (the CCL overlap win:
+    /// this portion of the wait was doing useful logging).
+    pub hidden: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// Partition `stats`' time counters into phases.
+    ///
+    /// Overlapped disk time is carved out of the wait that hid it, so
+    /// the four components still sum to the node's finish time.
+    pub fn from_stats(stats: &NodeStats) -> PhaseBreakdown {
+        let hidden = stats.disk_time_overlapped.min(stats.wait_time);
+        PhaseBreakdown {
+            compute: stats.compute_time,
+            wait: stats.wait_time.saturating_sub(hidden),
+            disk: stats.disk_time,
+            hidden,
+        }
+    }
+
+    /// Sum of all components (equals the node's finish time).
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.wait + self.disk + self.hidden
+    }
+}
+
+/// A coherence protocol runnable by the engine.
+///
+/// Implementors provide protocol state behind [`ctx`](Self::ctx), the
+/// per-message service routine, and the deferral predicate; the engine
+/// provides the message pump, the reply-while-blocked receive loop, the
+/// service-while-gathering loop used by synchronization managers, and
+/// the crash/resume lifecycle.
+pub trait CoherenceProtocol<M: WireSized> {
+    /// The node's machine context (clock, endpoint, disk, stats, trace).
+    fn ctx(&mut self) -> &mut NodeCtx<M>;
+
+    /// Service one asynchronous protocol message. `deferred` marks
+    /// messages replayed after recovery, whose service time is "now"
+    /// rather than their (long past) arrival time; implementations
+    /// should base reply timing on
+    /// [`NodeCtx::async_service_base`].
+    fn service(&mut self, env: Envelope<M>, deferred: bool);
+
+    /// True while incoming traffic must be deferred instead of serviced
+    /// (log replay after a crash: serving a peer from a half-restored
+    /// memory image would hand out corrupt data).
+    fn deferring(&self) -> bool {
+        false
+    }
+
+    /// Drain the inbox, servicing (or deferring) every pending message.
+    /// Called at fault/synchronization points and whenever the node
+    /// blocks.
+    fn pump(&mut self) {
+        let deferring = self.deferring();
+        while let Some(env) = self.ctx().try_recv() {
+            if deferring {
+                self.ctx().defer(env);
+            } else {
+                self.service(env, false);
+            }
+        }
+    }
+
+    /// Block until a message matching `pred` arrives (absorbing its
+    /// arrival time as wait), servicing all other traffic
+    /// asynchronously — or deferring it during recovery.
+    fn wait_for<F: Fn(&M) -> bool>(&mut self, pred: F) -> Envelope<M> {
+        loop {
+            let env = self.ctx().recv().expect("cluster channel closed");
+            if pred(&env.payload) {
+                self.ctx().absorb(&env);
+                return env;
+            }
+            if self.deferring() {
+                self.ctx().defer(env);
+            } else {
+                self.service(env, false);
+            }
+        }
+    }
+
+    /// Service messages until `more` returns false. Synchronization
+    /// managers use this to gather arrivals: each incoming message is
+    /// serviced normally (updating manager state), and the loop exits
+    /// once the gather condition is met.
+    fn service_while<F: Fn(&Self) -> bool>(&mut self, more: F) {
+        while more(self) {
+            let env = self.ctx().recv().expect("cluster channel closed");
+            self.service(env, false);
+        }
+    }
+
+    /// Log replay has finished: stamp the recovery end time, emit the
+    /// telemetry event, and service everything deferred while replaying
+    /// (in arrival order, timed from "now").
+    fn resume_live(&mut self) {
+        let ctx = self.ctx();
+        if ctx.recovery_exit.is_none() {
+            ctx.recovery_exit = Some(ctx.now());
+            ctx.trace(TraceKind::RecoveryEnd);
+        }
+        for env in self.ctx().take_deferred() {
+            self.service(env, true);
+        }
+    }
+}

@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SimError::Disconnected.to_string(), "peer channel disconnected");
+        assert_eq!(
+            SimError::Disconnected.to_string(),
+            "peer channel disconnected"
+        );
         assert_eq!(SimError::UnknownNode(3).to_string(), "unknown node id 3");
     }
 }

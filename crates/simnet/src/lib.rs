@@ -14,7 +14,10 @@
 //! * **simulated stable storage** ([`SimDisk`]) holding byte-exact log
 //!   and checkpoint streams that survive a simulated node crash;
 //! * **a node runtime** ([`NodeCtx`], [`run_cluster`]) running one OS
-//!   thread per DSM process.
+//!   thread per DSM process;
+//! * **a coherence engine** ([`CoherenceProtocol`]) owning the message
+//!   pump, reply-while-blocked loop, crash/resume lifecycle, and the
+//!   structured telemetry stream ([`TraceEvent`], [`PhaseBreakdown`]).
 //!
 //! Higher layers (`hlrc`, `ftlog`, `ccl-core`) implement the actual DSM
 //! protocols on top of these primitives.
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod disk;
+mod engine;
 mod error;
 mod models;
 mod node;
@@ -31,6 +35,7 @@ mod stats;
 mod time;
 
 pub use disk::{DiskCounters, SimDisk};
+pub use engine::{CoherenceProtocol, PhaseBreakdown, TraceEvent, TraceKind};
 pub use error::{SimError, SimResult};
 pub use models::{CostModel, CpuModel, DiskModel, NetworkModel};
 pub use node::{run_cluster, NodeCtx};

@@ -8,6 +8,7 @@
 use std::thread;
 
 use crate::disk::SimDisk;
+use crate::engine::{TraceEvent, TraceKind};
 use crate::error::SimResult;
 use crate::models::CostModel;
 use crate::router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
@@ -26,6 +27,15 @@ pub struct NodeCtx<M> {
     pub disk: SimDisk,
     /// Execution counters.
     pub stats: NodeStats,
+    /// Messages deferred while replaying from the log after a crash.
+    deferred: Vec<Envelope<M>>,
+    /// Structured telemetry stream, in emission (= virtual time) order.
+    trace: Vec<TraceEvent>,
+    /// Virtual time of the simulated crash, if one was injected.
+    pub crashed_at: Option<SimTime>,
+    /// Virtual time at which log replay finished and the node resumed
+    /// live operation (recovery time = `recovery_exit - crashed_at`).
+    pub recovery_exit: Option<SimTime>,
 }
 
 impl<M: WireSized> NodeCtx<M> {
@@ -38,6 +48,10 @@ impl<M: WireSized> NodeCtx<M> {
             disk: SimDisk::new(cost.disk),
             ep,
             stats: NodeStats::default(),
+            deferred: Vec::new(),
+            trace: Vec::new(),
+            crashed_at: None,
+            recovery_exit: None,
         }
     }
 
@@ -56,8 +70,25 @@ impl<M: WireSized> NodeCtx<M> {
         self.clock
     }
 
-    /// Advance the clock by a charged cost.
-    pub fn advance(&mut self, d: SimDuration) {
+    /// Advance the clock by protocol CPU overhead (fault traps, handler
+    /// entry, recovery bookkeeping), accounted as compute time.
+    pub fn charge_overhead(&mut self, d: SimDuration) {
+        self.stats.compute_time += d;
+        self.clock += d;
+    }
+
+    /// Advance the clock by a synchronous stable-storage stall (log or
+    /// checkpoint writes, and backpressure from a busy disk), accounted
+    /// as disk time.
+    pub fn charge_disk(&mut self, d: SimDuration) {
+        self.stats.disk_time += d;
+        self.clock += d;
+    }
+
+    /// Advance the clock by a blocked interval of known length
+    /// (e.g. the crash-detection timeout), accounted as wait time.
+    pub fn charge_wait(&mut self, d: SimDuration) {
+        self.stats.wait_time += d;
         self.clock += d;
     }
 
@@ -98,6 +129,16 @@ impl<M: WireSized> NodeCtx<M> {
     /// host application happens to have advanced its own clock.
     pub fn send_from(&mut self, sent_at: SimTime, dst: NodeId, payload: M) -> SimResult<()> {
         let size = payload.wire_size();
+        // Traffic statistics (and hence the paper's tables) depend on
+        // wire_size being exact: header plus encoded body, no estimate.
+        #[cfg(debug_assertions)]
+        if let Some(body) = payload.encoded_len() {
+            debug_assert_eq!(
+                size,
+                payload.header_len() + body,
+                "wire_size disagrees with encoded length"
+            );
+        }
         // Loopback messages (manager talking to itself) skip the wire:
         // a real implementation short-circuits these in memory.
         let arrive_at = if dst == self.id {
@@ -144,6 +185,69 @@ impl<M: WireSized> NodeCtx<M> {
     /// (arrival + fixed handler entry cost), before any per-byte work.
     pub fn service_time(&self, env: &Envelope<M>) -> SimTime {
         env.arrive_at + self.cost.cpu.message_handler
+    }
+
+    /// Logical start time for asynchronously servicing `env`: its
+    /// arrival time, or "now" for a message replayed from the deferred
+    /// queue after recovery (its arrival is long past).
+    pub fn async_service_base(&self, env: &Envelope<M>, deferred: bool) -> SimTime {
+        if deferred {
+            env.arrive_at.max(self.clock)
+        } else {
+            env.arrive_at
+        }
+    }
+
+    /// Queue `env` for service after recovery finishes.
+    pub fn defer(&mut self, env: Envelope<M>) {
+        self.deferred.push(env);
+    }
+
+    /// Take the messages deferred during recovery, in arrival order.
+    pub fn take_deferred(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Block until a message matching `pred` arrives, deferring every
+    /// other message. Used only during crash recovery, where all normal
+    /// protocol service is postponed until replay finishes.
+    pub fn wait_for_deferring<F: Fn(&M) -> bool>(&mut self, pred: F) -> Envelope<M> {
+        loop {
+            let env = self.recv().expect("cluster channel closed");
+            if pred(&env.payload) {
+                self.absorb(&env);
+                return env;
+            }
+            self.deferred.push(env);
+        }
+    }
+
+    /// Emit a telemetry event stamped with this node's current clock.
+    /// Per-node streams are therefore nondecreasing in time.
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.trace.push(TraceEvent {
+            at: self.clock,
+            node: self.id,
+            kind,
+        });
+    }
+
+    /// The telemetry emitted so far.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Take ownership of the telemetry stream (used when assembling the
+    /// run output).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Record a crash at the current virtual time. The telemetry
+    /// survives (it models an external observer, not node memory).
+    pub fn mark_crashed(&mut self) {
+        self.crashed_at = Some(self.clock);
+        self.trace(TraceKind::Crash);
     }
 }
 
@@ -216,17 +320,15 @@ mod tests {
             }
         });
         let m = CostModel::default();
-        let expect = (m.net.transfer_time(64)
-            + m.cpu.message_handler
-            + m.net.transfer_time(4096))
-        .as_nanos();
+        let expect = (m.net.transfer_time(64) + m.cpu.message_handler + m.net.transfer_time(4096))
+            .as_nanos();
         assert_eq!(results[0], expect);
     }
 
     #[test]
     fn wait_until_never_moves_backwards() {
         run_cluster::<Blob, _, _>(1, CostModel::default(), |mut ctx| {
-            ctx.advance(SimDuration::from_millis(5));
+            ctx.charge_overhead(SimDuration::from_millis(5));
             let before = ctx.now();
             ctx.wait_until(SimTime(1));
             assert_eq!(ctx.now(), before);

@@ -6,7 +6,7 @@
 //! over sockets on the paper's Ethernet cluster. Virtual arrival times
 //! are stamped by the sender from the [`NetworkModel`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::error::{SimError, SimResult};
 use crate::time::SimTime;
@@ -22,6 +22,20 @@ pub type NodeId = usize;
 pub trait WireSized {
     /// Encoded payload size in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Exact encoded body length, if this payload has a real codec
+    /// (`None` for abstract test payloads). When present, the engine's
+    /// send path asserts `wire_size == header_len + encoded_len` in
+    /// debug builds.
+    fn encoded_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Fixed per-message header bytes included in `wire_size` on top of
+    /// the encoded body.
+    fn header_len(&self) -> usize {
+        0
+    }
 }
 
 /// A message in flight.
@@ -59,7 +73,10 @@ impl<M> Endpoint<M> {
 
     /// Deliver an envelope to its destination's inbox.
     pub fn send(&self, env: Envelope<M>) -> SimResult<()> {
-        let tx = self.txs.get(env.dst).ok_or(SimError::UnknownNode(env.dst))?;
+        let tx = self
+            .txs
+            .get(env.dst)
+            .ok_or(SimError::UnknownNode(env.dst))?;
         tx.send(env).map_err(|_| SimError::Disconnected)
     }
 
@@ -79,7 +96,7 @@ pub fn make_endpoints<M>(n: usize) -> Vec<Endpoint<M>> {
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }

@@ -74,6 +74,12 @@ impl NodeStats {
         self.read_faults + self.write_faults
     }
 
+    /// Partition this node's time counters into the four-way phase
+    /// breakdown (compute / wait / disk / hidden-behind-wait).
+    pub fn phases(&self) -> crate::engine::PhaseBreakdown {
+        crate::engine::PhaseBreakdown::from_stats(self)
+    }
+
     /// Mean flushed-log size in bytes (Table 2's "Mean Log Size" column).
     pub fn mean_log_flush_bytes(&self) -> f64 {
         if self.log_flushes == 0 {

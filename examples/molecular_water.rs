@@ -25,14 +25,24 @@ fn main() {
 
     let expect = reference_digest(&cfg);
     for n in &out.nodes {
-        assert_eq!(n.result, expect, "node {} diverged from the serial MD", n.node);
+        assert_eq!(
+            n.result, expect,
+            "node {} diverged from the serial MD",
+            n.node
+        );
     }
     let total = out.total_stats();
     println!("digest matches the serial reference on every node.");
     println!("lock acquires : {}", total.lock_acquires);
     println!("barriers      : {}", total.barriers);
     println!("page fetches  : {}", total.page_fetches);
-    println!("diffs flushed : {} ({} bytes)", total.diffs_created, total.diff_bytes);
-    println!("CCL log       : {} bytes in {} flushes", total.log_bytes, total.log_flushes);
+    println!(
+        "diffs flushed : {} ({} bytes)",
+        total.diffs_created, total.diff_bytes
+    );
+    println!(
+        "CCL log       : {} bytes in {} flushes",
+        total.log_bytes, total.log_flushes
+    );
     println!("virtual time  : {}", out.exec_time());
 }

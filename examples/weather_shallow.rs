@@ -15,8 +15,10 @@ fn main() {
     let nodes = 4;
     let pages = cfg.shared_pages(4096) + 4;
 
-    println!("== shallow-water forecast: {}x{} grid, {} steps, {} nodes ==",
-        cfg.n, cfg.n, cfg.steps, nodes);
+    println!(
+        "== shallow-water forecast: {}x{} grid, {} steps, {} nodes ==",
+        cfg.n, cfg.n, cfg.steps, nodes
+    );
 
     let mut baseline = None;
     for protocol in [Protocol::None, Protocol::Ml, Protocol::Ccl] {

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full verification gate: build, tests, lints, formatting.
+# Run from the repository root: ./scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -14,7 +14,9 @@ fn tiny_spec(app: App, nodes: usize, protocol: Protocol) -> ClusterSpec {
 
 fn check_app(app: App, nodes: usize, protocol: Protocol) {
     let expect = app.tiny_reference();
-    let out = run_program(tiny_spec(app, nodes, protocol), move |dsm| app.run_tiny(dsm));
+    let out = run_program(tiny_spec(app, nodes, protocol), move |dsm| {
+        app.run_tiny(dsm)
+    });
     for n in &out.nodes {
         assert_eq!(
             n.result,
@@ -81,13 +83,15 @@ fn logging_never_changes_results() {
     // The same program must produce the same digest regardless of the
     // logging protocol (logging is supposed to be transparent).
     for app in App::ALL {
-        let digests: Vec<u64> =
-            [Protocol::None, Protocol::Ml, Protocol::Ccl, Protocol::CclNoOverlap]
-                .iter()
-                .map(|&p| {
-                    run_program(tiny_spec(app, 4, p), move |dsm| app.run_tiny(dsm)).nodes[0].result
-                })
-                .collect();
+        let digests: Vec<u64> = [
+            Protocol::None,
+            Protocol::Ml,
+            Protocol::Ccl,
+            Protocol::CclNoOverlap,
+        ]
+        .iter()
+        .map(|&p| run_program(tiny_spec(app, 4, p), move |dsm| app.run_tiny(dsm)).nodes[0].result)
+        .collect();
         assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
             "{}: digests differ across protocols: {digests:?}",

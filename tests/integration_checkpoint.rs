@@ -4,7 +4,9 @@
 use ccl_core::{run_program, ClusterSpec, CrashPlan, Dsm, Protocol};
 
 fn spec(protocol: Protocol) -> ClusterSpec {
-    ClusterSpec::new(3, 24).with_page_size(256).with_protocol(protocol)
+    ClusterSpec::new(3, 24)
+        .with_page_size(256)
+        .with_protocol(protocol)
 }
 
 /// An iterative program that checkpoints halfway: each round every node
@@ -46,7 +48,10 @@ fn expected_sum() -> u64 {
 fn checkpoint_is_transparent_without_crash() {
     for p in [Protocol::Ml, Protocol::Ccl] {
         let out = run_program(spec(p), checkpointed_program);
-        assert!(out.nodes.iter().all(|n| n.result == expected_sum()), "{p:?}");
+        assert!(
+            out.nodes.iter().all(|n| n.result == expected_sum()),
+            "{p:?}"
+        );
     }
 }
 

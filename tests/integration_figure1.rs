@@ -59,7 +59,9 @@ fn figure1_program(dsm: &mut Dsm) -> (u64, u64, u64) {
 }
 
 fn spec(protocol: Protocol) -> ClusterSpec {
-    ClusterSpec::new(3, 4).with_page_size(PAGE).with_protocol(protocol)
+    ClusterSpec::new(3, 4)
+        .with_page_size(PAGE)
+        .with_protocol(protocol)
 }
 
 #[test]
