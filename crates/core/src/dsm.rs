@@ -20,20 +20,27 @@ pub(crate) struct CrashToken;
 pub struct Dsm {
     pub(crate) node: HlrcNode,
     alloc_cursor: usize,
-    crash: Option<CrashPlan>,
+    /// Crash events scheduled for this node, in schedule order.
+    crashes: Vec<CrashPlan>,
+    /// Which of `crashes` have already fired (each fires once).
+    fired: Vec<bool>,
+    /// Detection delay of the crash currently unwinding, consumed by
+    /// [`Dsm::handle_crash`].
+    pending_detection: SimDuration,
     barriers_done: u64,
-    crashed_once: bool,
     restored: Option<Vec<u8>>,
 }
 
 impl Dsm {
-    pub(crate) fn new(node: HlrcNode, crash: Option<CrashPlan>) -> Dsm {
+    pub(crate) fn new(node: HlrcNode, crashes: Vec<CrashPlan>) -> Dsm {
+        let fired = vec![false; crashes.len()];
         Dsm {
             node,
             alloc_cursor: 0,
-            crash,
+            crashes,
+            fired,
+            pending_detection: SimDuration::ZERO,
             barriers_done: 0,
-            crashed_once: false,
             restored: None,
         }
     }
@@ -183,17 +190,19 @@ impl Dsm {
         self.node.release(lock);
     }
 
-    /// Global barrier. The injected crash (if any) fires immediately
-    /// after the configured barrier completes.
+    /// Global barrier. Injected crashes fire immediately after their
+    /// configured barrier completes. `barriers_done` counts within the
+    /// current program incarnation, so a recovered node counts from
+    /// zero again and a later crash event of the same node fires at its
+    /// own barrier count of the re-run.
     pub fn barrier(&mut self) {
         self.node.barrier();
         self.barriers_done += 1;
-        if let Some(plan) = self.crash {
-            if !self.crashed_once
-                && plan.node == self.me()
-                && self.barriers_done == plan.after_barriers
-            {
-                self.crashed_once = true;
+        let me = self.me();
+        for (i, plan) in self.crashes.iter().enumerate() {
+            if !self.fired[i] && plan.node == me && self.barriers_done == plan.after_barriers {
+                self.fired[i] = true;
+                self.pending_detection = plan.detection_delay;
                 panic_any(CrashToken);
             }
         }
@@ -236,7 +245,7 @@ impl Dsm {
 
     pub(crate) fn handle_crash(&mut self) {
         let crash_instant = self.node.inner.ctx.now();
-        let delay = self.crash.map_or(SimDuration::ZERO, |c| c.detection_delay);
+        let delay = std::mem::replace(&mut self.pending_detection, SimDuration::ZERO);
         // The cluster sits in the crash-detection timeout: blocked, not
         // computing.
         self.node.inner.ctx.charge_wait(delay);

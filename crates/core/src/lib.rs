@@ -33,9 +33,12 @@ mod shared;
 mod spec;
 
 pub use dsm::Dsm;
-pub use runner::{run_program, NodeOutput, RunOutput};
+pub use runner::{run_program, FaultSummary, NodeOutput, RunOutput};
 pub use shared::{ArrayHandle, SharedVal, ELEM_BYTES};
-pub use spec::{ClusterSpec, CrashPlan, Protocol};
+pub use spec::{ClusterSpec, CrashPlan, FailureSpec, Protocol};
 
 // Re-export the substrate types reports and benches need.
-pub use simnet::{CostModel, DiskCounters, NodeStats, SimDuration, SimTime};
+pub use simnet::{
+    CostModel, DiskCounters, DiskFaultPlan, FaultPlan, NodeStats, Partition, SimDuration, SimTime,
+    TraceKind,
+};

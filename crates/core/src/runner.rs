@@ -5,10 +5,32 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use hlrc::{HlrcNode, Msg, NoLogging};
-use simnet::{run_cluster, DiskCounters, NodeId, NodeStats, PhaseBreakdown, SimTime, TraceEvent};
+use simnet::{
+    run_cluster, DiskCounters, NodeId, NodeStats, PhaseBreakdown, SimTime, TraceEvent, TraceKind,
+};
 
 use crate::dsm::{CrashToken, Dsm};
 use crate::spec::{ClusterSpec, Protocol};
+
+/// Fault-injection knobs of a run, echoed into the output so results
+/// are reproducible from the telemetry alone.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSummary {
+    /// Message-fault PRNG seed.
+    pub seed: u64,
+    /// Per-message drop probability, in permille.
+    pub drop_per_mille: u16,
+    /// Per-message duplication probability, in permille.
+    pub dup_per_mille: u16,
+    /// Maximum delivery jitter, in nanoseconds.
+    pub jitter_max_ns: u64,
+    /// Number of scheduled link partitions.
+    pub partitions: usize,
+    /// Number of scheduled crash events.
+    pub crashes: usize,
+    /// Number of nodes with a disk-fault schedule.
+    pub disk_fault_nodes: usize,
+}
 
 /// Per-node outcome of a cluster run.
 #[derive(Debug, Clone)]
@@ -40,6 +62,8 @@ pub struct NodeOutput<R> {
 pub struct RunOutput<R> {
     /// Per-node outputs, in node order.
     pub nodes: Vec<NodeOutput<R>>,
+    /// The fault-injection knobs this run was launched with.
+    pub faults: FaultSummary,
 }
 
 impl<R> RunOutput<R> {
@@ -86,16 +110,55 @@ impl<R> RunOutput<R> {
         })
     }
 
+    /// Nodes whose log device failed permanently during the run.
+    pub fn degraded_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.trace
+                    .iter()
+                    .any(|ev| matches!(ev.kind, TraceKind::LogDeviceFailed))
+            })
+            .map(|n| n.node)
+            .collect()
+    }
+
     /// Machine-readable run telemetry: per-node phase breakdown (all
-    /// times in nanoseconds) plus trace-event counts, as a JSON string.
-    /// The bench harness prints this for downstream tooling.
+    /// times in nanoseconds), trace-event counts, and the fault-
+    /// injection knobs and counters, as a JSON string. The bench
+    /// harness prints this for downstream tooling.
     pub fn phases_json(&self, label: &str) -> String {
         use std::fmt::Write;
+        let total = self.total_stats();
+        let disk: (u64, u64) = self.nodes.iter().fold((0, 0), |(r, f), n| {
+            (r + n.disk.write_retries, f + n.disk.failed_writes)
+        });
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"run\":\"{label}\",\"exec_time_ns\":{},\"nodes\":[",
+            "{{\"run\":\"{label}\",\"exec_time_ns\":{},",
             self.exec_time().as_nanos()
+        );
+        let _ = write!(
+            s,
+            "\"faults\":{{\"seed\":{},\"drop_per_mille\":{},\"dup_per_mille\":{},\
+             \"jitter_max_ns\":{},\"partitions\":{},\"crashes\":{},\
+             \"disk_fault_nodes\":{},\"timeouts\":{},\"retransmits\":{},\
+             \"dups_suppressed\":{},\"sends_to_stopped\":{},\
+             \"write_retries\":{},\"failed_writes\":{}}},\"nodes\":[",
+            self.faults.seed,
+            self.faults.drop_per_mille,
+            self.faults.dup_per_mille,
+            self.faults.jitter_max_ns,
+            self.faults.partitions,
+            self.faults.crashes,
+            self.faults.disk_fault_nodes,
+            total.timeouts,
+            total.retransmits,
+            total.dups_suppressed,
+            total.sends_to_stopped,
+            disk.0,
+            disk.1,
         );
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
@@ -154,16 +217,30 @@ where
     R: Send,
     F: Fn(&mut Dsm) -> R + Send + Sync,
 {
-    if spec.crash.is_some() {
+    if !spec.failures.crashes.is_empty() {
         silence_crash_token_panics();
     }
     let cfg = spec.dsm_config();
     let program = &program;
-    let results = run_cluster::<Msg, _, _>(spec.nodes, spec.cost, move |ctx| {
+    let spec = &spec;
+    // Single-failure CCL keeps home-write diffs volatile (a recovering
+    // peer implies the writer survived); a multi-crash schedule breaks
+    // that assumption, so those runs log home diffs durably too.
+    let multi_crash = spec.failures.crashes.len() >= 2;
+    let results = run_cluster::<Msg, _, _>(spec.nodes, spec.cost, move |mut ctx| {
         let id = ctx.id();
+        if !spec.faults.is_none() {
+            ctx.set_fault_plan(spec.faults.clone());
+        }
+        if let Some((_, plan)) = spec.failures.disk_faults.iter().find(|(n, _)| *n == id) {
+            ctx.disk.set_faults(*plan);
+        }
         let ft: Box<dyn hlrc::FaultTolerance> = match spec.protocol {
             Protocol::None => Box::new(NoLogging),
             Protocol::Ml => Box::new(ftlog::MlLogger::new()),
+            Protocol::Ccl if multi_crash => {
+                Box::new(ftlog::CclLogger::new().with_durable_home_diffs())
+            }
             Protocol::Ccl => Box::new(ftlog::CclLogger::new()),
             Protocol::CclNoOverlap => Box::new(ftlog::CclLogger::without_overlap()),
             Protocol::CclNoPrefetch => Box::new(ftlog::CclLogger::without_prefetch()),
@@ -171,17 +248,22 @@ where
             Protocol::Rsl => Box::new(ftlog::RslLogger::new()),
         };
         let node = HlrcNode::new(ctx, cfg, ft);
-        let mut dsm = Dsm::new(node, spec.crash);
-        let crashes_here = spec.crash.is_some_and(|c| c.node == id);
+        let mut dsm = Dsm::new(node, spec.failures.crashes.clone());
+        let crashes_here = spec.failures.crashes.iter().any(|c| c.node == id);
         let result = if crashes_here {
-            match catch_unwind(AssertUnwindSafe(|| program(&mut dsm))) {
-                Ok(r) => r, // crash point never reached
-                Err(payload) => {
-                    if payload.downcast_ref::<CrashToken>().is_none() {
-                        std::panic::resume_unwind(payload);
+            // Each scheduled crash event fires once; re-run the program
+            // after every unwind until it completes (multiple events at
+            // this node mean multiple recoveries, possibly with another
+            // node's recovery in flight).
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| program(&mut dsm))) {
+                    Ok(r) => break r,
+                    Err(payload) => {
+                        if payload.downcast_ref::<CrashToken>().is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                        dsm.handle_crash();
                     }
-                    dsm.handle_crash();
-                    program(&mut dsm)
                 }
             }
         } else {
@@ -203,7 +285,18 @@ where
             recovery_exit: inner.ctx.recovery_exit,
         }
     });
-    RunOutput { nodes: results }
+    RunOutput {
+        nodes: results,
+        faults: FaultSummary {
+            seed: spec.faults.seed,
+            drop_per_mille: spec.faults.drop_per_mille,
+            dup_per_mille: spec.faults.dup_per_mille,
+            jitter_max_ns: spec.faults.jitter_max.as_nanos(),
+            partitions: spec.faults.partitions.len(),
+            crashes: spec.failures.crashes.len(),
+            disk_fault_nodes: spec.failures.disk_faults.len(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -296,7 +389,11 @@ mod tests {
             tiny_spec(Protocol::Ml).with_crash(CrashPlan::new(1, 2)),
         ];
         for spec in specs.drain(..) {
-            let label = format!("{:?} crash={}", spec.protocol, spec.crash.is_some());
+            let label = format!(
+                "{:?} crash={}",
+                spec.protocol,
+                !spec.failures.crashes.is_empty()
+            );
             let out = run_program(spec, counter_program);
             for n in &out.nodes {
                 assert_eq!(

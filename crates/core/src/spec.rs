@@ -1,7 +1,7 @@
 //! Cluster run specification: protocol selection and failure injection.
 
 use hlrc::{DsmConfig, HomePolicy};
-use simnet::{CostModel, NodeId, SimDuration};
+use simnet::{CostModel, DiskFaultPlan, FaultPlan, NodeId, SimDuration};
 
 /// Which fault-tolerance protocol a run uses (the paper's three, plus
 /// the no-overlap CCL ablation).
@@ -65,10 +65,54 @@ impl CrashPlan {
             detection_delay: SimDuration::ZERO,
         }
     }
+
+    /// Set the failure-detection delay.
+    pub fn with_detection_delay(mut self, d: SimDuration) -> CrashPlan {
+        self.detection_delay = d;
+        self
+    }
+}
+
+/// Failure schedule for a run: any number of node crashes — including a
+/// second crash of the same node after its first recovery, and
+/// concurrent crashes of distinct nodes — plus per-node disk write-fault
+/// plans. `after_barriers` counts barriers completed in the current
+/// program incarnation, so a node that crashed and recovered counts from
+/// zero again.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// Crash events, each fired at its barrier-completion point.
+    pub crashes: Vec<CrashPlan>,
+    /// Per-node disk write-fault schedules.
+    pub disk_faults: Vec<(NodeId, DiskFaultPlan)>,
+}
+
+impl FailureSpec {
+    /// No failures.
+    pub fn none() -> FailureSpec {
+        FailureSpec::default()
+    }
+
+    /// True when nothing is scheduled to fail.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.disk_faults.is_empty()
+    }
+
+    /// Add a crash event.
+    pub fn with_crash(mut self, plan: CrashPlan) -> FailureSpec {
+        self.crashes.push(plan);
+        self
+    }
+
+    /// Add a disk write-fault schedule at `node`.
+    pub fn with_disk_fault(mut self, node: NodeId, plan: DiskFaultPlan) -> FailureSpec {
+        self.disk_faults.push((node, plan));
+        self
+    }
 }
 
 /// Everything needed to launch one cluster run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Number of DSM processes (the paper uses 8).
     pub nodes: usize,
@@ -82,12 +126,14 @@ pub struct ClusterSpec {
     pub protocol: Protocol,
     /// Hardware cost model.
     pub cost: CostModel,
-    /// Optional failure injection.
-    pub crash: Option<CrashPlan>,
+    /// Failure schedule (crashes and disk faults).
+    pub failures: FailureSpec,
+    /// Message-fault plan applied to every node's transport.
+    pub faults: FaultPlan,
 }
 
 impl ClusterSpec {
-    /// A paper-like spec: 4 KB pages, no crash, no logging.
+    /// A paper-like spec: 4 KB pages, no failures, no logging.
     pub fn new(nodes: usize, shared_pages: u32) -> ClusterSpec {
         ClusterSpec {
             nodes,
@@ -96,7 +142,8 @@ impl ClusterSpec {
             locks: 256,
             protocol: Protocol::None,
             cost: CostModel::ULTRA5_CLUSTER,
-            crash: None,
+            failures: FailureSpec::none(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -112,9 +159,28 @@ impl ClusterSpec {
         self
     }
 
-    /// Inject a crash.
+    /// Add a crash event to the failure schedule.
     pub fn with_crash(mut self, plan: CrashPlan) -> ClusterSpec {
-        self.crash = Some(plan);
+        self.failures.crashes.push(plan);
+        self
+    }
+
+    /// Replace the whole failure schedule.
+    pub fn with_failures(mut self, failures: FailureSpec) -> ClusterSpec {
+        self.failures = failures;
+        self
+    }
+
+    /// Add a disk write-fault schedule at `node`.
+    pub fn with_disk_fault(mut self, node: NodeId, plan: DiskFaultPlan) -> ClusterSpec {
+        self.failures.disk_faults.push((node, plan));
+        self
+    }
+
+    /// Set the message-fault plan (drops, duplicates, jitter,
+    /// partitions), applied to every node's transport.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ClusterSpec {
+        self.faults = plan;
         self
     }
 
@@ -137,13 +203,34 @@ mod tests {
         let spec = ClusterSpec::new(8, 64)
             .with_protocol(Protocol::Ccl)
             .with_page_size(512)
-            .with_crash(CrashPlan::new(1, 3));
+            .with_crash(CrashPlan::new(1, 3))
+            .with_crash(CrashPlan::new(2, 5).with_detection_delay(SimDuration::from_micros(50)))
+            .with_disk_fault(0, DiskFaultPlan::permanent_at(3))
+            .with_faults(FaultPlan::lossy(7, 20, 5));
         assert_eq!(spec.protocol.label(), "ccl");
         assert_eq!(spec.page_size, 512);
-        assert_eq!(spec.crash.unwrap().node, 1);
+        assert_eq!(spec.failures.crashes.len(), 2);
+        assert_eq!(spec.failures.crashes[0].node, 1);
+        assert_eq!(
+            spec.failures.crashes[1].detection_delay,
+            SimDuration::from_micros(50)
+        );
+        assert_eq!(spec.failures.disk_faults.len(), 1);
+        assert!(!spec.faults.is_none());
         let cfg = spec.dsm_config();
         assert_eq!(cfg.n_nodes, 8);
         assert_eq!(cfg.layout.page_size(), 512);
+    }
+
+    #[test]
+    fn failure_spec_none_is_empty() {
+        assert!(FailureSpec::none().is_none());
+        assert!(!FailureSpec::none()
+            .with_crash(CrashPlan::new(0, 1))
+            .is_none());
+        assert!(!FailureSpec::none()
+            .with_disk_fault(1, DiskFaultPlan::transient(1, 10))
+            .is_none());
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct CclLogger {
     /// single sequential log read the first time a recovering peer asks
     /// for one; later requests are served at memory speed.
     serve_cache: Option<HashMap<(PageId, u32), PageDiff>>,
+    /// Also log home-write diffs (as ordinary `Diffs` records). Single-
+    /// failure CCL keeps them volatile — a peer's recovery implies this
+    /// node survived — but under a multi-failure spec that assumption
+    /// breaks, so the runner enables this mode when more than one crash
+    /// is scheduled.
+    durable_home_diffs: bool,
+    /// The log device failed permanently: logging has stopped and a
+    /// later crash replays only the persisted prefix, re-executing the
+    /// rest live (degraded recovery).
+    degraded: bool,
 }
 
 impl CclLogger {
@@ -93,6 +103,8 @@ impl CclLogger {
             replay: None,
             restored_app: None,
             serve_cache: None,
+            durable_home_diffs: false,
+            degraded: false,
         }
     }
 
@@ -114,7 +126,22 @@ impl CclLogger {
         }
     }
 
+    /// Multi-failure variant: home-write diffs go to the stable log too
+    /// (see [`durable_home_diffs`](field@CclLogger::durable_home_diffs)).
+    pub fn with_durable_home_diffs(mut self) -> CclLogger {
+        self.durable_home_diffs = true;
+        self
+    }
+
+    /// True once the log device has failed permanently.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn stage(&mut self, inner: &mut NodeInner, rec: CclRecord) {
+        if self.degraded {
+            return;
+        }
         let bytes = rec.encoded_size();
         inner.ctx.trace(TraceKind::LogAppend {
             bytes: bytes as u64,
@@ -126,28 +153,55 @@ impl CclLogger {
     /// Encode and write the staged records through the OS cache,
     /// returning `(cpu_copy_cost, device_drain_time)`.
     fn flush_staged(&mut self, inner: &mut NodeInner) -> (SimDuration, SimDuration) {
+        if self.degraded {
+            // The device is gone; drop anything staged since then.
+            self.staged.clear();
+            self.staged_bytes = 0;
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
         if self.staged.is_empty() {
             return (SimDuration::ZERO, SimDuration::ZERO);
         }
         let bytes = self.staged_bytes;
         let base_pos = inner.ctx.disk.record_count(CCL_STREAM);
         let mut encoded = Vec::with_capacity(self.staged.len());
+        let mut indexed: Vec<((PageId, u32), usize, PageDiff)> = Vec::new();
         for (pos, rec) in (base_pos..).zip(self.staged.drain(..)) {
             if let CclRecord::Diffs { interval, diffs } = &rec {
                 for d in diffs {
-                    self.diff_index.insert((d.page, interval.seq), pos);
-                    // Keep the survivor-side serve cache coherent
-                    // incrementally instead of rebuilding it from disk.
-                    if let Some(cache) = self.serve_cache.as_mut() {
-                        cache.insert((d.page, interval.seq), d.clone());
-                    }
+                    // Indexed only once the write is known durable.
+                    indexed.push(((d.page, interval.seq), pos, d.clone()));
                 }
             }
             encoded.push(rec.encode_to_vec());
         }
         self.staged_bytes = 0;
+        let retries_before = inner.ctx.disk.counters().write_retries;
         let _ = inner.ctx.disk.flush_records(CCL_STREAM, encoded);
-        let drain = inner.ctx.disk.model().drain_time(bytes);
+        if inner.ctx.disk.has_failed() {
+            // Permanent device failure: the batch (and its would-be
+            // index entries) is lost and logging stops for good. The
+            // futile access that discovered the failure is charged
+            // here; callers account only for successful flushes.
+            self.degraded = true;
+            inner.ctx.trace(TraceKind::LogDeviceFailed);
+            let futile = inner.ctx.disk.model().write_time(0);
+            inner.ctx.charge_disk(futile);
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
+        for (key, pos, d) in indexed {
+            self.diff_index.insert(key, pos);
+            // Keep the survivor-side serve cache coherent incrementally
+            // instead of rebuilding it from disk.
+            if let Some(cache) = self.serve_cache.as_mut() {
+                cache.insert(key, d);
+            }
+        }
+        let mut drain = inner.ctx.disk.model().drain_time(bytes);
+        if inner.ctx.disk.counters().write_retries > retries_before {
+            // A transient write fault: the device wrote the batch twice.
+            drain = drain + drain;
+        }
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
         inner.ctx.trace(TraceKind::LogFlush {
@@ -155,6 +209,33 @@ impl CclLogger {
             overlapped: self.overlap,
         });
         (inner.ctx.disk.model().buffered_write_cost(bytes), drain)
+    }
+
+    /// Block until a message matching `pred` arrives, deferring other
+    /// traffic — except recovery-class requests from peers, which are
+    /// answered on the spot from stable state. Two nodes recovering
+    /// concurrently block in each other's fetch waves; deferring each
+    /// other's requests here would deadlock the pair.
+    fn recovery_wait<F: Fn(&Msg) -> bool>(
+        &mut self,
+        inner: &mut NodeInner,
+        pred: F,
+    ) -> Envelope<Msg> {
+        loop {
+            let env = inner.ctx.recv().expect("cluster channel closed");
+            if pred(&env.payload) {
+                inner.ctx.absorb(&env);
+                return env;
+            }
+            match &env.payload {
+                Msg::LoggedDiffRequest { .. } => self.serve_logged_diffs(inner, &env),
+                Msg::RecoveryPageRequest { .. } => {
+                    let done = inner.ctx.service_time(&env);
+                    inner.serve_recovery_page(&env, done, true, true, self.durable_home_diffs);
+                }
+                _ => inner.ctx.defer(env),
+            }
+        }
     }
 
     /// Fetch logged diffs for every `(page, intervals)` entry — from the
@@ -194,9 +275,7 @@ impl CclLogger {
             }
         }
         for _ in 0..outstanding {
-            let env = inner
-                .ctx
-                .wait_for_deferring(|m| matches!(m, Msg::LoggedDiffReply { .. }));
+            let env = self.recovery_wait(inner, |m| matches!(m, Msg::LoggedDiffReply { .. }));
             if let Msg::LoggedDiffReply { page, diffs } = env.payload {
                 for (iv, d) in diffs {
                     inner.ctx.charge_copy(d.encoded_size());
@@ -231,7 +310,8 @@ impl CclLogger {
         }
         let mut advanced: Vec<(PageId, Vec<u8>, VClock)> = Vec::new();
         for _ in 0..pages.len() {
-            let env = inner.ctx.wait_for_deferring(
+            let env = self.recovery_wait(
+                inner,
                 |m| matches!(m, Msg::RecoveryPageReply { page, .. } if pages.contains(page)),
             );
             if let Msg::RecoveryPageReply {
@@ -480,6 +560,10 @@ impl FaultTolerance for CclLogger {
         true
     }
 
+    fn logs_home_diffs_durably(&self) -> bool {
+        self.durable_home_diffs
+    }
+
     fn on_notices(
         &mut self,
         inner: &mut NodeInner,
@@ -550,10 +634,22 @@ impl FaultTolerance for CclLogger {
         }
     }
 
-    fn on_home_diffs(&mut self, _inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {
+    fn on_home_diffs(&mut self, inner: &mut NodeInner, interval: IntervalId, diffs: &[PageDiff]) {
         for d in diffs {
             self.home_diff_cache
                 .insert((d.page, interval.seq), d.clone());
+        }
+        if self.durable_home_diffs && !diffs.is_empty() {
+            // Multi-failure mode: a recovering peer can no longer
+            // assume this writer survived, so its home-write diffs must
+            // reach stable storage like remote-write diffs do.
+            self.stage(
+                inner,
+                CclRecord::Diffs {
+                    interval,
+                    diffs: diffs.to_vec(),
+                },
+            );
         }
     }
 
@@ -588,6 +684,13 @@ impl FaultTolerance for CclLogger {
         self.staged_bytes = 0;
         self.diff_index.clear();
         self.home_diff_cache.clear();
+        if self.degraded || inner.ctx.disk.has_failed() {
+            // The log device died before the crash. Replay whatever
+            // prefix made it to stable storage; the tail of the
+            // pre-crash execution is simply re-executed live.
+            self.degraded = true;
+            inner.ctx.trace(TraceKind::RecoveryDegraded);
+        }
         self.restored_app = crate::checkpoint::restore_meta(inner);
         let raw = inner.ctx.disk.peek_stream(CCL_STREAM).to_vec();
         let mut records = Vec::with_capacity(raw.len());
@@ -618,6 +721,11 @@ impl FaultTolerance for CclLogger {
     }
 
     fn on_checkpoint(&mut self, inner: &mut NodeInner) {
+        if inner.ctx.disk.has_failed() {
+            // The checkpoint could not be persisted: the existing log
+            // prefix is still the only recovery data and must be kept.
+            return;
+        }
         self.staged.clear();
         self.staged_bytes = 0;
         self.diff_index.clear();

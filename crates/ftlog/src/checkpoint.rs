@@ -63,6 +63,12 @@ impl Decode for CheckpointMeta {
 /// locks held). Returns the stable-storage write time; the caller
 /// decides how to charge it.
 pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
+    // A permanently failed device cannot persist a checkpoint; taking
+    // one anyway would desynchronize the in-memory base image from
+    // stable storage. The node pays one futile access discovering it.
+    if inner.ctx.disk.has_failed() {
+        return inner.ctx.disk.model().write_time(0);
+    }
     let me = inner.me();
     // Incremental page set: anything whose version moved past the base.
     let mut page_records: Vec<Vec<u8>> = Vec::new();

@@ -32,6 +32,10 @@ pub struct MlLogger {
     restored_app: Option<Vec<u8>>,
     /// When the device finishes draining the OS write cache.
     disk_free_at: SimTime,
+    /// The log device failed permanently: logging has stopped and a
+    /// later crash replays only the persisted prefix, re-executing the
+    /// rest live (degraded recovery).
+    degraded: bool,
 }
 
 impl MlLogger {
@@ -43,7 +47,13 @@ impl MlLogger {
             cursor: None,
             restored_app: None,
             disk_free_at: SimTime::ZERO,
+            degraded: false,
         }
+    }
+
+    /// True once the log device has failed permanently.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Write the staged log through the OS cache. Returns the critical-
@@ -51,16 +61,35 @@ impl MlLogger {
     /// device is still draining earlier flushes. The device drain itself
     /// proceeds in the background (tracked by `disk_free_at`).
     fn flush_staged(&mut self, inner: &mut NodeInner) -> SimDuration {
+        if self.degraded {
+            // The device is gone; drop anything staged since then.
+            self.staged.clear();
+            self.staged_bytes = 0;
+            return SimDuration::ZERO;
+        }
         if self.staged.is_empty() {
             return SimDuration::ZERO;
         }
         let bytes = self.staged_bytes;
+        let retries_before = inner.ctx.disk.counters().write_retries;
         let _ = inner
             .ctx
             .disk
             .flush_records(ML_STREAM, std::mem::take(&mut self.staged));
-        let drain = inner.ctx.disk.model().drain_time(bytes);
         self.staged_bytes = 0;
+        if inner.ctx.disk.has_failed() {
+            // Permanent device failure: the batch is lost and logging
+            // stops for good. The node keeps computing; the cost here
+            // is the one futile access that discovered the failure.
+            self.degraded = true;
+            inner.ctx.trace(TraceKind::LogDeviceFailed);
+            return inner.ctx.disk.model().write_time(0);
+        }
+        let mut drain = inner.ctx.disk.model().drain_time(bytes);
+        if inner.ctx.disk.counters().write_retries > retries_before {
+            // A transient write fault: the device wrote the batch twice.
+            drain = drain + drain;
+        }
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
         inner.ctx.trace(TraceKind::LogFlush {
@@ -122,6 +151,9 @@ impl FaultTolerance for MlLogger {
     }
 
     fn on_incoming(&mut self, inner: &mut NodeInner, msg: &Msg) {
+        if self.degraded {
+            return;
+        }
         let log_it = matches!(
             msg,
             Msg::PageReply { .. }
@@ -168,6 +200,13 @@ impl FaultTolerance for MlLogger {
         inner.ctx.trace(TraceKind::RecoveryBegin);
         self.staged.clear();
         self.staged_bytes = 0;
+        if self.degraded || inner.ctx.disk.has_failed() {
+            // The log device died before the crash. Replay whatever
+            // prefix made it to stable storage; the tail of the
+            // pre-crash execution is simply re-executed live.
+            self.degraded = true;
+            inner.ctx.trace(TraceKind::RecoveryDegraded);
+        }
         self.restored_app = crate::checkpoint::restore_meta(inner);
         self.cursor = Some(0);
         self.maybe_finish(inner);
@@ -178,6 +217,11 @@ impl FaultTolerance for MlLogger {
     }
 
     fn on_checkpoint(&mut self, inner: &mut NodeInner) {
+        if inner.ctx.disk.has_failed() {
+            // The checkpoint could not be persisted: the existing log
+            // prefix is still the only recovery data and must be kept.
+            return;
+        }
         // Everything before the checkpoint is no longer needed for
         // replay: truncate the log.
         self.staged.clear();

@@ -55,6 +55,19 @@ pub trait FaultTolerance: Send {
         false
     }
 
+    /// Whether home-write diffs reach stable storage from the very
+    /// first interval (multi-failure mode). The reconstruction base of
+    /// a home page then stays pinned at the checkpoint image — it is
+    /// never promoted at a remote fetch — so "base + logged diffs" can
+    /// rebuild *any* state a recovering peer may request, even after
+    /// the home itself crashed, replayed, and lost its volatile diff
+    /// cache. Under the single-failure model the cheaper volatile
+    /// scheme (promote the base at first fetch, keep later diffs in
+    /// memory) is safe, so this defaults to off.
+    fn logs_home_diffs_durably(&self) -> bool {
+        false
+    }
+
     // ---- failure-free logging ----
 
     /// An incoming coherence message relevant to replay was received:

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use pagemem::Encode;
 use pagemem::{Access, Fault, IntervalId, PageDiff, PageId, PageState, Twin, VClock};
-use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, SimDuration, TraceKind};
+use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, SimDuration, SimTime, TraceKind};
 
 use crate::config::DsmConfig;
 use crate::fault_tolerance::{FaultTolerance, RecoveryStep, SyncKind};
@@ -158,10 +158,16 @@ impl HlrcNode {
                 self.inner.ctx.charge_overhead(trap);
                 self.inner.ctx.stats.write_faults += 1;
                 self.inner.ctx.trace(TraceKind::WriteFault { page });
-                if self.ft.needs_home_write_twins() && self.inner.pages.entry(page).remote_fetched {
+                if self.ft.needs_home_write_twins()
+                    && (self.inner.pages.entry(page).remote_fetched
+                        || self.ft.logs_home_diffs_durably())
+                {
                     // CCL: snapshot the home copy so the end-of-interval
                     // diff of the home's own writes can be logged for
-                    // peers' recovery reconstruction.
+                    // peers' recovery reconstruction. In multi-failure
+                    // mode every interval is captured (the base stays at
+                    // the checkpoint image); otherwise capture starts at
+                    // the first remote fetch.
                     let page_size = self.inner.pages.page_size();
                     self.inner.ctx.charge_copy(page_size);
                     self.inner.ctx.stats.twins_created += 1;
@@ -399,6 +405,7 @@ impl HlrcNode {
             let release_time = mgr.latest_arrival.max(now) + handler;
             let merged_vc = mgr.merged_vc.clone();
             let merged_notices = std::mem::take(&mut mgr.merged_notices);
+            mgr.record_released(epoch, merged_vc.clone(), merged_notices.clone());
             mgr.reset();
             for node in 0..self.inner.cfg.n_nodes {
                 if node != me {
@@ -593,6 +600,65 @@ impl HlrcNode {
     }
 }
 
+impl NodeInner {
+    /// Answer a [`Msg::RecoveryPageRequest`] for a page homed here,
+    /// finishing service at `done`.
+    ///
+    /// `mid_replay` says whether this home is itself replaying its log:
+    /// then it must not hand out its live frame (which may still be
+    /// behind `required`, missing intervals the requester already
+    /// replayed) and serves the checkpoint base as "advanced" instead,
+    /// making the requester reconstruct the page from the writers'
+    /// stable logs — correct at any replay point. Callable both from
+    /// the live service loop and from a recovering node's own fetch
+    /// waits (concurrently recovering nodes must keep serving each
+    /// other or they deadlock).
+    pub fn serve_recovery_page(
+        &mut self,
+        env: &Envelope<Msg>,
+        done: SimTime,
+        mid_replay: bool,
+        home_write_twins: bool,
+        stable_base: bool,
+    ) {
+        let Msg::RecoveryPageRequest { page, required } = &env.payload else {
+            return;
+        };
+        let page = *page;
+        debug_assert!(self.pages.is_home(page));
+        self.pages
+            .note_remote_fetch(page, home_write_twins, stable_base);
+        let e = self.pages.entry(page);
+        let version = e.version.clone().expect("home version");
+        let (advanced, data, version) = if !mid_replay && version.dominated_by(required) {
+            (
+                false,
+                e.frame.as_ref().expect("home frame").bytes().to_vec(),
+                version,
+            )
+        } else {
+            (
+                true,
+                e.base.as_ref().expect("home base").bytes().to_vec(),
+                e.base_version.clone().expect("base version"),
+            )
+        };
+        let copy_cost = self.ctx.cost.cpu.copy(data.len());
+        self.ctx
+            .send_from(
+                done + copy_cost,
+                env.src,
+                Msg::RecoveryPageReply {
+                    page,
+                    advanced,
+                    data,
+                    version,
+                },
+            )
+            .expect("send recovery page reply");
+    }
+}
+
 /// The engine runs the HLRC node: the pump, the reply-while-blocked
 /// loop, and the crash/resume lifecycle come from
 /// [`CoherenceProtocol`]; this impl supplies only message service and
@@ -608,6 +674,19 @@ impl CoherenceProtocol<Msg> for HlrcNode {
         self.ft.in_recovery()
     }
 
+    /// Recovery-class requests are exempt from deferral: they are
+    /// answered from stable state (the base image and the stable log),
+    /// never from the half-restored frames, so a replaying node can
+    /// still serve them. Without this, two nodes recovering at once
+    /// would defer each other's requests and deadlock.
+    fn must_defer(&self, payload: &Msg) -> bool {
+        self.ft.in_recovery()
+            && !matches!(
+                payload,
+                Msg::RecoveryPageRequest { .. } | Msg::LoggedDiffRequest { .. }
+            )
+    }
+
     /// Service one asynchronous protocol message. `deferred` marks
     /// messages replayed after recovery, whose service time is "now"
     /// rather than their (long past) arrival time.
@@ -618,9 +697,11 @@ impl CoherenceProtocol<Msg> for HlrcNode {
             Msg::PageRequest { page } => {
                 let page = *page;
                 debug_assert!(self.inner.pages.is_home(page), "page request at non-home");
-                self.inner
-                    .pages
-                    .note_remote_fetch(page, self.ft.needs_home_write_twins());
+                self.inner.pages.note_remote_fetch(
+                    page,
+                    self.ft.needs_home_write_twins(),
+                    self.ft.logs_home_diffs_durably(),
+                );
                 let e = self.inner.pages.entry(page);
                 let data = e.frame.as_ref().expect("home frame").bytes().to_vec();
                 let version = e.version.clone().expect("home version");
@@ -715,6 +796,31 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     self.inner.cfg.barrier_manager(),
                     "barrier arrive at non-manager"
                 );
+                // A node re-executing after a degraded recovery arrives
+                // at epochs the cluster already completed: answer from
+                // the release history instead of gathering.
+                let past = self
+                    .inner
+                    .barrier_mgr
+                    .as_ref()
+                    .expect("barrier manager state")
+                    .past_release(*epoch)
+                    .map(|(rvc, rn)| (rvc.clone(), rn.to_vec()));
+                if let Some((rvc, rnotices)) = past {
+                    self.inner
+                        .ctx
+                        .send_from(
+                            done,
+                            env.src,
+                            Msg::BarrierRelease {
+                                epoch: *epoch,
+                                vc: rvc,
+                                notices: rnotices,
+                            },
+                        )
+                        .expect("re-send barrier release");
+                    return;
+                }
                 // If the manager is already inside barrier(), its own
                 // epoch counter has advanced past the arrivals' epoch.
                 debug_assert!(
@@ -730,41 +836,12 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     .expect("barrier manager state")
                     .arrive(env.src, vc, notices, at);
             }
-            Msg::RecoveryPageRequest { page, required } => {
-                let page = *page;
-                debug_assert!(self.inner.pages.is_home(page));
+            Msg::RecoveryPageRequest { .. } => {
+                let mid_replay = self.ft.in_recovery();
+                let twins = self.ft.needs_home_write_twins();
+                let stable = self.ft.logs_home_diffs_durably();
                 self.inner
-                    .pages
-                    .note_remote_fetch(page, self.ft.needs_home_write_twins());
-                let e = self.inner.pages.entry(page);
-                let version = e.version.clone().expect("home version");
-                let (advanced, data, version) = if version.dominated_by(required) {
-                    (
-                        false,
-                        e.frame.as_ref().expect("home frame").bytes().to_vec(),
-                        version,
-                    )
-                } else {
-                    (
-                        true,
-                        e.base.as_ref().expect("home base").bytes().to_vec(),
-                        e.base_version.clone().expect("base version"),
-                    )
-                };
-                let copy_cost = self.inner.ctx.cost.cpu.copy(data.len());
-                self.inner
-                    .ctx
-                    .send_from(
-                        done + copy_cost,
-                        env.src,
-                        Msg::RecoveryPageReply {
-                            page,
-                            advanced,
-                            data,
-                            version,
-                        },
-                    )
-                    .expect("send recovery page reply");
+                    .serve_recovery_page(&env, done, mid_replay, twins, stable);
             }
             Msg::LoggedDiffRequest { .. } => {
                 self.ft.serve_logged_diffs(&mut self.inner, &env);
@@ -804,6 +881,13 @@ impl HlrcNode {
         self.inner.barrier_epoch = 0;
         self.inner.sync_events = 0;
         self.ft.begin_recovery(&mut self.inner);
+        if !self.ft.in_recovery() {
+            // Nothing to replay — no protocol log, an empty log, or a
+            // failed log device (degraded recovery). Live re-execution
+            // starts right away, so recovery formally ends here; without
+            // this stamp `recovery_exit` would never be set.
+            self.resume_live();
+        }
     }
 
     /// Total encoded bytes of a message (diagnostics helper).

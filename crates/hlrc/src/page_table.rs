@@ -249,14 +249,22 @@ impl PageTable {
     /// fetch and `track_home_writes` (CCL) is on: from here on the
     /// home's own writes are captured as diffs, so "base + logged
     /// diffs" can rebuild any later state of the page.
-    pub fn note_remote_fetch(&mut self, page: PageId, track_home_writes: bool) {
+    ///
+    /// With `stable_base` (multi-failure CCL) the base is *not*
+    /// promoted: home writes are twinned and logged from the first
+    /// interval, so the checkpoint image already reconstructs every
+    /// state — and, unlike the promoted base, it survives the home's
+    /// own crash (a re-promotion after `reset_to_base` would pin the
+    /// base at a late state that an earlier-replaying peer cannot
+    /// unwind).
+    pub fn note_remote_fetch(&mut self, page: PageId, track_home_writes: bool, stable_base: bool) {
         let e = &mut self.entries[page as usize];
         debug_assert_eq!(e.home, self.me);
         if e.remote_fetched {
             return;
         }
         e.remote_fetched = true;
-        if track_home_writes {
+        if track_home_writes && !stable_base {
             e.base = e.frame.clone();
             e.base_version = e.version.clone();
             if e.dirty && e.twin.is_none() {

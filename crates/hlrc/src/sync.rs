@@ -111,6 +111,13 @@ pub struct BarrierMgr {
     pub merged_vc: VClock,
     /// Union of all arrivals' notices.
     pub merged_notices: Vec<WriteNotice>,
+    /// Snapshot of every completed episode's release, by epoch. A node
+    /// re-executing after a degraded recovery (no usable log)
+    /// re-arrives at epochs the cluster already finished; the manager
+    /// answers those from this history instead of gathering. (A map,
+    /// not a dense vector: a recovering manager replays barriers
+    /// without re-recording them, leaving gaps.)
+    released: HashMap<u32, (VClock, Vec<WriteNotice>)>,
 }
 
 impl BarrierMgr {
@@ -123,7 +130,20 @@ impl BarrierMgr {
             latest_arrival: SimTime::ZERO,
             merged_vc: VClock::new(n_nodes),
             merged_notices: Vec::new(),
+            released: HashMap::new(),
         }
+    }
+
+    /// Record a completed episode's release so stale re-arrivals can be
+    /// answered later. Called by the manager right before `reset`.
+    pub fn record_released(&mut self, epoch: u32, vc: VClock, notices: Vec<WriteNotice>) {
+        self.released.insert(epoch, (vc, notices));
+    }
+
+    /// The stored release for `epoch`, if that episode already
+    /// completed (a stale re-arrival must be re-released, not gathered).
+    pub fn past_release(&self, epoch: u32) -> Option<(&VClock, &[WriteNotice])> {
+        self.released.get(&epoch).map(|(vc, n)| (vc, n.as_slice()))
     }
 
     /// Record one node's arrival. Returns true when everyone is in.
@@ -232,6 +252,19 @@ mod tests {
         assert_eq!(b.arrived_count(), 0);
         assert!(b.merged_notices.is_empty());
         assert_eq!(b.merged_vc.get(0), 5, "vc is monotone across episodes");
+    }
+
+    #[test]
+    fn past_releases_are_replayable() {
+        let mut b = BarrierMgr::new(2);
+        let mut vc = VClock::new(2);
+        vc.observe(IntervalId { node: 1, seq: 0 });
+        assert!(b.past_release(0).is_none());
+        b.record_released(0, vc.clone(), vec![notice(3, 1, 0)]);
+        let (rvc, rn) = b.past_release(0).expect("epoch 0 released");
+        assert_eq!(rvc.get(1), 1);
+        assert_eq!(rn, &[notice(3, 1, 0)]);
+        assert!(b.past_release(1).is_none());
     }
 
     #[test]

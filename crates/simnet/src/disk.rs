@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::fault::{DiskFaultPlan, SplitMix64};
 use crate::models::DiskModel;
 use crate::time::SimDuration;
 
@@ -22,6 +23,10 @@ pub struct DiskCounters {
     pub reads: u64,
     /// Total bytes read.
     pub bytes_read: u64,
+    /// Writes that needed one retry (transient fault, data persisted).
+    pub write_retries: u64,
+    /// Writes lost because the device had failed permanently.
+    pub failed_writes: u64,
 }
 
 /// A simulated local disk holding named append-only record streams.
@@ -30,6 +35,18 @@ pub struct SimDisk {
     model: DiskModel,
     streams: BTreeMap<String, Vec<Vec<u8>>>,
     counters: DiskCounters,
+    /// Injected write-fault schedule, if any.
+    faults: Option<DiskFaultState>,
+    /// Permanently failed for writes. Previously persisted data stays
+    /// readable (a dead log device, not media loss).
+    failed: bool,
+}
+
+#[derive(Debug)]
+struct DiskFaultState {
+    plan: DiskFaultPlan,
+    rng: SplitMix64,
+    writes_judged: u64,
 }
 
 impl SimDisk {
@@ -39,7 +56,26 @@ impl SimDisk {
             model,
             streams: BTreeMap::new(),
             counters: DiskCounters::default(),
+            faults: None,
+            failed: false,
         }
+    }
+
+    /// Arm a write-fault schedule (a no-op plan is not stored, keeping
+    /// the fault-free write path untouched).
+    pub fn set_faults(&mut self, plan: DiskFaultPlan) {
+        if !plan.is_none() {
+            self.faults = Some(DiskFaultState {
+                rng: SplitMix64::new(plan.seed),
+                plan,
+                writes_judged: 0,
+            });
+        }
+    }
+
+    /// True once the device has failed permanently for writes.
+    pub fn has_failed(&self) -> bool {
+        self.failed
     }
 
     /// The disk's cost model.
@@ -57,10 +93,17 @@ impl SimDisk {
     /// Returns the virtual time the access takes. The caller decides how
     /// that time lands on its clock: ML adds it to the critical path,
     /// CCL overlaps it with coherence communication.
+    /// With an armed fault schedule a write may cost a retry
+    /// (transient) or be lost entirely once the device has failed
+    /// permanently; callers poll [`SimDisk::has_failed`] after
+    /// flushing to detect degradation.
     pub fn flush_records<I>(&mut self, stream: &str, records: I) -> SimDuration
     where
         I: IntoIterator<Item = Vec<u8>>,
     {
+        if self.faults.is_some() || self.failed {
+            return self.flush_records_faulty(stream, records.into_iter().collect());
+        }
         let dst = self.streams.entry(stream.to_string()).or_default();
         let mut bytes = 0usize;
         for r in records {
@@ -70,6 +113,45 @@ impl SimDisk {
         self.counters.writes += 1;
         self.counters.bytes_written += bytes as u64;
         self.model.write_time(bytes)
+    }
+
+    /// Fault-judged write path: consult the schedule, then persist (or
+    /// lose) the batch.
+    fn flush_records_faulty(&mut self, stream: &str, records: Vec<Vec<u8>>) -> SimDuration {
+        let bytes: usize = records.iter().map(|r| r.len()).sum();
+        let mut retried = false;
+        if !self.failed {
+            if let Some(st) = self.faults.as_mut() {
+                st.writes_judged += 1;
+                if st.plan.fail_after_writes == Some(st.writes_judged) {
+                    self.failed = true;
+                }
+                if !self.failed
+                    && st.plan.transient_per_mille > 0
+                    && st.rng.below(1000) < st.plan.transient_per_mille as u64
+                {
+                    retried = true;
+                }
+            }
+        }
+        if self.failed {
+            // The write is lost. The caller still pays one (futile)
+            // access worth of latency discovering the failure.
+            self.counters.failed_writes += 1;
+            return self.model.write_time(0);
+        }
+        let dst = self.streams.entry(stream.to_string()).or_default();
+        for r in records {
+            dst.push(r);
+        }
+        self.counters.writes += 1;
+        self.counters.bytes_written += bytes as u64;
+        let mut cost = self.model.write_time(bytes);
+        if retried {
+            self.counters.write_retries += 1;
+            cost += self.model.write_time(bytes);
+        }
+        cost
     }
 
     /// Number of records currently in `stream`.
@@ -137,8 +219,13 @@ impl SimDisk {
     }
 
     /// Drop all records in `stream` (log truncation after a checkpoint).
-    /// Free, like unlinking a file.
+    /// Free, like unlinking a file. A permanently failed device refuses:
+    /// the persisted prefix is all the recovery data the node has left,
+    /// and no new checkpoint can supersede it.
     pub fn truncate(&mut self, stream: &str) {
+        if self.failed {
+            return;
+        }
         if let Some(v) = self.streams.get_mut(stream) {
             v.clear();
         }
@@ -226,6 +313,55 @@ mod tests {
     fn missing_record_returns_none() {
         let mut d = disk();
         assert!(d.read_record("nope", 0).is_none());
+    }
+
+    #[test]
+    fn transient_fault_retries_cost_more_but_persist() {
+        let mut clean = disk();
+        let base = clean.flush_records("log", vec![vec![1u8; 100]]);
+        let mut d = disk();
+        d.set_faults(DiskFaultPlan::transient(1, 1000)); // always retry
+        let cost = d.flush_records("log", vec![vec![1u8; 100]]);
+        assert!(cost > base);
+        assert_eq!(d.record_count("log"), 1);
+        assert_eq!(d.counters().write_retries, 1);
+        assert!(!d.has_failed());
+    }
+
+    #[test]
+    fn permanent_fault_loses_writes_keeps_reads() {
+        let mut d = disk();
+        d.set_faults(DiskFaultPlan::permanent_at(2));
+        d.flush_records("log", vec![vec![1u8; 8]]); // write 1: persisted
+        d.flush_records("log", vec![vec![2u8; 8]]); // write 2: device dies
+        d.flush_records("log", vec![vec![3u8; 8]]); // lost
+        assert!(d.has_failed());
+        assert_eq!(d.record_count("log"), 1);
+        assert_eq!(d.counters().failed_writes, 2);
+        // Persisted prefix still readable (dead device, not media loss).
+        let (rec, _) = d.read_record("log", 0).unwrap();
+        assert_eq!(rec, vec![1u8; 8]);
+    }
+
+    #[test]
+    fn failed_device_refuses_truncation() {
+        let mut d = disk();
+        d.set_faults(DiskFaultPlan::permanent_at(2));
+        d.flush_records("log", vec![vec![1u8; 8]]);
+        d.flush_records("log", vec![vec![2u8; 8]]); // device dies
+        d.truncate("log");
+        assert_eq!(d.record_count("log"), 1, "prefix must survive");
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing() {
+        let mut a = disk();
+        let mut b = disk();
+        b.set_faults(DiskFaultPlan::none());
+        let ca = a.flush_records("log", vec![vec![7u8; 64]]);
+        let cb = b.flush_records("log", vec![vec![7u8; 64]]);
+        assert_eq!(ca, cb);
+        assert_eq!(a.counters(), b.counters());
     }
 
     #[test]

@@ -118,6 +118,30 @@ pub enum TraceKind {
     },
     /// Log replay finished; the node resumed live service.
     RecoveryEnd,
+    /// A retransmission timeout expired while sending to `to` (the
+    /// reliable layer's timer fired at least once for one send).
+    Timeout {
+        /// Destination of the delayed transmission.
+        to: NodeId,
+    },
+    /// The reliable layer retransmitted a dropped message.
+    Retransmit {
+        /// Destination of the retransmitted message.
+        to: NodeId,
+        /// Number of dropped attempts before delivery succeeded.
+        attempts: u32,
+    },
+    /// A duplicate delivery was suppressed by sequence number.
+    DupSuppressed {
+        /// Sender whose duplicate was discarded.
+        from: NodeId,
+    },
+    /// This node's log device failed permanently; logging stopped and
+    /// its fault tolerance degraded to re-execution.
+    LogDeviceFailed,
+    /// Recovery ran without a usable log (device failed before the
+    /// crash): only the persisted log prefix was replayed.
+    RecoveryDegraded,
 }
 
 impl TraceKind {
@@ -141,6 +165,11 @@ impl TraceKind {
             TraceKind::RecoveryBegin => "recovery_begin",
             TraceKind::RecoveryReplay { .. } => "recovery_replay",
             TraceKind::RecoveryEnd => "recovery_end",
+            TraceKind::Timeout { .. } => "timeout",
+            TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::DupSuppressed { .. } => "dup_suppressed",
+            TraceKind::LogDeviceFailed => "log_device_failed",
+            TraceKind::RecoveryDegraded => "recovery_degraded",
         }
     }
 }
@@ -210,13 +239,22 @@ pub trait CoherenceProtocol<M: WireSized> {
         false
     }
 
+    /// Per-message deferral predicate. Defaults to the blanket
+    /// [`deferring`](Self::deferring) flag; protocols that can serve a
+    /// subset of traffic from stable state even mid-replay (recovery
+    /// page and logged-diff requests, which must keep flowing when two
+    /// nodes recover concurrently) override this to let those messages
+    /// through.
+    fn must_defer(&self, _payload: &M) -> bool {
+        self.deferring()
+    }
+
     /// Drain the inbox, servicing (or deferring) every pending message.
     /// Called at fault/synchronization points and whenever the node
     /// blocks.
     fn pump(&mut self) {
-        let deferring = self.deferring();
         while let Some(env) = self.ctx().try_recv() {
-            if deferring {
+            if self.must_defer(&env.payload) {
                 self.ctx().defer(env);
             } else {
                 self.service(env, false);
@@ -234,7 +272,7 @@ pub trait CoherenceProtocol<M: WireSized> {
                 self.ctx().absorb(&env);
                 return env;
             }
-            if self.deferring() {
+            if self.must_defer(&env.payload) {
                 self.ctx().defer(env);
             } else {
                 self.service(env, false);

@@ -5,8 +5,13 @@ use std::fmt;
 /// Errors raised by the simulated cluster runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The peer's channel is gone — the node exited or panicked.
+    /// The peer's channel is gone without a clean exit — the node
+    /// panicked or the cluster is being torn down. Always a bug.
     Disconnected,
+    /// The peer finished its program and retired cleanly; late traffic
+    /// addressed to it is expected under failure injection and should
+    /// be counted, not propagated.
+    PeerStopped(usize),
     /// A message was addressed to a node id outside the cluster.
     UnknownNode(usize),
 }
@@ -15,6 +20,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Disconnected => write!(f, "peer channel disconnected"),
+            SimError::PeerStopped(id) => write!(f, "peer node {id} already finished"),
             SimError::UnknownNode(id) => write!(f, "unknown node id {id}"),
         }
     }
@@ -34,6 +40,10 @@ mod tests {
         assert_eq!(
             SimError::Disconnected.to_string(),
             "peer channel disconnected"
+        );
+        assert_eq!(
+            SimError::PeerStopped(1).to_string(),
+            "peer node 1 already finished"
         );
         assert_eq!(SimError::UnknownNode(3).to_string(), "unknown node id 3");
     }

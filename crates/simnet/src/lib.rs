@@ -28,6 +28,7 @@
 mod disk;
 mod engine;
 mod error;
+mod fault;
 mod models;
 mod node;
 mod router;
@@ -37,6 +38,7 @@ mod time;
 pub use disk::{DiskCounters, SimDisk};
 pub use engine::{CoherenceProtocol, PhaseBreakdown, TraceEvent, TraceKind};
 pub use error::{SimError, SimResult};
+pub use fault::{DiskFaultPlan, FaultPlan, Partition, SendFate, MAX_RETRANSMITS};
 pub use models::{CostModel, CpuModel, DiskModel, NetworkModel};
 pub use node::{run_cluster, NodeCtx};
 pub use router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};

@@ -9,7 +9,8 @@ use std::thread;
 
 use crate::disk::SimDisk;
 use crate::engine::{TraceEvent, TraceKind};
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
+use crate::fault::{FaultPlan, FaultState};
 use crate::models::CostModel;
 use crate::router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
 use crate::stats::NodeStats;
@@ -36,6 +37,10 @@ pub struct NodeCtx<M> {
     /// Virtual time at which log replay finished and the node resumed
     /// live operation (recovery time = `recovery_exit - crashed_at`).
     pub recovery_exit: Option<SimTime>,
+    /// Fault-injection state: the plan plus per-link PRNG streams and
+    /// sequence counters. Lives in the transport layer, so it survives
+    /// a simulated crash of the DSM process above it.
+    faults: FaultState,
 }
 
 impl<M: WireSized> NodeCtx<M> {
@@ -46,6 +51,7 @@ impl<M: WireSized> NodeCtx<M> {
             clock: SimTime::ZERO,
             cost,
             disk: SimDisk::new(cost.disk),
+            faults: FaultState::new(ep.id(), ep.n_nodes(), FaultPlan::none()),
             ep,
             stats: NodeStats::default(),
             deferred: Vec::new(),
@@ -53,6 +59,17 @@ impl<M: WireSized> NodeCtx<M> {
             crashed_at: None,
             recovery_exit: None,
         }
+    }
+
+    /// Arm a network-fault schedule. Call before any traffic flows;
+    /// the per-link PRNG streams restart from the plan's seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(self.id, self.n_nodes, plan);
+    }
+
+    /// The armed network-fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
     }
 
     /// This node's id in the cluster.
@@ -115,64 +132,38 @@ impl<M: WireSized> NodeCtx<M> {
         self.clock += d;
     }
 
-    /// Send `payload` to `dst`, stamping departure now and arrival per
-    /// the network model.
-    pub fn send(&mut self, dst: NodeId, payload: M) -> SimResult<()> {
-        let sent_at = self.clock;
-        self.send_from(sent_at, dst, payload)
-    }
-
-    /// Send with an explicit logical departure time.
-    ///
-    /// Asynchronous protocol handlers (the "communication processor")
-    /// reply relative to the *request's arrival*, not to wherever the
-    /// host application happens to have advanced its own clock.
-    pub fn send_from(&mut self, sent_at: SimTime, dst: NodeId, payload: M) -> SimResult<()> {
-        let size = payload.wire_size();
-        // Traffic statistics (and hence the paper's tables) depend on
-        // wire_size being exact: header plus encoded body, no estimate.
-        #[cfg(debug_assertions)]
-        if let Some(body) = payload.encoded_len() {
-            debug_assert_eq!(
-                size,
-                payload.header_len() + body,
-                "wire_size disagrees with encoded length"
-            );
-        }
-        // Loopback messages (manager talking to itself) skip the wire:
-        // a real implementation short-circuits these in memory.
-        let arrive_at = if dst == self.id {
-            sent_at + SimDuration::from_micros(1)
-        } else {
-            sent_at + self.cost.net.transfer_time(size)
-        };
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += size as u64;
-        self.ep.send(Envelope {
-            src: self.id,
-            dst,
-            sent_at,
-            arrive_at,
-            payload,
-        })
-    }
-
     /// Block until the next envelope arrives. Does not touch the clock;
     /// the caller decides whether the arrival is synchronous (absorb its
-    /// arrival time) or served asynchronously.
+    /// arrival time) or served asynchronously. Duplicate deliveries are
+    /// suppressed here by sequence number, invisibly to the protocol.
     pub fn recv(&mut self) -> SimResult<Envelope<M>> {
-        let env = self.ep.recv()?;
-        self.stats.msgs_recv += 1;
-        self.stats.bytes_recv += env.payload.wire_size() as u64;
-        Ok(env)
+        loop {
+            let env = self.ep.recv()?;
+            if self.faults.is_duplicate(env.src, env.seq) {
+                self.stats.dups_suppressed += 1;
+                self.trace(TraceKind::DupSuppressed { from: env.src });
+                continue;
+            }
+            self.stats.msgs_recv += 1;
+            self.stats.bytes_recv += env.payload.wire_size() as u64;
+            return Ok(env);
+        }
     }
 
     /// Non-blocking inbox poll (used to service requests mid-compute).
+    /// Suppresses duplicates like [`NodeCtx::recv`].
     pub fn try_recv(&mut self) -> Option<Envelope<M>> {
-        let env = self.ep.try_recv()?;
-        self.stats.msgs_recv += 1;
-        self.stats.bytes_recv += env.payload.wire_size() as u64;
-        Some(env)
+        loop {
+            let env = self.ep.try_recv()?;
+            if self.faults.is_duplicate(env.src, env.seq) {
+                self.stats.dups_suppressed += 1;
+                self.trace(TraceKind::DupSuppressed { from: env.src });
+                continue;
+            }
+            self.stats.msgs_recv += 1;
+            self.stats.bytes_recv += env.payload.wire_size() as u64;
+            return Some(env);
+        }
     }
 
     /// Absorb a synchronously awaited message: the node was blocked, so
@@ -248,6 +239,94 @@ impl<M: WireSized> NodeCtx<M> {
     pub fn mark_crashed(&mut self) {
         self.crashed_at = Some(self.clock);
         self.trace(TraceKind::Crash);
+    }
+}
+
+/// Send paths. `Clone` is needed only to materialize duplicate
+/// deliveries under fault injection.
+impl<M: WireSized + Clone> NodeCtx<M> {
+    /// Send `payload` to `dst`, stamping departure now and arrival per
+    /// the network model.
+    pub fn send(&mut self, dst: NodeId, payload: M) -> SimResult<()> {
+        let sent_at = self.clock;
+        self.send_from(sent_at, dst, payload)
+    }
+
+    /// Send with an explicit logical departure time.
+    ///
+    /// Asynchronous protocol handlers (the "communication processor")
+    /// reply relative to the *request's arrival*, not to wherever the
+    /// host application happens to have advanced its own clock.
+    ///
+    /// The armed [`FaultPlan`] judges every cross-node transmission:
+    /// simulated drops and partitions surface as retransmission delay
+    /// (plus `Timeout`/`Retransmit` telemetry), duplicates as a second
+    /// physical delivery with the same sequence number. Sends to a peer
+    /// that already finished its program are counted and dropped, not
+    /// errors — under failure injection such stragglers are expected.
+    pub fn send_from(&mut self, sent_at: SimTime, dst: NodeId, payload: M) -> SimResult<()> {
+        let size = payload.wire_size();
+        // Traffic statistics (and hence the paper's tables) depend on
+        // wire_size being exact: header plus encoded body, no estimate.
+        #[cfg(debug_assertions)]
+        if let Some(body) = payload.encoded_len() {
+            debug_assert_eq!(
+                size,
+                payload.header_len() + body,
+                "wire_size disagrees with encoded length"
+            );
+        }
+        // Loopback messages (manager talking to itself) skip the wire:
+        // a real implementation short-circuits these in memory.
+        let (nominal, fate) = if dst == self.id {
+            (sent_at + SimDuration::from_micros(1), Default::default())
+        } else {
+            let transfer = self.cost.net.transfer_time(size);
+            (sent_at + transfer, self.faults.judge(self.id, dst, sent_at))
+        };
+        let arrive_at = nominal + fate.delay;
+        let seq = self.faults.next_seq(dst);
+        if fate.attempts > 0 {
+            self.stats.timeouts += fate.attempts as u64;
+            self.stats.retransmits += fate.attempts as u64;
+            self.trace(TraceKind::Timeout { to: dst });
+            self.trace(TraceKind::Retransmit {
+                to: dst,
+                attempts: fate.attempts,
+            });
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += size as u64;
+        let duplicate = fate.duplicate.then(|| Envelope {
+            src: self.id,
+            dst,
+            sent_at,
+            // The duplicate trails the original by one more transfer.
+            arrive_at: arrive_at + self.cost.net.transfer_time(size),
+            seq,
+            payload: payload.clone(),
+        });
+        let sent = self
+            .ep
+            .send(Envelope {
+                src: self.id,
+                dst,
+                sent_at,
+                arrive_at,
+                seq,
+                payload,
+            })
+            .and_then(|()| match duplicate {
+                Some(d) => self.ep.send(d),
+                None => Ok(()),
+            });
+        match sent {
+            Err(SimError::PeerStopped(_)) => {
+                self.stats.sends_to_stopped += 1;
+                Ok(())
+            }
+            other => other,
+        }
     }
 }
 

@@ -6,7 +6,9 @@
 //! over sockets on the paper's Ethernet cluster. Virtual arrival times
 //! are stamped by the sender from the [`NetworkModel`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 use crate::error::{SimError, SimResult};
 use crate::time::SimTime;
@@ -49,6 +51,11 @@ pub struct Envelope<M> {
     pub sent_at: SimTime,
     /// Virtual time at which it reaches the destination.
     pub arrive_at: SimTime,
+    /// Per-link sequence number stamped by the sender's reliable
+    /// layer (1-based; 0 marks an unsequenced raw envelope). Duplicate
+    /// deliveries reuse the original's number so the receiver can
+    /// suppress them.
+    pub seq: u64,
     /// The message body.
     pub payload: M,
 }
@@ -58,6 +65,22 @@ pub struct Endpoint<M> {
     id: NodeId,
     rx: Receiver<Envelope<M>>,
     txs: Vec<Sender<Envelope<M>>>,
+    /// Which nodes have finished their program and retired cleanly.
+    /// Set by this endpoint's `Drop` (unless the thread is panicking),
+    /// read by senders to tell "peer finished" from "cluster bug".
+    stopped: Arc<[AtomicBool]>,
+}
+
+impl<M> Drop for Endpoint<M> {
+    fn drop(&mut self) {
+        // Drop::drop runs before the receiver field is dropped, so the
+        // flag is already visible when peers start seeing send errors.
+        // A panicking node does not count as a clean exit: sends to it
+        // must keep surfacing as `Disconnected` (a real bug).
+        if !std::thread::panicking() {
+            self.stopped[self.id].store(true, Ordering::SeqCst);
+        }
+    }
 }
 
 impl<M> Endpoint<M> {
@@ -72,12 +95,22 @@ impl<M> Endpoint<M> {
     }
 
     /// Deliver an envelope to its destination's inbox.
+    ///
+    /// A destination that finished its program and retired cleanly
+    /// yields [`SimError::PeerStopped`] (expected under failure
+    /// injection — the sender counts and drops the message); a
+    /// destination that vanished any other way is a torn-down cluster
+    /// and yields [`SimError::Disconnected`].
     pub fn send(&self, env: Envelope<M>) -> SimResult<()> {
-        let tx = self
-            .txs
-            .get(env.dst)
-            .ok_or(SimError::UnknownNode(env.dst))?;
-        tx.send(env).map_err(|_| SimError::Disconnected)
+        let dst = env.dst;
+        let tx = self.txs.get(dst).ok_or(SimError::UnknownNode(dst))?;
+        tx.send(env).map_err(|_| {
+            if self.stopped[dst].load(Ordering::SeqCst) {
+                SimError::PeerStopped(dst)
+            } else {
+                SimError::Disconnected
+            }
+        })
     }
 
     /// Block until the next envelope arrives in this node's inbox.
@@ -100,12 +133,14 @@ pub fn make_endpoints<M>(n: usize) -> Vec<Endpoint<M>> {
         txs.push(tx);
         rxs.push(rx);
     }
+    let stopped: Arc<[AtomicBool]> = (0..n).map(|_| AtomicBool::new(false)).collect();
     rxs.into_iter()
         .enumerate()
         .map(|(id, rx)| Endpoint {
             id,
             rx,
             txs: txs.clone(),
+            stopped: Arc::clone(&stopped),
         })
         .collect()
 }
@@ -129,6 +164,7 @@ mod tests {
             dst,
             sent_at: SimTime::ZERO,
             arrive_at: SimTime(100),
+            seq: 0,
             payload: p,
         }
     }
@@ -174,6 +210,33 @@ mod tests {
         for i in 0..10 {
             assert_eq!(eps[1].recv().unwrap().payload, Ping(i));
         }
+    }
+
+    #[test]
+    fn send_to_cleanly_stopped_peer_is_peer_stopped() {
+        let mut eps = make_endpoints::<Ping>(2);
+        let b = eps.pop().unwrap();
+        drop(b); // clean retirement (this thread is not panicking)
+        let e = eps[0].send(env(0, 1, Ping(0)));
+        assert_eq!(e.unwrap_err(), SimError::PeerStopped(1));
+    }
+
+    #[test]
+    fn send_to_panicked_peer_is_disconnected() {
+        let mut eps = make_endpoints::<Ping>(2);
+        let b = eps.pop().unwrap();
+        // Drop the endpoint during an unwind: that is how a panicking
+        // node retires, and it must NOT count as a clean stop.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(move || {
+            let _hold = b;
+            panic!("node dies");
+        });
+        std::panic::set_hook(hook);
+        assert!(r.is_err());
+        let e = eps[0].send(env(0, 1, Ping(0)));
+        assert_eq!(e.unwrap_err(), SimError::Disconnected);
     }
 
     #[test]

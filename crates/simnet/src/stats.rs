@@ -36,6 +36,15 @@ pub struct NodeStats {
     pub lock_acquires: u64,
     /// Barrier episodes completed.
     pub barriers: u64,
+    /// Retransmission-timeout expiries at this sender (reliable layer).
+    pub timeouts: u64,
+    /// Transmissions resent after a simulated drop or partition.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by sequence number on receive.
+    pub dups_suppressed: u64,
+    /// Sends addressed to a peer that had already finished its program
+    /// (tolerated under failure injection, not an error).
+    pub sends_to_stopped: u64,
     /// Virtual time spent in application compute charges.
     pub compute_time: SimDuration,
     /// Virtual time spent blocked on remote replies / synchronization.
@@ -63,6 +72,10 @@ impl NodeStats {
         self.log_bytes += other.log_bytes;
         self.lock_acquires += other.lock_acquires;
         self.barriers += other.barriers;
+        self.timeouts += other.timeouts;
+        self.retransmits += other.retransmits;
+        self.dups_suppressed += other.dups_suppressed;
+        self.sends_to_stopped += other.sends_to_stopped;
         self.compute_time += other.compute_time;
         self.wait_time += other.wait_time;
         self.disk_time += other.disk_time;

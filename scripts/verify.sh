@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> chaos smoke (2 seeded fault schedules per app/protocol)"
+CHAOS_SCHEDULES=2 cargo test -q --test chaos
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

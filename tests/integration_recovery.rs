@@ -3,7 +3,7 @@
 //! failure-free result — the correctness gate of DESIGN.md.
 
 use ccl_apps::App;
-use ccl_core::{run_program, ClusterSpec, CrashPlan, Protocol, SimDuration};
+use ccl_core::{run_program, ClusterSpec, CrashPlan, Protocol, SimDuration, TraceKind};
 
 fn spec(app: App, nodes: usize, protocol: Protocol) -> ClusterSpec {
     let page = 256;
@@ -132,4 +132,68 @@ fn detection_delay_is_charged() {
         .saturating_since(failed.crashed_at.unwrap());
     assert!(gap >= SimDuration::from_millis(500));
     assert!(out.nodes.iter().all(|n| n.result == app.tiny_reference()));
+}
+
+#[test]
+fn detection_delay_lands_in_the_wait_phase() {
+    // The crash-detection timeout is blocked time, not compute or disk:
+    // against the same crash with instant detection, the failed node's
+    // wait-phase bucket must grow by at least the configured delay.
+    // (Shallow is cycle-deterministic, so the two runs are comparable.)
+    let app = App::Shallow;
+    let delay = SimDuration::from_millis(200);
+    let run = |plan: CrashPlan| {
+        run_program(spec(app, 4, Protocol::Ccl).with_crash(plan), move |dsm| {
+            app.run_tiny(dsm)
+        })
+    };
+    let instant = run(CrashPlan::new(1, 3));
+    let delayed = run(CrashPlan::new(1, 3).with_detection_delay(delay));
+    assert!(delayed
+        .nodes
+        .iter()
+        .all(|n| n.result == app.tiny_reference()));
+    let base_wait = instant.nodes[1].phases.wait;
+    let slow_wait = delayed.nodes[1].phases.wait;
+    assert!(
+        slow_wait >= base_wait + delay,
+        "wait phase grew {:?} -> {:?}, expected at least +{delay:?}",
+        base_wait,
+        slow_wait
+    );
+}
+
+#[test]
+fn recovery_steps_are_traced_between_crash_and_exit() {
+    // The telemetry contract of a crash run: the failed node's trace
+    // carries the whole recovery arc — begin, per-episode replay steps,
+    // end — inside the [crashed_at, recovery_exit] window.
+    let app = App::Shallow;
+    for protocol in [Protocol::Ml, Protocol::Ccl] {
+        let s = spec(app, 4, protocol).with_crash(CrashPlan::new(1, 4));
+        let out = run_program(s, move |dsm| app.run_tiny(dsm));
+        let failed = &out.nodes[1];
+        let crashed = failed.crashed_at.expect("crash was not injected");
+        let exit = failed.recovery_exit.expect("recovery never completed");
+        let window: Vec<_> = failed
+            .trace
+            .iter()
+            .filter(|ev| ev.at >= crashed && ev.at <= exit)
+            .collect();
+        let begins = window
+            .iter()
+            .filter(|ev| matches!(ev.kind, TraceKind::RecoveryBegin))
+            .count();
+        let replays = window
+            .iter()
+            .filter(|ev| matches!(ev.kind, TraceKind::RecoveryReplay { .. }))
+            .count();
+        let ends = window
+            .iter()
+            .filter(|ev| matches!(ev.kind, TraceKind::RecoveryEnd))
+            .count();
+        assert_eq!(begins, 1, "{protocol:?}: RecoveryBegin missing from window");
+        assert!(replays > 0, "{protocol:?}: no replay steps traced");
+        assert_eq!(ends, 1, "{protocol:?}: RecoveryEnd missing from window");
+    }
 }
