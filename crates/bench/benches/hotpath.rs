@@ -1,0 +1,378 @@
+//! Hot-path micro-benchmarks and wall-clock app baseline.
+//!
+//! Unlike the paper-replication benches (which report *virtual* time),
+//! this target measures the **real CPU cost** of the simulator's
+//! data-movement hot path — diff create/apply, codec roundtrip,
+//! envelope fan-out — plus the wall-clock time of the four applications
+//! under each logging protocol. It emits machine-readable JSON
+//! (`BENCH_hotpath.json` at the repo root via `scripts/bench.sh`) so
+//! later PRs have a perf trajectory to beat.
+//!
+//! Sizing knobs (env):
+//! * `HOTPATH_SMOKE=1` — tiny app instances and few iterations, for the
+//!   verify-gate smoke stage;
+//! * `HOTPATH_JSON=<path>` — where to write the JSON (default stdout
+//!   marker line only).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccl_apps::App;
+use ccl_bench::{paper_spec, NODES};
+use ccl_core::{run_program, ClusterSpec, Protocol, RunOutput};
+use hlrc::{Msg, WriteNotice};
+use pagemem::{BufferPool, Decode, Encode, IntervalId, PageDiff, PageFrame, Twin, VClock};
+use simnet::WireSized;
+
+/// One measured micro-kernel: name + throughput.
+struct Micro {
+    name: &'static str,
+    mb_per_s: f64,
+    ns_per_op: f64,
+}
+
+fn smoke() -> bool {
+    std::env::var("HOTPATH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+#[inline]
+fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+fn base_page(size: usize, seed: u64) -> (PageFrame, u64) {
+    let mut base = PageFrame::zeroed(size);
+    let mut s = seed;
+    for off in (0..size).step_by(8) {
+        s = lcg(s);
+        base.write_u64(off, s);
+    }
+    (base, s)
+}
+
+/// Deterministic page pair with ~`density_pct`% of 64-byte blocks
+/// rewritten — the shape application writes actually take (array rows,
+/// structs): contiguous dirty regions, so the diff has few, long runs.
+fn page_pair_blocks(size: usize, density_pct: usize, seed: u64) -> (PageFrame, PageFrame) {
+    let (base, mut s) = base_page(size, seed);
+    let mut modified = base.clone();
+    for block in (0..size).step_by(64) {
+        s = lcg(s);
+        if (s >> 33) % 100 < density_pct as u64 {
+            for off in (block..(block + 64).min(size)).step_by(4) {
+                s = lcg(s);
+                modified.write_u32(off, (s >> 7) as u32);
+            }
+        }
+    }
+    (base, modified)
+}
+
+/// Deterministic page pair with ~`density_pct`% of single *words*
+/// modified in isolation — the fragmentation worst case: every changed
+/// word is its own run, so run management (not scanning) dominates.
+fn page_pair_scatter(size: usize, density_pct: usize, seed: u64) -> (PageFrame, PageFrame) {
+    let (base, mut s) = base_page(size, seed);
+    let mut modified = base.clone();
+    for off in (0..size).step_by(4) {
+        s = lcg(s);
+        if (s >> 33) % 100 < density_pct as u64 {
+            modified.write_u32(off, (s >> 7) as u32);
+        }
+    }
+    (base, modified)
+}
+
+/// How many times each micro measurement is repeated; the fastest
+/// repetition is reported. Best-of-N is the standard defense against a
+/// noisy/shared machine: competing load can only ever slow a rep down,
+/// so the minimum is the closest observation of the true cost.
+fn reps() -> usize {
+    if smoke() {
+        3
+    } else {
+        9
+    }
+}
+
+/// Run `body` `reps()` times and return the fastest wall time (secs).
+fn timed_best<F: FnMut()>(mut body: F) -> f64 {
+    body(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps() {
+        let t0 = Instant::now();
+        body();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_diff_create<F: FnMut(&Twin, &PageFrame) -> usize>(
+    iters: usize,
+    pairs: &[(Twin, PageFrame)],
+    mut f: F,
+) -> (f64, f64) {
+    let mut runs = 0usize;
+    let dt = timed_best(|| {
+        for _ in 0..iters {
+            for (t, m) in pairs {
+                runs += std::hint::black_box(f(t, m));
+            }
+        }
+    });
+    std::hint::black_box(runs);
+    let bytes: usize = pairs.iter().map(|(_, m)| m.len()).sum::<usize>() * iters;
+    let ops = (iters * pairs.len()) as f64;
+    (bytes as f64 / dt / 1e6, dt * 1e9 / ops)
+}
+
+fn micro_suite() -> Vec<Micro> {
+    let iters = if smoke() { 20 } else { 2000 };
+    let page = 4096;
+    // A spread of change densities over block-structured writes —
+    // silent (0%), sparse, half, dense — plus one word-scatter page as
+    // the run-fragmentation worst case.
+    let pairs: Vec<(Twin, PageFrame)> = [0usize, 3, 25, 60, 95]
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| page_pair_blocks(page, d, 0x9E3779B97F4A7C15 ^ (i as u64) << 17))
+        .chain(std::iter::once(page_pair_scatter(
+            page,
+            10,
+            0xD1B54A32D192ED03,
+        )))
+        .map(|(b, m)| (Twin::of(&b), m))
+        .collect();
+
+    let mut out = Vec::new();
+
+    let (mbs, nsop) = bench_diff_create(iters, &pairs, |t, m| PageDiff::create(0, t, m).runs.len());
+    out.push(Micro {
+        name: "diff_create",
+        mb_per_s: mbs,
+        ns_per_op: nsop,
+    });
+
+    // The retained naive kernel, measured live on the same inputs: the
+    // chunked/naive ratio in the emitted JSON is the speedup evidence,
+    // reproducible on any machine rather than only against the static
+    // `pre_pr` block below.
+    let (mbs, nsop) = bench_diff_create(iters, &pairs, |t, m| {
+        PageDiff::create_reference(0, t, m).runs.len()
+    });
+    out.push(Micro {
+        name: "diff_create_reference",
+        mb_per_s: mbs,
+        ns_per_op: nsop,
+    });
+
+    // Pooled entry point with a warm free list (the steady state inside
+    // `end_interval`: every interval's run buffers go back to the pool
+    // once the flush is acked).
+    {
+        let mut pool = BufferPool::new(page);
+        let (mbs, nsop) = bench_diff_create(iters, &pairs, move |t, m| {
+            let d = PageDiff::create_in(0, t, m, &mut pool);
+            let n = d.runs.len();
+            pool.recycle_diff(d);
+            n
+        });
+        out.push(Micro {
+            name: "diff_create_pooled",
+            mb_per_s: mbs,
+            ns_per_op: nsop,
+        });
+    }
+
+    // Apply: rebuild a frame from the diffs of the densest pair.
+    let diffs: Vec<PageDiff> = pairs
+        .iter()
+        .map(|(t, m)| PageDiff::create(0, t, m))
+        .collect();
+    let mut target = pairs[0].0.frame().clone();
+    let payload: usize = diffs.iter().map(|d| d.payload_bytes()).sum();
+    let dt = timed_best(|| {
+        for _ in 0..iters * 4 {
+            for d in &diffs {
+                d.apply(&mut target);
+            }
+        }
+        std::hint::black_box(&target);
+    });
+    out.push(Micro {
+        name: "diff_apply",
+        mb_per_s: (payload * iters * 4) as f64 / dt / 1e6,
+        ns_per_op: dt * 1e9 / (iters * 4 * diffs.len()) as f64,
+    });
+
+    // Codec roundtrip: encode + decode the diffs.
+    let wire: usize = diffs.iter().map(|d| d.encoded_size()).sum();
+    let dt = timed_best(|| {
+        for _ in 0..iters * 4 {
+            for d in &diffs {
+                let buf = d.encode_to_vec();
+                let back = PageDiff::decode_from_slice(&buf).expect("roundtrip");
+                std::hint::black_box(back);
+            }
+        }
+    });
+    out.push(Micro {
+        name: "codec_roundtrip",
+        mb_per_s: (wire * iters * 4) as f64 / dt / 1e6,
+        ns_per_op: dt * 1e9 / (iters * 4 * diffs.len()) as f64,
+    });
+
+    // Envelope fan-out: what the barrier manager does at every release —
+    // clone one page-sized payload message to N-1 destinations and size
+    // each clone for the wire. Shared (`Arc`) payloads make the clone a
+    // refcount bump and direct `encoded_size` makes the sizing pure
+    // arithmetic; throughput counts the *logical* bytes fanned out.
+    {
+        let mut vc = VClock::new(NODES);
+        let notices: Arc<[WriteNotice]> = (0..256u32)
+            .map(|i| {
+                let iv = IntervalId {
+                    node: i % NODES as u32,
+                    seq: i,
+                };
+                vc.observe(iv);
+                WriteNotice {
+                    page: i,
+                    interval: iv,
+                }
+            })
+            .collect::<Vec<_>>()
+            .into();
+        let release = Msg::BarrierRelease {
+            epoch: 7,
+            vc: Arc::new(vc.clone()),
+            notices: Arc::clone(&notices),
+        };
+        let reply = Msg::PageReply {
+            page: 3,
+            data: vec![0xA5u8; page].into(),
+            version: vc,
+        };
+        let fan = NODES - 1;
+        let per_round = (release.wire_size() + reply.wire_size()) * fan;
+        let dt = timed_best(|| {
+            let mut logical = 0usize;
+            for _ in 0..iters * 64 {
+                for _ in 0..fan {
+                    let r = std::hint::black_box(release.clone());
+                    logical += r.wire_size();
+                    let p = std::hint::black_box(reply.clone());
+                    logical += p.wire_size();
+                }
+            }
+            std::hint::black_box(logical);
+        });
+        let ops = (iters * 64 * fan * 2) as f64;
+        out.push(Micro {
+            name: "envelope_fanout",
+            mb_per_s: (per_round * iters * 64) as f64 / dt / 1e6,
+            ns_per_op: dt * 1e9 / ops,
+        });
+    }
+
+    out
+}
+
+/// The seed's numbers for the same suite, captured on this machine at
+/// the pre-PR commit (341da22) via a worktree build running byte-for-
+/// byte the same workloads, iteration counts, and best-of-N policy as
+/// this file. The kernel split-outs (`diff_create_reference`/`_pooled`)
+/// did not exist pre-PR; the seed `diff_create` (the then-naive kernel
+/// with per-run allocation) is the before-number for both. Pre-PR
+/// `envelope_fanout` deep-copies every payload, which is the point.
+/// Water's paper-scale `exec_time_ns`/`log_bytes` vary slightly run to
+/// run (pre-existing lock-arrival nondeterminism, digest stable).
+const PRE_PR_JSON: &str = "{\"micro\":{\
+    \"diff_create\":{\"mb_per_s\":2717.9,\"ns_per_op\":1507.0},\
+    \"diff_apply\":{\"mb_per_s\":26168.5,\"ns_per_op\":49.9},\
+    \"codec_roundtrip\":{\"mb_per_s\":2058.1,\"ns_per_op\":712.0},\
+    \"envelope_fanout\":{\"mb_per_s\":5521.9,\"ns_per_op\":662.6}},\
+    \"apps\":[\
+    {\"app\":\"3D-FFT\",\"protocol\":\"none\",\"wall_ms\":287.5,\"exec_time_ns\":1263526672,\"log_bytes\":0},\
+    {\"app\":\"3D-FFT\",\"protocol\":\"ml\",\"wall_ms\":335.3,\"exec_time_ns\":1563877292,\"log_bytes\":41586608},\
+    {\"app\":\"3D-FFT\",\"protocol\":\"ccl\",\"wall_ms\":318.0,\"exec_time_ns\":1296801220,\"log_bytes\":694320},\
+    {\"app\":\"MG\",\"protocol\":\"none\",\"wall_ms\":436.8,\"exec_time_ns\":416847992,\"log_bytes\":0},\
+    {\"app\":\"MG\",\"protocol\":\"ml\",\"wall_ms\":450.4,\"exec_time_ns\":469015462,\"log_bytes\":8222396},\
+    {\"app\":\"MG\",\"protocol\":\"ccl\",\"wall_ms\":463.3,\"exec_time_ns\":426190070,\"log_bytes\":604744},\
+    {\"app\":\"Shallow\",\"protocol\":\"none\",\"wall_ms\":944.9,\"exec_time_ns\":688383864,\"log_bytes\":0},\
+    {\"app\":\"Shallow\",\"protocol\":\"ml\",\"wall_ms\":955.6,\"exec_time_ns\":749263574,\"log_bytes\":10745640},\
+    {\"app\":\"Shallow\",\"protocol\":\"ccl\",\"wall_ms\":956.6,\"exec_time_ns\":698320638,\"log_bytes\":1755240},\
+    {\"app\":\"Water\",\"protocol\":\"none\",\"wall_ms\":19.6,\"exec_time_ns\":1632688928,\"log_bytes\":0},\
+    {\"app\":\"Water\",\"protocol\":\"ml\",\"wall_ms\":19.8,\"exec_time_ns\":1643347470,\"log_bytes\":1963188},\
+    {\"app\":\"Water\",\"protocol\":\"ccl\",\"wall_ms\":23.2,\"exec_time_ns\":1625996484,\"log_bytes\":399548}]}";
+
+/// Wall-clock one app x protocol run; returns (wall_ms, exec_ns, log_bytes).
+/// Best-of-3 in full mode (single run in smoke): the virtual outputs are
+/// deterministic, so repetition only firms up the wall-clock number.
+fn time_app(app: App, protocol: Protocol) -> (f64, u64, u64) {
+    let runs = if smoke() { 1 } else { 3 };
+    let mut best = f64::INFINITY;
+    let mut virt = (0u64, 0u64);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let out: RunOutput<u64> = if smoke() {
+            let spec = ClusterSpec::new(4, app.tiny_pages(256) + 4)
+                .with_page_size(256)
+                .with_protocol(protocol);
+            run_program(spec, move |dsm| app.run_tiny(dsm))
+        } else {
+            run_program(paper_spec(app, protocol), move |dsm| app.run_paper(dsm))
+        };
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        virt = (out.exec_time().as_nanos(), out.total_log_bytes());
+    }
+    (best, virt.0, virt.1)
+}
+
+fn main() {
+    let mut s = String::new();
+    s.push_str("{\"bench\":\"hotpath\",");
+    s.push_str(&format!(
+        "\"smoke\":{},\"nodes\":{NODES},\"micro\":{{",
+        smoke()
+    ));
+    for (i, m) in micro_suite().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\"{}\":{{\"mb_per_s\":{:.1},\"ns_per_op\":{:.1}}}",
+            m.name, m.mb_per_s, m.ns_per_op
+        ));
+    }
+    s.push_str("},\"apps\":[");
+    let protocols = [
+        (Protocol::None, "none"),
+        (Protocol::Ml, "ml"),
+        (Protocol::Ccl, "ccl"),
+    ];
+    let mut first = true;
+    for app in App::ALL {
+        for (p, pname) in protocols {
+            let (wall, exec, log) = time_app(app, p);
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"app\":\"{}\",\"protocol\":\"{pname}\",\"wall_ms\":{wall:.1},\
+                 \"exec_time_ns\":{exec},\"log_bytes\":{log}}}",
+                app.name()
+            ));
+        }
+    }
+    s.push_str("],\"pre_pr\":");
+    s.push_str(PRE_PR_JSON);
+    s.push('}');
+    println!("{s}");
+    if let Ok(path) = std::env::var("HOTPATH_JSON") {
+        std::fs::write(&path, format!("{s}\n")).expect("write HOTPATH_JSON");
+        eprintln!("wrote {path}");
+    }
+}

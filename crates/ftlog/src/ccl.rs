@@ -173,7 +173,7 @@ impl CclLogger {
                     indexed.push(((d.page, interval.seq), pos, d.clone()));
                 }
             }
-            encoded.push(rec.encode_to_vec());
+            encoded.push(rec.encode_to_sized_vec());
         }
         self.staged_bytes = 0;
         let retries_before = inner.ctx.disk.counters().write_retries;
@@ -308,7 +308,7 @@ impl CclLogger {
                 )
                 .expect("send recovery page request");
         }
-        let mut advanced: Vec<(PageId, Vec<u8>, VClock)> = Vec::new();
+        let mut advanced: Vec<(PageId, pagemem::SharedBytes, VClock)> = Vec::new();
         for _ in 0..pages.len() {
             let env = self.recovery_wait(
                 inner,
@@ -325,7 +325,9 @@ impl CclLogger {
                 if adv {
                     advanced.push((page, data, version));
                 } else {
-                    inner.pages.install_copy(page, &data, PageState::ReadOnly);
+                    inner
+                        .pages
+                        .install_copy(page, &data, PageState::ReadOnly, &mut inner.pool);
                 }
             }
         }
@@ -359,7 +361,7 @@ impl CclLogger {
             }
             inner
                 .pages
-                .install_copy(page, frame.bytes(), PageState::ReadOnly);
+                .install_copy(page, frame.bytes(), PageState::ReadOnly, &mut inner.pool);
         }
     }
 
@@ -521,7 +523,7 @@ impl CclLogger {
             }
             for n in &fresh {
                 if n.interval.node != me && !inner.pages.is_home(n.page) {
-                    inner.pages.invalidate(n.page);
+                    inner.pages.invalidate(n.page, &mut inner.pool);
                 }
             }
         }

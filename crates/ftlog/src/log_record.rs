@@ -93,6 +93,20 @@ impl Encode for CclRecord {
             }
         }
     }
+
+    /// Direct arithmetic mirror of `encode` — `stage` sizes every record
+    /// for the byte accounting, so this must not serialize.
+    fn encoded_size(&self) -> usize {
+        match self {
+            CclRecord::Sync { notices, vc, .. } => {
+                1 + 4 + 4 + 12 * notices.len() + vc.encoded_size()
+            }
+            CclRecord::Updates { pages, .. } => 1 + 8 + 4 + 4 * pages.len(),
+            CclRecord::Diffs { diffs, .. } => {
+                1 + 8 + 4 + diffs.iter().map(Encode::encoded_size).sum::<usize>()
+            }
+        }
+    }
 }
 
 impl Decode for CclRecord {
@@ -161,6 +175,7 @@ mod tests {
 
     fn roundtrip(rec: CclRecord) {
         let bytes = rec.encode_to_vec();
+        assert_eq!(bytes.len(), rec.encoded_size(), "direct size drifted");
         assert_eq!(CclRecord::decode_from_slice(&bytes).unwrap(), rec);
     }
 

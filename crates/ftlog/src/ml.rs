@@ -162,7 +162,9 @@ impl FaultTolerance for MlLogger {
                 | Msg::BarrierRelease { .. }
         );
         if log_it {
-            let bytes = msg.encode_to_vec();
+            // Sized encode: one exact allocation per record (`Msg` sizes
+            // itself by arithmetic, so this costs no pre-pass encode).
+            let bytes = msg.encode_to_sized_vec();
             inner.ctx.trace(TraceKind::LogAppend {
                 bytes: bytes.len() as u64,
             });
@@ -310,7 +312,9 @@ impl FaultTolerance for MlLogger {
                 Msg::PageReply { page: p, data, .. } => {
                     assert_eq!(*p, page, "ML replay drift: wrong page reply");
                     inner.ctx.charge_copy(data.len());
-                    inner.pages.install_copy(page, data, PageState::ReadOnly);
+                    inner
+                        .pages
+                        .install_copy(page, data, PageState::ReadOnly, &mut inner.pool);
                     inner.ctx.trace(TraceKind::RecoveryReplay { notices: 0 });
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;

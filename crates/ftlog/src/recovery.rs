@@ -27,7 +27,7 @@ pub fn replay_apply_notices(
         inner.vc.observe(n.interval);
         inner.history.push(*n);
         if n.interval.node != me && !inner.pages.is_home(n.page) {
-            inner.pages.invalidate(n.page);
+            inner.pages.invalidate(n.page, &mut inner.pool);
         }
     }
     inner.vc.join(vc_in);
@@ -50,7 +50,9 @@ mod tests {
             }
             let mut inner = NodeInner::new(ctx, cfg);
             // Give node 0 a cached copy of remote page 2.
-            inner.pages.install_copy(2, &[1u8; 64], PageState::ReadOnly);
+            inner
+                .pages
+                .install_copy(2, &[1u8; 64], PageState::ReadOnly, &mut inner.pool);
             let iv = IntervalId { node: 1, seq: 0 };
             let mut vc_in = VClock::new(2);
             vc_in.observe(iv);

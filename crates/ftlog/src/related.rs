@@ -220,7 +220,7 @@ mod tests {
         let vc = VClock::new(2);
         assert!(RecordOnlyLogger::record_of(&Msg::PageReply {
             page: 3,
-            data: vec![0; 4096],
+            data: vec![0; 4096].into(),
             version: vc.clone(),
         })
         .is_some());
@@ -229,7 +229,7 @@ mod tests {
         // the protocols' whole point.
         let rec = RecordOnlyLogger::record_of(&Msg::PageReply {
             page: 3,
-            data: vec![0; 4096],
+            data: vec![0; 4096].into(),
             version: vc,
         })
         .unwrap();

@@ -25,16 +25,19 @@ fn arb_vclock(rng: &mut Rng) -> VClock {
 
 fn arb_diff(rng: &mut Rng) -> PageDiff {
     let page = rng.u32_in(0, 1024);
-    let runs = (0..rng.usize_in(0, 6))
-        .map(|_| {
-            let w = rng.u32_in(0, 64);
-            let words = rng.usize_in(1, 5);
-            DiffRun {
-                offset: w * 4,
-                data: vec![0xAB; words * 4],
-            }
-        })
-        .collect();
+    // The decoder enforces the structure `PageDiff::create` guarantees
+    // (word-aligned, in order, no overlap), so walk offsets forward.
+    let mut runs = Vec::new();
+    let mut word = 0u32;
+    for _ in 0..rng.usize_in(0, 6) {
+        word += rng.u32_in(0, 16);
+        let words = rng.u32_in(1, 5);
+        runs.push(DiffRun {
+            offset: word * 4,
+            data: vec![0xAB; words as usize * 4],
+        });
+        word += words;
+    }
     PageDiff { page, runs }
 }
 

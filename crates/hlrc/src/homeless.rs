@@ -24,8 +24,8 @@
 use std::collections::HashMap;
 
 use pagemem::{
-    Access, ByteReader, ByteWriter, CodecError, Decode, Encode, Fault, IntervalId, PageDiff,
-    PageFrame, PageId, PageState, Twin, VClock,
+    Access, BufferPool, ByteReader, ByteWriter, CodecError, Decode, Encode, Fault, IntervalId,
+    PageDiff, PageFrame, PageId, PageState, SharedBytes, Twin, VClock,
 };
 use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, TraceKind, WireSized};
 
@@ -46,8 +46,8 @@ pub enum HMsg {
     CopyReply {
         /// The page.
         page: PageId,
-        /// Full contents.
-        data: Vec<u8>,
+        /// Full contents (refcounted: cloning the message shares them).
+        data: SharedBytes,
         /// Which writer intervals `data` already includes.
         applied: VClock,
     },
@@ -188,6 +188,34 @@ impl Encode for HMsg {
             }
         }
     }
+
+    /// Direct arithmetic mirror of `encode` — `wire_size` runs on every
+    /// send and receive, so sizing must not serialize.
+    fn encoded_size(&self) -> usize {
+        fn notices(n: &[WriteNotice]) -> usize {
+            4 + 12 * n.len()
+        }
+        match self {
+            HMsg::CopyRequest { .. } => 1 + 4,
+            HMsg::CopyReply { data, applied, .. } => {
+                1 + 4 + 4 + data.len() + applied.encoded_size()
+            }
+            HMsg::DiffRequest { seqs, .. } => 1 + 4 + 4 + 4 * seqs.len(),
+            HMsg::DiffReply { diffs, .. } => {
+                1 + 4
+                    + 4
+                    + diffs
+                        .iter()
+                        .map(|(_, d)| 8 + d.encoded_size())
+                        .sum::<usize>()
+            }
+            HMsg::LockRequest { vc, .. } => 1 + 4 + vc.encoded_size(),
+            HMsg::LockGrant { vc, notices: n, .. }
+            | HMsg::LockRelease { vc, notices: n, .. }
+            | HMsg::BarrierArrive { vc, notices: n, .. }
+            | HMsg::BarrierRelease { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+        }
+    }
 }
 
 impl Decode for HMsg {
@@ -196,7 +224,7 @@ impl Decode for HMsg {
             0 => HMsg::CopyRequest { page: r.get_u32()? },
             1 => HMsg::CopyReply {
                 page: r.get_u32()?,
-                data: r.get_bytes()?,
+                data: r.get_bytes()?.into(),
                 applied: VClock::decode(r)?,
             },
             2 => {
@@ -296,6 +324,10 @@ pub struct HomelessNode {
     archive: HashMap<(PageId, u32), PageDiff>,
     /// Bytes currently held in the archive (reported by the bench).
     pub archive_bytes: usize,
+    /// Free list recycling twin frames and seeded copies. Archive diffs
+    /// never return to it (they are retained forever — the protocol's
+    /// defining cost), so only page-sized frames circulate.
+    pool: BufferPool,
 }
 
 impl HomelessNode {
@@ -335,6 +367,7 @@ impl HomelessNode {
             barrier_epoch: 0,
             archive: HashMap::new(),
             archive_bytes: 0,
+            pool: BufferPool::new(page_size),
             ctx,
         }
     }
@@ -397,7 +430,10 @@ impl HomelessNode {
                     self.ctx.charge_copy(page_size);
                     self.ctx.stats.twins_created += 1;
                     let e = &mut self.pages[page as usize];
-                    e.twin = Some(Twin::of(e.frame.as_ref().expect("frame")));
+                    e.twin = Some(Twin::of_with(
+                        e.frame.as_ref().expect("frame"),
+                        &mut self.pool,
+                    ));
                     e.dirty = true;
                     e.state = PageState::Writable;
                 }
@@ -425,8 +461,9 @@ impl HomelessNode {
             let env = self.wait_for(|m| matches!(m, HMsg::CopyReply { page: p, .. } if *p == page));
             if let HMsg::CopyReply { data, applied, .. } = env.payload {
                 self.ctx.charge_copy(data.len());
+                let frame = self.pool.frame_from_bytes(&data);
                 let e = &mut self.pages[page as usize];
-                e.frame = Some(PageFrame::from_bytes(&data));
+                e.frame = Some(frame);
                 e.applied = applied;
             }
         }
@@ -509,6 +546,7 @@ impl HomelessNode {
             let twin = e.twin.take().expect("dirty page without twin");
             let frame = e.frame.as_ref().expect("dirty page without frame");
             let diff = PageDiff::create(p, &twin, frame);
+            self.pool.recycle_frame(twin.into_frame());
             self.ctx.charge_copy(2 * page_size);
             self.ctx.stats.diffs_created += 1;
             self.ctx.stats.diff_bytes += diff.encoded_size() as u64;
@@ -671,7 +709,7 @@ impl CoherenceProtocol<HMsg> for HomelessNode {
         match &env.payload {
             HMsg::CopyRequest { page } => {
                 let e = &self.pages[*page as usize];
-                let data = e.frame.as_ref().expect("owner frame").bytes().to_vec();
+                let data = SharedBytes::copy_of(e.frame.as_ref().expect("owner frame").bytes());
                 let applied = e.applied.clone();
                 let cost = self.ctx.cost.cpu.copy(data.len());
                 self.ctx
@@ -880,7 +918,7 @@ mod tests {
             HMsg::CopyRequest { page: 1 },
             HMsg::CopyReply {
                 page: 1,
-                data: vec![0; 64],
+                data: vec![0; 64].into(),
                 applied: vc.clone(),
             },
             HMsg::DiffRequest {
@@ -905,6 +943,7 @@ mod tests {
             },
         ] {
             let bytes = msg.encode_to_vec();
+            assert_eq!(bytes.len(), msg.encoded_size(), "direct size drifted");
             assert_eq!(HMsg::decode_from_slice(&bytes).unwrap(), msg);
         }
     }

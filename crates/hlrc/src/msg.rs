@@ -7,8 +7,11 @@
 //! implementation would move. `wire_size` adds the UDP/IP-era header
 //! overhead per message.
 
+use std::sync::Arc;
+
 use pagemem::{
-    ByteReader, ByteWriter, CodecError, Decode, Encode, IntervalId, PageDiff, PageId, VClock,
+    ByteReader, ByteWriter, CodecError, Decode, Encode, IntervalId, PageDiff, PageId, SharedBytes,
+    VClock,
 };
 use simnet::WireSized;
 
@@ -90,8 +93,10 @@ pub enum Msg {
     PageReply {
         /// The page.
         page: PageId,
-        /// Full page contents.
-        data: Vec<u8>,
+        /// Full page contents (refcount-shared: envelope duplicates and
+        /// log appends reuse this allocation; wire accounting uses the
+        /// logical length).
+        data: SharedBytes,
         /// Home-copy version (per-writer applied interval counts).
         version: VClock,
     },
@@ -119,7 +124,9 @@ pub enum Msg {
         /// The lock.
         lock: u32,
         /// The lock's release timestamp (acquirer joins with it).
-        vc: VClock,
+        /// `Arc`: the receiver only reads it, and keeps it in its
+        /// grant table without copying.
+        vc: Arc<VClock>,
         /// Write-invalidation notices the acquirer has not yet seen.
         notices: Vec<WriteNotice>,
     },
@@ -142,13 +149,16 @@ pub enum Msg {
         notices: Vec<WriteNotice>,
     },
     /// Barrier manager releases everyone with the merged notices.
+    /// The clock and notice set are broadcast to every node and only
+    /// read by receivers, so both are `Arc`-shared: an n-way fan-out
+    /// is n refcount bumps, not n deep copies.
     BarrierRelease {
         /// Barrier episode number.
         epoch: u32,
         /// Join of all arrivals' clocks.
-        vc: VClock,
+        vc: Arc<VClock>,
         /// Union of all notices from this episode.
-        notices: Vec<WriteNotice>,
+        notices: Arc<[WriteNotice]>,
     },
     /// Recovery: fetch `page` if the home copy has not advanced past
     /// `required`; otherwise the home returns its checkpoint base copy.
@@ -166,7 +176,7 @@ pub enum Msg {
         /// checkpoint base copy that must be patched with logged diffs.
         advanced: bool,
         /// Page contents (current home copy, or checkpoint base).
-        data: Vec<u8>,
+        data: SharedBytes,
         /// Version of `data`.
         version: VClock,
     },
@@ -300,6 +310,43 @@ impl Encode for Msg {
             }
         }
     }
+
+    /// Direct arithmetic mirror of [`Encode::encode`]. `wire_size` is
+    /// consulted on *every* send and receive for traffic accounting, so
+    /// sizing must not cost an encode; the per-variant wire-size tests
+    /// pin this arithmetic to the actual encoding.
+    fn encoded_size(&self) -> usize {
+        fn notices(n: &[WriteNotice]) -> usize {
+            4 + 12 * n.len()
+        }
+        fn diffs(d: &[PageDiff]) -> usize {
+            4 + d.iter().map(Encode::encoded_size).sum::<usize>()
+        }
+        match self {
+            Msg::PageRequest { .. } => 1 + 4,
+            Msg::PageReply { data, version, .. } => 1 + 4 + 4 + data.len() + version.encoded_size(),
+            Msg::DiffFlush { diffs: d, .. } => 1 + 8 + diffs(d),
+            Msg::DiffAck { .. } => 1 + 8,
+            Msg::LockRequest { vc, .. } => 1 + 4 + vc.encoded_size(),
+            Msg::LockGrant { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+            Msg::LockRelease { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+            Msg::BarrierArrive { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+            Msg::BarrierRelease { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+            Msg::RecoveryPageRequest { required, .. } => 1 + 4 + required.encoded_size(),
+            Msg::RecoveryPageReply { data, version, .. } => {
+                1 + 4 + 1 + 4 + data.len() + version.encoded_size()
+            }
+            Msg::LoggedDiffRequest { seqs, .. } => 1 + 4 + 4 + 4 * seqs.len(),
+            Msg::LoggedDiffReply { diffs, .. } => {
+                1 + 4
+                    + 4
+                    + diffs
+                        .iter()
+                        .map(|(_, d)| 8 + d.encoded_size())
+                        .sum::<usize>()
+            }
+        }
+    }
 }
 
 impl Decode for Msg {
@@ -309,7 +356,7 @@ impl Decode for Msg {
             0 => Msg::PageRequest { page: r.get_u32()? },
             1 => Msg::PageReply {
                 page: r.get_u32()?,
-                data: r.get_bytes()?,
+                data: r.get_bytes()?.into(),
                 version: VClock::decode(r)?,
             },
             2 => Msg::DiffFlush {
@@ -325,7 +372,7 @@ impl Decode for Msg {
             },
             5 => Msg::LockGrant {
                 lock: r.get_u32()?,
-                vc: VClock::decode(r)?,
+                vc: Arc::new(VClock::decode(r)?),
                 notices: decode_notices(r)?,
             },
             6 => Msg::LockRelease {
@@ -340,8 +387,8 @@ impl Decode for Msg {
             },
             8 => Msg::BarrierRelease {
                 epoch: r.get_u32()?,
-                vc: VClock::decode(r)?,
-                notices: decode_notices(r)?,
+                vc: Arc::new(VClock::decode(r)?),
+                notices: decode_notices(r)?.into(),
             },
             9 => Msg::RecoveryPageRequest {
                 page: r.get_u32()?,
@@ -350,7 +397,7 @@ impl Decode for Msg {
             10 => Msg::RecoveryPageReply {
                 page: r.get_u32()?,
                 advanced: r.get_u8()? != 0,
-                data: r.get_bytes()?,
+                data: r.get_bytes()?.into(),
                 version: VClock::decode(r)?,
             },
             11 => {
@@ -414,6 +461,7 @@ mod tests {
         let bytes = m.encode_to_vec();
         let back = Msg::decode_from_slice(&bytes).unwrap();
         assert_eq!(back, m);
+        assert_eq!(m.encoded_size(), bytes.len(), "direct size drifted");
         assert_eq!(m.wire_size(), HEADER_BYTES + bytes.len());
     }
 
@@ -432,7 +480,7 @@ mod tests {
         roundtrip(Msg::PageRequest { page: 3 });
         roundtrip(Msg::PageReply {
             page: 3,
-            data: vec![1; 64],
+            data: vec![1; 64].into(),
             version: vc.clone(),
         });
         roundtrip(Msg::DiffFlush {
@@ -446,7 +494,7 @@ mod tests {
         });
         roundtrip(Msg::LockGrant {
             lock: 2,
-            vc: vc.clone(),
+            vc: Arc::new(vc.clone()),
             notices: vec![notice],
         });
         roundtrip(Msg::LockRelease {
@@ -461,8 +509,8 @@ mod tests {
         });
         roundtrip(Msg::BarrierRelease {
             epoch: 4,
-            vc: vc.clone(),
-            notices: vec![notice],
+            vc: Arc::new(vc.clone()),
+            notices: vec![notice].into(),
         });
         roundtrip(Msg::RecoveryPageRequest {
             page: 9,
@@ -471,7 +519,7 @@ mod tests {
         roundtrip(Msg::RecoveryPageReply {
             page: 9,
             advanced: true,
-            data: vec![2; 64],
+            data: vec![2; 64].into(),
             version: vc.clone(),
         });
         roundtrip(Msg::LoggedDiffRequest {
@@ -496,7 +544,7 @@ mod tests {
         // page reply is much bigger than the diff that produced it.
         let big = Msg::PageReply {
             page: 0,
-            data: vec![0; 4096],
+            data: vec![0; 4096].into(),
             version: VClock::new(8),
         };
         let small = Msg::DiffFlush {

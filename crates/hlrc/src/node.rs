@@ -14,9 +14,12 @@
 //!   to the home.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pagemem::Encode;
-use pagemem::{Access, Fault, IntervalId, PageDiff, PageId, PageState, Twin, VClock};
+use pagemem::{
+    Access, BufferPool, Fault, IntervalId, PageDiff, PageId, PageState, SharedBytes, Twin, VClock,
+};
 use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, SimDuration, SimTime, TraceKind};
 
 use crate::config::DsmConfig;
@@ -48,7 +51,12 @@ pub struct NodeInner {
     pub barrier_mgr: Option<BarrierMgr>,
     /// For locks currently held: the lock's clock at grant time
     /// (release sends only notices the manager cannot already know).
-    pub lock_grant_vcs: HashMap<u32, VClock>,
+    /// Holds the grant message's `Arc` directly — no copy.
+    pub lock_grant_vcs: HashMap<u32, Arc<VClock>>,
+    /// Free list recycling page frames (twins, fetched copies) and
+    /// diff-run buffers across intervals. Purely physical: no reported
+    /// metric observes it.
+    pub pool: BufferPool,
     /// This node's next barrier episode.
     pub barrier_epoch: u32,
     /// Completed synchronization operations (failure injection hooks
@@ -71,6 +79,7 @@ impl NodeInner {
             locks: LockTable::new(n),
             barrier_mgr: (me == cfg.barrier_manager()).then(|| BarrierMgr::new(n)),
             lock_grant_vcs: HashMap::new(),
+            pool: BufferPool::new(cfg.layout.page_size()),
             barrier_epoch: 0,
             sync_events: 0,
             cfg,
@@ -171,8 +180,12 @@ impl HlrcNode {
                     let page_size = self.inner.pages.page_size();
                     self.inner.ctx.charge_copy(page_size);
                     self.inner.ctx.stats.twins_created += 1;
-                    let e = self.inner.pages.entry_mut(page);
-                    e.twin = Some(Twin::of(e.frame.as_ref().expect("home frame")));
+                    let inner = &mut self.inner;
+                    let e = inner.pages.entry_mut(page);
+                    e.twin = Some(Twin::of_with(
+                        e.frame.as_ref().expect("home frame"),
+                        &mut inner.pool,
+                    ));
                 }
                 self.inner.pages.entry_mut(page).dirty = true;
             }
@@ -214,8 +227,12 @@ impl HlrcNode {
                     let page_size = self.inner.pages.page_size();
                     self.inner.ctx.charge_copy(page_size);
                     self.inner.ctx.stats.twins_created += 1;
-                    let e = self.inner.pages.entry_mut(page);
-                    let twin = Twin::of(e.frame.as_ref().expect("frame after fetch"));
+                    let inner = &mut self.inner;
+                    let e = inner.pages.entry_mut(page);
+                    let twin = Twin::of_with(
+                        e.frame.as_ref().expect("frame after fetch"),
+                        &mut inner.pool,
+                    );
                     e.twin = Some(twin);
                     e.dirty = true;
                     e.state = PageState::Writable;
@@ -286,7 +303,7 @@ impl HlrcNode {
         if let Msg::PageReply { data, .. } = env.payload {
             self.inner
                 .pages
-                .install_copy(page, &data, PageState::ReadOnly);
+                .install_copy(page, &data, PageState::ReadOnly, &mut self.inner.pool);
         }
     }
 
@@ -341,7 +358,7 @@ impl HlrcNode {
             .inner
             .lock_grant_vcs
             .remove(&lock)
-            .unwrap_or_else(|| VClock::new(self.inner.cfg.n_nodes));
+            .unwrap_or_else(|| Arc::new(VClock::new(self.inner.cfg.n_nodes)));
         let notices: Vec<WriteNotice> = self
             .inner
             .history
@@ -403,9 +420,11 @@ impl HlrcNode {
             let handler = self.inner.ctx.cost.cpu.message_handler;
             let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
             let release_time = mgr.latest_arrival.max(now) + handler;
-            let merged_vc = mgr.merged_vc.clone();
-            let merged_notices = std::mem::take(&mut mgr.merged_notices);
-            mgr.record_released(epoch, merged_vc.clone(), merged_notices.clone());
+            // One shared snapshot: the release history, every broadcast
+            // copy, and the manager's own release all alias it.
+            let merged_vc = Arc::new(mgr.merged_vc.clone());
+            let merged_notices: Arc<[WriteNotice]> = std::mem::take(&mut mgr.merged_notices).into();
+            mgr.record_released(epoch, Arc::clone(&merged_vc), Arc::clone(&merged_notices));
             mgr.reset();
             for node in 0..self.inner.cfg.n_nodes {
                 if node != me {
@@ -416,8 +435,8 @@ impl HlrcNode {
                             node,
                             Msg::BarrierRelease {
                                 epoch,
-                                vc: merged_vc.clone(),
-                                notices: merged_notices.clone(),
+                                vc: Arc::clone(&merged_vc),
+                                notices: Arc::clone(&merged_notices),
                             },
                         )
                         .expect("send barrier release");
@@ -428,8 +447,8 @@ impl HlrcNode {
             // else, so ML replay sees the same record stream.
             let own_release = Msg::BarrierRelease {
                 epoch,
-                vc: merged_vc.clone(),
-                notices: merged_notices.clone(),
+                vc: Arc::clone(&merged_vc),
+                notices: Arc::clone(&merged_notices),
             };
             self.ft.on_incoming(&mut self.inner, &own_release);
             self.apply_sync_notices(SyncKind::Barrier(epoch), &merged_notices, &merged_vc);
@@ -489,7 +508,8 @@ impl HlrcNode {
                 interval: iv,
             });
             let me = self.inner.me();
-            let e = self.inner.pages.entry_mut(p);
+            let inner = &mut self.inner;
+            let e = inner.pages.entry_mut(p);
             e.dirty = false;
             if e.home == me {
                 // Home writes update the home copy in place; only the
@@ -499,7 +519,8 @@ impl HlrcNode {
                 e.version.as_mut().expect("home version").observe(iv);
                 if let Some(twin) = e.twin.take() {
                     let frame = e.frame.as_ref().expect("home frame");
-                    let diff = PageDiff::create(p, &twin, frame);
+                    let diff = PageDiff::create_in(p, &twin, frame, &mut inner.pool);
+                    inner.pool.recycle_frame(twin.into_frame());
                     self.inner.ctx.charge_copy(2 * page_size);
                     if !diff.is_empty() {
                         home_diffs.push(diff);
@@ -511,7 +532,8 @@ impl HlrcNode {
             e.state = PageState::ReadOnly;
             let home = e.home;
             let frame = e.frame.as_ref().expect("dirty page without frame");
-            let diff = PageDiff::create(p, &twin, frame);
+            let diff = PageDiff::create_in(p, &twin, frame, &mut inner.pool);
+            inner.pool.recycle_frame(twin.into_frame());
             // Word-compare of page against twin plus encoding.
             self.inner.ctx.charge_copy(2 * page_size);
             self.inner.ctx.stats.diffs_created += 1;
@@ -586,7 +608,7 @@ impl HlrcNode {
                     "invalidation of a page with an open twin: intervals \
                      must be delimited before notices are applied"
                 );
-                self.inner.pages.invalidate(n.page);
+                self.inner.pages.invalidate(n.page, &mut self.inner.pool);
             }
         }
         self.inner.vc.join(vc_in);
@@ -633,13 +655,13 @@ impl NodeInner {
         let (advanced, data, version) = if !mid_replay && version.dominated_by(required) {
             (
                 false,
-                e.frame.as_ref().expect("home frame").bytes().to_vec(),
+                SharedBytes::copy_of(e.frame.as_ref().expect("home frame").bytes()),
                 version,
             )
         } else {
             (
                 true,
-                e.base.as_ref().expect("home base").bytes().to_vec(),
+                SharedBytes::copy_of(e.base.as_ref().expect("home base").bytes()),
                 e.base_version.clone().expect("base version"),
             )
         };
@@ -693,6 +715,30 @@ impl CoherenceProtocol<Msg> for HlrcNode {
     fn service(&mut self, env: Envelope<Msg>, deferred: bool) {
         let handler = self.inner.ctx.cost.cpu.message_handler;
         let done = self.inner.ctx.async_service_base(&env, deferred) + handler;
+        // DiffFlush is handled by value (not through the shared match on
+        // `&env.payload`) so the run buffers of every applied diff can be
+        // recycled into the pool instead of freed.
+        if matches!(env.payload, Msg::DiffFlush { .. }) {
+            self.ft.on_incoming(&mut self.inner, &env.payload);
+            let src = env.src;
+            let Msg::DiffFlush { writer, diffs } = env.payload else {
+                unreachable!()
+            };
+            let payload: usize = diffs.iter().map(|d| d.encoded_size()).sum();
+            let copy_cost = self.inner.ctx.cost.cpu.copy(payload);
+            let mut pages = Vec::with_capacity(diffs.len());
+            for d in diffs {
+                self.inner.pages.apply_home_diff(&d, writer);
+                pages.push(d.page);
+                self.inner.pool.recycle_diff(d);
+            }
+            self.ft.on_updates_applied(&mut self.inner, writer, &pages);
+            self.inner
+                .ctx
+                .send_from(done + copy_cost, src, Msg::DiffAck { writer })
+                .expect("send diff ack");
+            return;
+        }
         match &env.payload {
             Msg::PageRequest { page } => {
                 let page = *page;
@@ -703,7 +749,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     self.ft.logs_home_diffs_durably(),
                 );
                 let e = self.inner.pages.entry(page);
-                let data = e.frame.as_ref().expect("home frame").bytes().to_vec();
+                let data = SharedBytes::copy_of(e.frame.as_ref().expect("home frame").bytes());
                 let version = e.version.clone().expect("home version");
                 let copy_cost = self.inner.ctx.cost.cpu.copy(data.len());
                 self.inner
@@ -718,21 +764,6 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                         },
                     )
                     .expect("send page reply");
-            }
-            Msg::DiffFlush { writer, diffs } => {
-                self.ft.on_incoming(&mut self.inner, &env.payload);
-                let payload: usize = diffs.iter().map(|d| d.encoded_size()).sum();
-                let copy_cost = self.inner.ctx.cost.cpu.copy(payload);
-                let mut pages = Vec::with_capacity(diffs.len());
-                for d in diffs {
-                    self.inner.pages.apply_home_diff(d, *writer);
-                    pages.push(d.page);
-                }
-                self.ft.on_updates_applied(&mut self.inner, *writer, &pages);
-                self.inner
-                    .ctx
-                    .send_from(done + copy_cost, env.src, Msg::DiffAck { writer: *writer })
-                    .expect("send diff ack");
             }
             Msg::LockRequest { lock, vc } => {
                 let lock = *lock;
@@ -752,7 +783,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     st.held = true;
                     let grant_at = done.max(st.last_release + handler);
                     let notices = st.notices_for(vc);
-                    let lvc = st.vc.clone();
+                    let lvc = Arc::new(st.vc.clone());
                     self.inner
                         .ctx
                         .send_from(
@@ -775,7 +806,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     st.held = true;
                     let grant_at = done.max(next.arrive + handler);
                     let out_notices = st.notices_for(&next.vc);
-                    let lvc = st.vc.clone();
+                    let lvc = Arc::new(st.vc.clone());
                     self.inner
                         .ctx
                         .send_from(
@@ -805,7 +836,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     .as_ref()
                     .expect("barrier manager state")
                     .past_release(*epoch)
-                    .map(|(rvc, rn)| (rvc.clone(), rn.to_vec()));
+                    .map(|(rvc, rn)| (Arc::clone(rvc), Arc::clone(rn)));
                 if let Some((rvc, rnotices)) = past {
                     self.inner
                         .ctx

@@ -1,6 +1,6 @@
 //! Per-node page table: the DSM's view of every shared page.
 
-use pagemem::{PageDiff, PageFrame, PageId, PageState, Twin, VClock};
+use pagemem::{BufferPool, PageDiff, PageFrame, PageId, PageState, Twin, VClock};
 use simnet::NodeId;
 
 use crate::config::DsmConfig;
@@ -152,30 +152,51 @@ impl PageTable {
             .collect()
     }
 
-    /// Install a fetched copy of a non-home page.
-    pub fn install_copy(&mut self, page: PageId, data: &[u8], state: PageState) {
+    /// Install a fetched copy of a non-home page, drawing the frame
+    /// from `pool` (install/invalidate churn recycles one backing
+    /// store instead of allocating per miss).
+    pub fn install_copy(
+        &mut self,
+        page: PageId,
+        data: &[u8],
+        state: PageState,
+        pool: &mut BufferPool,
+    ) {
+        let frame = pool.frame_from_bytes(data);
         let e = &mut self.entries[page as usize];
         debug_assert_ne!(e.home, self.me, "installing a copy of a home page");
-        e.frame = Some(PageFrame::from_bytes(data));
+        e.frame = Some(frame);
         e.state = state;
         e.was_cached = true;
     }
 
-    /// Drop the local copy of a non-home page (write-invalidation).
-    pub fn invalidate(&mut self, page: PageId) {
+    /// Drop the local copy of a non-home page (write-invalidation),
+    /// recycling its frame and twin into `pool`.
+    pub fn invalidate(&mut self, page: PageId, pool: &mut BufferPool) {
         let e = &mut self.entries[page as usize];
         debug_assert_ne!(e.home, self.me, "invalidating a home page");
-        e.frame = None;
-        e.twin = None;
+        if let Some(frame) = e.frame.take() {
+            pool.recycle_frame(frame);
+        }
+        if let Some(twin) = e.twin.take() {
+            pool.recycle_frame(twin.into_frame());
+        }
         e.state = PageState::Invalid;
         e.dirty = false;
     }
 
     /// Apply a writer's diff to the home copy, bumping its version.
+    ///
+    /// The decoder already rejects structurally malformed diffs; the
+    /// checked apply additionally catches runs that extend past this
+    /// node's page size (undetectable without the page), so a corrupt
+    /// flush or log record fails with a diagnosis instead of a slice
+    /// panic deep in the copy loop.
     pub fn apply_home_diff(&mut self, diff: &PageDiff, writer: pagemem::IntervalId) {
         let e = &mut self.entries[diff.page as usize];
         debug_assert_eq!(e.home, self.me, "diff flushed to a non-home node");
-        diff.apply(e.frame.as_mut().expect("home frame missing"));
+        diff.apply_checked(e.frame.as_mut().expect("home frame missing"))
+            .expect("diff does not fit the home page");
         e.version
             .as_mut()
             .expect("home version missing")
@@ -307,11 +328,17 @@ mod tests {
     #[test]
     fn install_and_invalidate_remote_copy() {
         let mut t = PageTable::new(&cfg(), 0);
-        t.install_copy(2, &[7u8; 64], PageState::ReadOnly);
+        let mut pool = BufferPool::new(64);
+        t.install_copy(2, &[7u8; 64], PageState::ReadOnly, &mut pool);
         assert_eq!(t.frame(2).bytes()[0], 7);
-        t.invalidate(2);
+        t.invalidate(2, &mut pool);
         assert_eq!(t.entry(2).state, PageState::Invalid);
         assert!(t.entry(2).frame.is_none());
+        // The dropped frame went back to the pool and is reused whole.
+        assert_eq!(pool.idle_frames(), 1);
+        t.install_copy(3, &[9u8; 64], PageState::ReadOnly, &mut pool);
+        assert_eq!(pool.idle_frames(), 0);
+        assert_eq!(t.frame(3).bytes()[63], 9);
     }
 
     #[test]
@@ -332,7 +359,7 @@ mod tests {
     fn reset_to_base_restores_checkpoint_image() {
         let mut t = PageTable::new(&cfg(), 0);
         t.frame_mut(0).write_u64(0, 99);
-        t.install_copy(2, &[1u8; 64], PageState::ReadOnly);
+        t.install_copy(2, &[1u8; 64], PageState::ReadOnly, &mut BufferPool::new(64));
         t.reset_to_base();
         assert_eq!(t.frame(0).read_u64(0), 0, "home copy back to base");
         assert!(t.entry(2).frame.is_none(), "remote copies dropped");

@@ -5,6 +5,7 @@
 //! their asynchronous message handler.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use pagemem::VClock;
 use simnet::{NodeId, SimTime};
@@ -116,8 +117,9 @@ pub struct BarrierMgr {
     /// re-arrives at epochs the cluster already finished; the manager
     /// answers those from this history instead of gathering. (A map,
     /// not a dense vector: a recovering manager replays barriers
-    /// without re-recording them, leaving gaps.)
-    released: HashMap<u32, (VClock, Vec<WriteNotice>)>,
+    /// without re-recording them, leaving gaps.) `Arc`-shared so the
+    /// history and every broadcast release alias one snapshot.
+    released: HashMap<u32, (Arc<VClock>, Arc<[WriteNotice]>)>,
 }
 
 impl BarrierMgr {
@@ -136,14 +138,16 @@ impl BarrierMgr {
 
     /// Record a completed episode's release so stale re-arrivals can be
     /// answered later. Called by the manager right before `reset`.
-    pub fn record_released(&mut self, epoch: u32, vc: VClock, notices: Vec<WriteNotice>) {
+    pub fn record_released(&mut self, epoch: u32, vc: Arc<VClock>, notices: Arc<[WriteNotice]>) {
         self.released.insert(epoch, (vc, notices));
     }
 
     /// The stored release for `epoch`, if that episode already
-    /// completed (a stale re-arrival must be re-released, not gathered).
-    pub fn past_release(&self, epoch: u32) -> Option<(&VClock, &[WriteNotice])> {
-        self.released.get(&epoch).map(|(vc, n)| (vc, n.as_slice()))
+    /// completed (a stale re-arrival must be re-released, not
+    /// gathered). Cloning the returned `Arc`s into a re-sent
+    /// [`crate::Msg::BarrierRelease`] is free.
+    pub fn past_release(&self, epoch: u32) -> Option<(&Arc<VClock>, &Arc<[WriteNotice]>)> {
+        self.released.get(&epoch).map(|(vc, n)| (vc, n))
     }
 
     /// Record one node's arrival. Returns true when everyone is in.
@@ -260,10 +264,10 @@ mod tests {
         let mut vc = VClock::new(2);
         vc.observe(IntervalId { node: 1, seq: 0 });
         assert!(b.past_release(0).is_none());
-        b.record_released(0, vc.clone(), vec![notice(3, 1, 0)]);
+        b.record_released(0, Arc::new(vc.clone()), vec![notice(3, 1, 0)].into());
         let (rvc, rn) = b.past_release(0).expect("epoch 0 released");
         assert_eq!(rvc.get(1), 1);
-        assert_eq!(rn, &[notice(3, 1, 0)]);
+        assert_eq!(&rn[..], &[notice(3, 1, 0)]);
         assert!(b.past_release(1).is_none());
     }
 

@@ -3,6 +3,8 @@
 //! reported wire size must be exact (the traffic/log statistics depend
 //! on it).
 
+use std::sync::Arc;
+
 use hlrc::{Msg, WriteNotice, HEADER_BYTES};
 use minicheck::{check, Rng};
 use pagemem::{Decode, DiffRun, Encode, IntervalId, PageDiff, VClock};
@@ -37,18 +39,20 @@ fn arb_notices(rng: &mut Rng) -> Vec<WriteNotice> {
 
 fn arb_diff(rng: &mut Rng) -> PageDiff {
     let page = rng.u32_in(0, 1024);
-    let runs = (0..rng.usize_in(0, 8))
-        .filter_map(|_| {
-            let w = rng.u32_in(0, 64);
-            let len = rng.usize_in(4, 17);
-            let mut data = rng.bytes(len);
-            data.truncate(data.len() & !3); // word multiple
-            (!data.is_empty()).then_some(DiffRun {
-                offset: w * 4,
-                data,
-            })
-        })
-        .collect();
+    // The decoder enforces the structure `PageDiff::create` guarantees
+    // (word-aligned, non-empty word-multiple lengths, in order, no
+    // overlap; adjacency allowed), so generate runs by walking forward.
+    let mut runs = Vec::new();
+    let mut word = 0u32; // next free word index
+    for _ in 0..rng.usize_in(0, 8) {
+        word += rng.u32_in(0, 16); // gap before the run (0 = adjacent)
+        let words = rng.u32_in(1, 5);
+        runs.push(DiffRun {
+            offset: word * 4,
+            data: rng.bytes(words as usize * 4),
+        });
+        word += words;
+    }
     PageDiff { page, runs }
 }
 
@@ -61,7 +65,7 @@ fn arb_msg(rng: &mut Rng) -> Msg {
             let len = rng.usize_in(0, 256);
             Msg::PageReply {
                 page: rng.u32_in(0, 1024),
-                data: rng.bytes(len),
+                data: rng.bytes(len).into(),
                 version: arb_vclock(rng),
             }
         }
@@ -78,7 +82,7 @@ fn arb_msg(rng: &mut Rng) -> Msg {
         },
         5 => Msg::LockGrant {
             lock: rng.u32_in(0, 64),
-            vc: arb_vclock(rng),
+            vc: Arc::new(arb_vclock(rng)),
             notices: arb_notices(rng),
         },
         6 => Msg::LockRelease {
@@ -93,8 +97,8 @@ fn arb_msg(rng: &mut Rng) -> Msg {
         },
         8 => Msg::BarrierRelease {
             epoch: rng.u32_in(0, 1000),
-            vc: arb_vclock(rng),
-            notices: arb_notices(rng),
+            vc: Arc::new(arb_vclock(rng)),
+            notices: arb_notices(rng).into(),
         },
         9 => Msg::RecoveryPageRequest {
             page: rng.u32_in(0, 1024),
@@ -105,7 +109,7 @@ fn arb_msg(rng: &mut Rng) -> Msg {
             Msg::RecoveryPageReply {
                 page: rng.u32_in(0, 1024),
                 advanced: rng.bool(),
-                data: rng.bytes(len),
+                data: rng.bytes(len).into(),
                 version: arb_vclock(rng),
             }
         }

@@ -3,6 +3,8 @@
 //! byte length, and the `encoded_len`/`header_len` hooks the engine's
 //! debug assertion relies on must agree with the codec.
 
+use std::sync::Arc;
+
 use hlrc::homeless::HMsg;
 use hlrc::{Msg, WriteNotice, HEADER_BYTES};
 use pagemem::{Encode, IntervalId, PageDiff, PageFrame, Twin, VClock};
@@ -55,7 +57,7 @@ fn msg_page_request() {
 fn msg_page_reply() {
     check(&Msg::PageReply {
         page: 7,
-        data: vec![0xab; 256],
+        data: vec![0xab; 256].into(),
         version: vc(),
     });
 }
@@ -84,7 +86,7 @@ fn msg_lock_request() {
 fn msg_lock_grant() {
     check(&Msg::LockGrant {
         lock: 3,
-        vc: vc(),
+        vc: Arc::new(vc()),
         notices: notices(),
     });
 }
@@ -111,8 +113,8 @@ fn msg_barrier_arrive() {
 fn msg_barrier_release() {
     check(&Msg::BarrierRelease {
         epoch: 4,
-        vc: vc(),
-        notices: notices(),
+        vc: Arc::new(vc()),
+        notices: notices().into(),
     });
 }
 
@@ -129,7 +131,7 @@ fn msg_recovery_page_reply() {
     check(&Msg::RecoveryPageReply {
         page: 11,
         advanced: true,
-        data: vec![1; 256],
+        data: vec![1; 256].into(),
         version: vc(),
     });
 }
@@ -161,7 +163,7 @@ fn hmsg_copy_request() {
 fn hmsg_copy_reply() {
     check(&HMsg::CopyReply {
         page: 7,
-        data: vec![0xcd; 256],
+        data: vec![0xcd; 256].into(),
         applied: vc(),
     });
 }

@@ -25,6 +25,14 @@ pub enum CodecError {
         /// The unrecognized tag value.
         tag: u8,
     },
+    /// A value that framed correctly but violates a structural
+    /// invariant of its type (semantic validation, not framing).
+    Invalid {
+        /// The type being decoded or validated.
+        context: &'static str,
+        /// The violated invariant.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -35,6 +43,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadTag { context, tag } => {
                 write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            CodecError::Invalid { context, reason } => {
+                write!(f, "invalid {context}: {reason}")
             }
         }
     }
@@ -59,6 +70,21 @@ impl ByteWriter {
         ByteWriter {
             buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// Create a writer reusing a recycled buffer: contents are cleared,
+    /// the allocation is kept. The hot-path counterpart of
+    /// [`ByteWriter::new`].
+    pub fn from_recycled(mut buf: Vec<u8>) -> ByteWriter {
+        buf.clear();
+        ByteWriter { buf }
+    }
+
+    /// Reserve room for at least `additional` more bytes (pre-sizing
+    /// from a direct [`Encode::encoded_size`] turns an encode into a
+    /// single allocation).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Bytes written so far.
@@ -183,6 +209,16 @@ pub trait Encode {
     /// Convenience: encode into a fresh buffer.
     fn encode_to_vec(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into a buffer pre-sized from [`Encode::encoded_size`],
+    /// so the encode performs exactly one allocation. Only worthwhile
+    /// on types that override `encoded_size` with a direct computation
+    /// (with the measuring default this encodes twice).
+    fn encode_to_sized_vec(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.encoded_size());
         self.encode(&mut w);
         w.into_bytes()
     }

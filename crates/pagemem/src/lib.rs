@@ -13,21 +13,29 @@
 //! * [`VClock`]/[`IntervalId`] — lazy-release-consistency interval
 //!   timestamps;
 //! * [`codec`] — the binary wire/log codec that makes every reported
-//!   byte count real.
+//!   byte count real;
+//! * [`BufferPool`]/[`SharedBytes`] — hot-path memory plumbing:
+//!   per-node frame/buffer recycling and refcount-shared page payloads
+//!   (physical optimizations only; all reported byte counts stay
+//!   logical).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;
+mod bytes;
 pub mod codec;
 mod diff;
 mod page;
+mod pool;
 mod protect;
 mod vclock;
 
 pub use addr::{PageId, PageLayout};
+pub use bytes::SharedBytes;
 pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 pub use diff::{DiffRun, PageDiff, Twin, DIFF_WORD};
 pub use page::PageFrame;
+pub use pool::{BufferPool, PoolStats};
 pub use protect::{Access, Fault, PageState};
 pub use vclock::{IntervalId, VClock, VOrder};

@@ -27,6 +27,17 @@ impl PageFrame {
         }
     }
 
+    /// A frame taking ownership of an existing backing store (the
+    /// pooling path — see [`crate::BufferPool`]).
+    pub fn from_boxed(data: Box<[u8]>) -> PageFrame {
+        PageFrame { data }
+    }
+
+    /// Consume the frame, yielding its backing store for reuse.
+    pub fn into_boxed(self) -> Box<[u8]> {
+        self.data
+    }
+
     #[inline]
     /// Size of the frame in bytes.
     pub fn len(&self) -> usize {

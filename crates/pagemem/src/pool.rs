@@ -1,0 +1,199 @@
+//! Per-node buffer pooling for the data-movement hot path.
+//!
+//! Twins, fetched page copies, and diff run payloads are created and
+//! dropped once per written page per interval; recycling their backing
+//! stores makes steady-state intervals allocate approximately zero.
+//! The pool is plain data owned by one node — no globals, no locks —
+//! so determinism and per-node accounting are untouched. Pooling is a
+//! *physical* optimization only: every reported byte count (wire, log)
+//! is computed from logical sizes and never sees the pool.
+
+use crate::page::PageFrame;
+
+/// Most idle page frames retained per node. Sized generously above any
+/// single node's per-interval twin churn; beyond this, frames drop back
+/// to the allocator.
+const MAX_FRAMES: usize = 256;
+
+/// Most idle byte buffers (diff run payloads, encode scratch) retained.
+const MAX_BUFS: usize = 256;
+
+/// Allocation-recycling counters (diagnostic only; not part of any
+/// reported experiment metric).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Frame requests served from the free list.
+    pub frame_hits: u64,
+    /// Frame requests that had to allocate.
+    pub frame_misses: u64,
+    /// Byte-buffer requests served from the free list.
+    pub buf_hits: u64,
+    /// Byte-buffer requests that had to allocate.
+    pub buf_misses: u64,
+}
+
+/// A per-node free list of page-sized frames and small byte buffers.
+#[derive(Debug)]
+pub struct BufferPool {
+    page_size: usize,
+    frames: Vec<Box<[u8]>>,
+    bufs: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool recycling frames of exactly `page_size` bytes.
+    pub fn new(page_size: usize) -> BufferPool {
+        BufferPool {
+            page_size,
+            frames: Vec::new(),
+            bufs: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The frame size this pool recycles.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn take_backing(&mut self) -> Box<[u8]> {
+        match self.frames.pop() {
+            Some(b) => {
+                self.stats.frame_hits += 1;
+                b
+            }
+            None => {
+                self.stats.frame_misses += 1;
+                vec![0u8; self.page_size].into_boxed_slice()
+            }
+        }
+    }
+
+    /// A frame holding a copy of `src`, backed by a recycled buffer
+    /// when one is idle. Frames of a foreign size (never produced by
+    /// this node's page table) fall back to a plain clone.
+    pub fn frame_copy_of(&mut self, src: &PageFrame) -> PageFrame {
+        if src.len() != self.page_size {
+            return src.clone();
+        }
+        let mut b = self.take_backing();
+        b.copy_from_slice(src.bytes());
+        PageFrame::from_boxed(b)
+    }
+
+    /// A frame initialized from `bytes`, backed by a recycled buffer
+    /// when one is idle.
+    pub fn frame_from_bytes(&mut self, bytes: &[u8]) -> PageFrame {
+        if bytes.len() != self.page_size {
+            return PageFrame::from_bytes(bytes);
+        }
+        let mut b = self.take_backing();
+        b.copy_from_slice(bytes);
+        PageFrame::from_boxed(b)
+    }
+
+    /// Return a dead frame's backing store to the free list. Foreign
+    /// sizes and overflow beyond the retention cap just drop.
+    pub fn recycle_frame(&mut self, frame: PageFrame) {
+        if frame.len() == self.page_size && self.frames.len() < MAX_FRAMES {
+            self.frames.push(frame.into_boxed());
+        }
+    }
+
+    /// An empty byte buffer with at least `capacity` spare room,
+    /// recycled when possible.
+    pub fn take_buf(&mut self, capacity: usize) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(mut b) => {
+                self.stats.buf_hits += 1;
+                b.clear();
+                b.reserve(capacity);
+                b
+            }
+            None => {
+                self.stats.buf_misses += 1;
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a dead byte buffer to the free list. Tiny or oversized
+    /// allocations are dropped rather than hoarded.
+    pub fn recycle_buf(&mut self, buf: Vec<u8>) {
+        let useful =
+            buf.capacity() >= crate::diff::DIFF_WORD && buf.capacity() <= 2 * self.page_size;
+        if useful && self.bufs.len() < MAX_BUFS {
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Recycle every run payload of a consumed diff (typical at the
+    /// home node, right after [`crate::PageDiff::apply`]).
+    pub fn recycle_diff(&mut self, diff: crate::PageDiff) {
+        for run in diff.runs {
+            self.recycle_buf(run.data);
+        }
+    }
+
+    /// Idle frames currently on the free list.
+    pub fn idle_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Recycling counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_recycle_and_are_reused() {
+        let mut pool = BufferPool::new(64);
+        let src = PageFrame::from_bytes(&[7u8; 64]);
+        let a = pool.frame_copy_of(&src);
+        assert_eq!(a.bytes(), src.bytes());
+        assert_eq!(pool.stats().frame_misses, 1);
+        pool.recycle_frame(a);
+        assert_eq!(pool.idle_frames(), 1);
+        let b = pool.frame_from_bytes(&[9u8; 64]);
+        assert_eq!(b.bytes(), &[9u8; 64]);
+        assert_eq!(pool.stats().frame_hits, 1);
+        assert_eq!(pool.idle_frames(), 0);
+    }
+
+    #[test]
+    fn foreign_sizes_bypass_the_pool() {
+        let mut pool = BufferPool::new(64);
+        let odd = PageFrame::zeroed(32);
+        let copy = pool.frame_copy_of(&odd);
+        assert_eq!(copy.len(), 32);
+        pool.recycle_frame(copy);
+        assert_eq!(pool.idle_frames(), 0);
+        assert_eq!(pool.frame_from_bytes(&[1, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn bufs_recycle_with_capacity_kept() {
+        let mut pool = BufferPool::new(64);
+        let mut b = pool.take_buf(16);
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = b.capacity();
+        pool.recycle_buf(b);
+        let b2 = pool.take_buf(4);
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= cap.min(4));
+        assert_eq!(pool.stats().buf_hits, 1);
+    }
+
+    #[test]
+    fn oversized_bufs_are_dropped() {
+        let mut pool = BufferPool::new(8);
+        pool.recycle_buf(Vec::with_capacity(1024));
+        assert!(pool.take_buf(1).capacity() < 1024);
+    }
+}

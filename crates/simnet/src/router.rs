@@ -21,6 +21,14 @@ pub type NodeId = usize;
 /// Implementations should return the size the message would occupy in a
 /// real implementation's UDP payload (headers included), because those
 /// are the byte counts the paper's log-size and traffic numbers reflect.
+///
+/// `wire_size` is called on every send *and* receive (and again for
+/// every duplicated or retransmitted envelope), so implementations must
+/// be O(1) arithmetic over the message's logical contents — sum field
+/// sizes directly, never encode to a scratch buffer to measure it.
+/// Logical size is deliberately decoupled from physical allocation:
+/// refcounted payloads shared across cloned envelopes still count their
+/// full byte length here.
 pub trait WireSized {
     /// Encoded payload size in bytes.
     fn wire_size(&self) -> usize;
@@ -41,6 +49,12 @@ pub trait WireSized {
 }
 
 /// A message in flight.
+///
+/// Envelopes are cloned by the fault layer (duplication, retransmit)
+/// and by broadcast fan-out, so payload types should make `Clone`
+/// cheap — page contents and broadcast notice sets in `hlrc` are
+/// refcounted (`SharedBytes`/`Arc`), making an envelope clone a
+/// constant-size copy regardless of payload size.
 #[derive(Debug, Clone)]
 pub struct Envelope<M> {
     /// Sender node.

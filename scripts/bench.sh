@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the hot-path wall-clock benchmark and refresh BENCH_hotpath.json
+# at the repo root.
+#
+# Usage:
+#   scripts/bench.sh          # full run (paper-scale apps, ~minutes)
+#   HOTPATH_SMOKE=1 scripts/bench.sh   # tiny smoke run (seconds)
+#
+# The emitted JSON carries both the live numbers and a static `pre_pr`
+# block (the seed's numbers on the same machine) so the speedup from
+# the zero-copy overhaul stays reviewable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export HOTPATH_JSON="${HOTPATH_JSON:-$PWD/BENCH_hotpath.json}"
+cargo bench -p ccl-bench --bench hotpath
+echo "bench written to $HOTPATH_JSON"

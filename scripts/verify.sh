@@ -14,6 +14,13 @@ cargo test -q --workspace
 echo "==> chaos smoke (2 seeded fault schedules per app/protocol)"
 CHAOS_SCHEDULES=2 cargo test -q --test chaos
 
+echo "==> bench smoke (hotpath, tiny sizes)"
+HOTPATH_SMOKE=1 HOTPATH_JSON="$PWD/target/BENCH_hotpath.smoke.json" \
+    cargo bench -p ccl-bench --bench hotpath >/dev/null
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']=='hotpath' and d['micro'] and d['apps'] and d['pre_pr']" \
+    "$PWD/target/BENCH_hotpath.smoke.json"
+echo "bench smoke: OK (target/BENCH_hotpath.smoke.json well-formed)"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

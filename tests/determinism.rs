@@ -1,0 +1,157 @@
+//! Golden determinism contract: fault-free runs are bit-reproducible.
+//!
+//! The simulator is deterministic by construction, which is what makes
+//! every reported number (Table 1/2, the figures) reviewable. These
+//! goldens pin the *observable* outputs of two tiny fault-free runs —
+//! application digest, virtual execution time, total log bytes, and the
+//! trace event *order* — so any change to the hot path (diff kernel,
+//! buffer pooling, shared payloads, codec sizing) that accidentally
+//! alters protocol behavior fails loudly instead of silently shifting
+//! the paper's tables.
+//!
+//! The values were captured before the zero-copy overhaul and must
+//! survive it unchanged: the optimizations are physical (allocation,
+//! copies), never logical (bytes on the wire, events in the trace).
+
+use ccl_apps::App;
+use ccl_core::{run_program, ClusterSpec, Protocol, RunOutput};
+
+/// FNV-1a over every node's trace event-kind debug representation, in
+/// node order. Virtual times are excluded on purpose: the fingerprint
+/// pins the *order* of protocol events, which together with `exec_ns`
+/// (which does depend on times) pins the full observable schedule.
+fn trace_fingerprint(out: &RunOutput<u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for n in &out.nodes {
+        for ev in &n.trace {
+            let tag = format!("{:?}", ev.kind);
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+struct Golden {
+    app: App,
+    protocol: Protocol,
+    digest: u64,
+    exec_ns: u64,
+    log_bytes: u64,
+    trace_fp: u64,
+}
+
+const PAGE: usize = 256;
+const NODES: usize = 4;
+
+fn goldens() -> Vec<Golden> {
+    use Protocol::*;
+    let g = |app, protocol, digest, exec_ns, log_bytes, trace_fp| Golden {
+        app,
+        protocol,
+        digest,
+        exec_ns,
+        log_bytes,
+        trace_fp,
+    };
+    vec![
+        g(
+            App::Fft3d,
+            None,
+            0x360c9ba06b0461e6,
+            32_247_432,
+            0,
+            0x55fd937cf68e588b,
+        ),
+        g(
+            App::Fft3d,
+            Ml,
+            0x360c9ba06b0461e6,
+            32_946_642,
+            93_228,
+            0x80937393dad0f35f,
+        ),
+        g(
+            App::Fft3d,
+            Ccl,
+            0x360c9ba06b0461e6,
+            32_388_930,
+            9_036,
+            0x36023317e53600e7,
+        ),
+        g(
+            App::Shallow,
+            None,
+            0xe13d122136fea4e6,
+            24_644_592,
+            0,
+            0xb1b4a32016026bd3,
+        ),
+        g(
+            App::Shallow,
+            Ml,
+            0xe13d122136fea4e6,
+            25_140_492,
+            66_120,
+            0x1fb4528841a8d73,
+        ),
+        g(
+            App::Shallow,
+            Ccl,
+            0xe13d122136fea4e6,
+            24_795_288,
+            14_256,
+            0xd790fc25771a1297,
+        ),
+    ]
+}
+
+#[test]
+fn fault_free_runs_match_goldens() {
+    for gold in goldens() {
+        let app = gold.app;
+        let spec = ClusterSpec::new(NODES, app.tiny_pages(PAGE) + 4)
+            .with_page_size(PAGE)
+            .with_protocol(gold.protocol);
+        let out = run_program(spec, move |dsm| app.run_tiny(dsm));
+        let label = format!("{:?}/{:?}", gold.app, gold.protocol);
+        assert_eq!(
+            out.nodes[0].result, gold.digest,
+            "{label}: application digest drifted"
+        );
+        assert_eq!(
+            out.exec_time().as_nanos(),
+            gold.exec_ns,
+            "{label}: virtual execution time drifted"
+        );
+        assert_eq!(
+            out.total_log_bytes(),
+            gold.log_bytes,
+            "{label}: total log bytes drifted (Table 2 would change)"
+        );
+        assert_eq!(
+            trace_fingerprint(&out),
+            gold.trace_fp,
+            "{label}: trace event order drifted"
+        );
+    }
+}
+
+/// Same spec twice → byte-identical observables (run-to-run
+/// determinism, independent of the golden capture).
+#[test]
+fn repeated_runs_are_identical() {
+    let run = || {
+        let spec = ClusterSpec::new(NODES, App::Fft3d.tiny_pages(PAGE) + 4)
+            .with_page_size(PAGE)
+            .with_protocol(Protocol::Ccl);
+        run_program(spec, |dsm| App::Fft3d.run_tiny(dsm))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.nodes[0].result, b.nodes[0].result);
+    assert_eq!(a.exec_time(), b.exec_time());
+    assert_eq!(a.total_log_bytes(), b.total_log_bytes());
+    assert_eq!(trace_fingerprint(&a), trace_fingerprint(&b));
+}
