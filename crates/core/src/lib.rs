@@ -39,6 +39,6 @@ pub use spec::{ClusterSpec, CrashPlan, FailureSpec, Protocol};
 
 // Re-export the substrate types reports and benches need.
 pub use simnet::{
-    CostModel, DiskCounters, DiskFaultPlan, FaultPlan, NodeStats, Partition, SimDuration, SimTime,
-    TraceKind,
+    recycle_trace_buffer, CostModel, DiskCounters, DiskFaultPlan, FaultPlan, Histogram,
+    NodeMetrics, NodeStats, Partition, SimDuration, SimTime, TraceEvent, TraceKind,
 };

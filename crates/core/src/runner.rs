@@ -6,7 +6,8 @@ use std::sync::OnceLock;
 
 use hlrc::{HlrcNode, Msg, NoLogging};
 use simnet::{
-    run_cluster, DiskCounters, NodeId, NodeStats, PhaseBreakdown, SimTime, TraceEvent, TraceKind,
+    run_cluster, DiskCounters, NodeId, NodeMetrics, NodeStats, PhaseBreakdown, SimTime, TraceEvent,
+    TraceKind,
 };
 
 use crate::dsm::{CrashToken, Dsm};
@@ -51,6 +52,11 @@ pub struct NodeOutput<R> {
     /// Structured telemetry stream, in nondecreasing virtual-time
     /// order.
     pub trace: Vec<TraceEvent>,
+    /// Events dropped after the bounded trace sink filled (0 on every
+    /// sized workload; nonzero means `trace` is a prefix).
+    pub trace_dropped: u64,
+    /// Hot-path distribution metrics (log-binned histograms).
+    pub metrics: NodeMetrics,
     /// When the injected crash happened here (if this node failed).
     pub crashed_at: Option<SimTime>,
     /// When log replay ended and the node resumed live operation.
@@ -81,6 +87,15 @@ impl<R> RunOutput<R> {
         let mut total = NodeStats::default();
         for n in &self.nodes {
             total.merge(&n.stats);
+        }
+        total
+    }
+
+    /// Cluster-wide merged histogram metrics.
+    pub fn total_metrics(&self) -> NodeMetrics {
+        let mut total = NodeMetrics::default();
+        for n in &self.nodes {
+            total.merge(&n.metrics);
         }
         total
     }
@@ -178,7 +193,25 @@ impl<R> RunOutput<R> {
                 n.trace.len()
             );
         }
-        s.push_str("]}");
+        s.push_str("],\"hist\":{");
+        let metrics = self.total_metrics();
+        for (i, (name, h)) in metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -281,6 +314,8 @@ where
             finish: inner.ctx.now(),
             phases: inner.ctx.stats.phases(),
             trace: inner.ctx.take_trace(),
+            trace_dropped: inner.ctx.trace_dropped(),
+            metrics: inner.ctx.metrics.clone(),
             crashed_at: inner.ctx.crashed_at,
             recovery_exit: inner.ctx.recovery_exit,
         }

@@ -204,6 +204,7 @@ impl CclLogger {
         }
         inner.ctx.stats.log_flushes += 1;
         inner.ctx.stats.log_bytes += bytes as u64;
+        inner.ctx.metrics.flush_bytes.record(bytes as u64);
         inner.ctx.trace(TraceKind::LogFlush {
             bytes: bytes as u64,
             overlapped: self.overlap,

@@ -288,6 +288,20 @@ impl WireSized for HMsg {
     fn header_len(&self) -> usize {
         crate::msg::HEADER_BYTES
     }
+
+    fn msg_label(&self) -> &'static str {
+        match self {
+            HMsg::CopyRequest { .. } => "CopyRequest",
+            HMsg::CopyReply { .. } => "CopyReply",
+            HMsg::DiffRequest { .. } => "DiffRequest",
+            HMsg::DiffReply { .. } => "DiffReply",
+            HMsg::LockRequest { .. } => "LockRequest",
+            HMsg::LockGrant { .. } => "LockGrant",
+            HMsg::LockRelease { .. } => "LockRelease",
+            HMsg::BarrierArrive { .. } => "BarrierArrive",
+            HMsg::BarrierRelease { .. } => "BarrierRelease",
+        }
+    }
 }
 
 struct HPage {
@@ -449,6 +463,7 @@ impl HomelessNode {
         self.ctx.stats.page_fetches += 1;
         let me = self.me();
         let owner = self.pages[page as usize].owner;
+        let asked_at = self.ctx.now();
         self.ctx.trace(TraceKind::PageFetch { page, from: owner });
         if self.pages[page as usize].frame.is_none() {
             let owner = self.pages[page as usize].owner;
@@ -507,6 +522,8 @@ impl HomelessNode {
             e.applied.observe(iv);
         }
         e.state = PageState::ReadOnly;
+        let waited = self.ctx.now() - asked_at;
+        self.ctx.metrics.fetch_latency_ns.record(waited.as_nanos());
     }
 
     /// Close the current interval: diff every dirty page against its
@@ -550,6 +567,10 @@ impl HomelessNode {
             self.ctx.charge_copy(2 * page_size);
             self.ctx.stats.diffs_created += 1;
             self.ctx.stats.diff_bytes += diff.encoded_size() as u64;
+            self.ctx
+                .metrics
+                .diff_bytes
+                .record(diff.encoded_size() as u64);
             self.archive_bytes += diff.encoded_size();
             self.archive.insert((p, iv.seq), diff);
         }
@@ -590,6 +611,7 @@ impl HomelessNode {
         self.end_interval();
         let mgr = self.cfg.lock_manager(lock);
         let vc = self.vc.clone();
+        let asked_at = self.ctx.now();
         self.ctx
             .send(mgr, HMsg::LockRequest { lock, vc })
             .expect("send lock request");
@@ -598,6 +620,8 @@ impl HomelessNode {
             self.apply_notices(&notices, &vc);
             self.lock_grant_vcs.insert(lock, vc);
         }
+        let waited = self.ctx.now() - asked_at;
+        self.ctx.metrics.lock_wait_ns.record(waited.as_nanos());
         self.ctx.stats.lock_acquires += 1;
         self.ctx.trace(TraceKind::LockAcquire { lock });
     }

@@ -442,6 +442,10 @@ impl WireSized for Msg {
     fn header_len(&self) -> usize {
         HEADER_BYTES
     }
+
+    fn msg_label(&self) -> &'static str {
+        self.kind()
+    }
 }
 
 #[cfg(test)]

@@ -289,6 +289,7 @@ impl HlrcNode {
     fn fetch_page(&mut self, page: PageId) {
         let home = self.inner.pages.entry(page).home;
         self.inner.ctx.stats.page_fetches += 1;
+        let asked_at = self.inner.ctx.now();
         self.inner
             .ctx
             .send(home, Msg::PageRequest { page })
@@ -296,6 +297,12 @@ impl HlrcNode {
         let env = self.wait_for(|m| matches!(m, Msg::PageReply { page: p, .. } if *p == page));
         let page_size = self.inner.pages.page_size();
         self.inner.ctx.charge_copy(page_size);
+        let waited = self.inner.ctx.now() - asked_at;
+        self.inner
+            .ctx
+            .metrics
+            .fetch_latency_ns
+            .record(waited.as_nanos());
         self.inner
             .ctx
             .trace(TraceKind::PageFetch { page, from: home });
@@ -330,6 +337,7 @@ impl HlrcNode {
         self.end_interval();
         let mgr = self.inner.cfg.lock_manager(lock);
         let vc = self.inner.vc.clone();
+        let asked_at = self.inner.ctx.now();
         self.inner
             .ctx
             .send(mgr, Msg::LockRequest { lock, vc })
@@ -340,6 +348,12 @@ impl HlrcNode {
             self.apply_sync_notices(SyncKind::Acquire(lock), &notices, &vc);
             self.inner.lock_grant_vcs.insert(lock, vc);
         }
+        let waited = self.inner.ctx.now() - asked_at;
+        self.inner
+            .ctx
+            .metrics
+            .lock_wait_ns
+            .record(waited.as_nanos());
         self.inner.ctx.stats.lock_acquires += 1;
         self.inner.ctx.trace(TraceKind::LockAcquire { lock });
     }
@@ -538,6 +552,11 @@ impl HlrcNode {
             self.inner.ctx.charge_copy(2 * page_size);
             self.inner.ctx.stats.diffs_created += 1;
             self.inner.ctx.stats.diff_bytes += diff.encoded_size() as u64;
+            self.inner
+                .ctx
+                .metrics
+                .diff_bytes
+                .record(diff.encoded_size() as u64);
             if diff.is_empty() {
                 continue; // silent write (same values): nothing to flush
             }
@@ -648,23 +667,44 @@ impl NodeInner {
         };
         let page = *page;
         debug_assert!(self.pages.is_home(page));
+        // Inspect the open-interval state *before* the fetch
+        // bookkeeping: a first fetch landing mid-interval promotes the
+        // live frame (open writes included) into the base and twins
+        // it, and neither of those images may be handed to a replaying
+        // peer as the state at `version`.
+        let (was_dirty, had_twin) = {
+            let e = self.pages.entry(page);
+            (e.dirty, e.twin.is_some())
+        };
         self.pages
             .note_remote_fetch(page, home_write_twins, stable_base);
         let e = self.pages.entry(page);
         let version = e.version.clone().expect("home version");
-        let (advanced, data, version) = if !mid_replay && version.dominated_by(required) {
-            (
-                false,
-                SharedBytes::copy_of(e.frame.as_ref().expect("home frame").bytes()),
-                version,
-            )
-        } else {
-            (
-                true,
-                SharedBytes::copy_of(e.base.as_ref().expect("home base").bytes()),
-                e.base_version.clone().expect("base version"),
-            )
-        };
+        // The live frame equals the state named by `version` only while
+        // no interval is open on the page: open-interval words are in
+        // the frame but in no version a replaying peer can require, and
+        // how many of them exist depends on real scheduling (the
+        // request is serviced at whichever blocking point this node
+        // happens to reach). Serving them would leak a survivor's
+        // in-progress writes into the peer's replay. A dirty page is
+        // served from its interval-open twin — exactly the state at
+        // `version` — and without one the stable-base path below makes
+        // the peer reconstruct from logged diffs instead.
+        let (advanced, data, version) =
+            if !mid_replay && version.dominated_by(required) && (!was_dirty || had_twin) {
+                let image = if was_dirty {
+                    e.twin.as_ref().expect("interval-open twin").frame()
+                } else {
+                    e.frame.as_ref().expect("home frame")
+                };
+                (false, SharedBytes::copy_of(image.bytes()), version)
+            } else {
+                (
+                    true,
+                    SharedBytes::copy_of(e.base.as_ref().expect("home base").bytes()),
+                    e.base_version.clone().expect("base version"),
+                )
+            };
         let copy_cost = self.ctx.cost.cpu.copy(data.len());
         self.ctx
             .send_from(
@@ -924,5 +964,93 @@ impl HlrcNode {
     /// Total encoded bytes of a message (diagnostics helper).
     pub fn msg_bytes(msg: &Msg) -> usize {
         msg.encoded_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::run_cluster;
+
+    /// A logger stub that wants home-write twins (like CCL) but logs
+    /// nothing; enough to exercise the recovery-page serving paths.
+    struct TwinningStub;
+
+    impl FaultTolerance for TwinningStub {
+        fn name(&self) -> &'static str {
+            "twinning-stub"
+        }
+        fn needs_home_write_twins(&self) -> bool {
+            true
+        }
+    }
+
+    /// A recovery fetch serviced while the home has an *open* interval
+    /// on the page must return the last committed state (the
+    /// interval-open twin), never the live frame: the open-interval
+    /// words are in no version the replaying peer can have required,
+    /// and their extent depends on real scheduling. Pre-fix, the home
+    /// served the live frame whenever its version was dominated by
+    /// `required`, leaking the in-progress write below (0xA2) into the
+    /// peer's replay.
+    #[test]
+    fn recovery_fetch_of_a_dirty_home_page_serves_the_committed_state() {
+        let cfg = DsmConfig::new(2, 4).with_page_size(256);
+        let out = run_cluster(2, cfg.cost, move |ctx| {
+            let me = ctx.id();
+            let mut node = HlrcNode::new(ctx, cfg, Box::new(TwinningStub));
+            if me == 0 {
+                // Commit 0xA1 on the locally-homed page 0, then let
+                // node 1 install a copy (its fetch is serviced inside
+                // the barrier gather loops).
+                node.write_u64(8, 0xA1);
+                node.barrier();
+                node.barrier();
+                // Open a new interval on the page: the first write
+                // snapshots the committed state into the twin.
+                node.write_u64(8, 0xA2);
+                // Signal node 1 that the interval is open, then serve
+                // its recovery fetch while still mid-interval.
+                node.inner
+                    .ctx
+                    .send(
+                        1,
+                        Msg::DiffAck {
+                            writer: IntervalId { node: 0, seq: 0 },
+                        },
+                    )
+                    .expect("send go signal");
+                let env = node.wait_for(|m| matches!(m, Msg::RecoveryPageRequest { .. }));
+                let done = node.inner.ctx.service_time(&env);
+                node.inner
+                    .serve_recovery_page(&env, done, false, true, false);
+                node.barrier();
+                (false, 0)
+            } else {
+                node.barrier();
+                let committed = node.read_u64(8);
+                node.barrier();
+                let required = node.inner.vc.clone();
+                node.wait_for(|m| matches!(m, Msg::DiffAck { .. }));
+                node.inner
+                    .ctx
+                    .send(0, Msg::RecoveryPageRequest { page: 0, required })
+                    .expect("send recovery fetch");
+                let env = node.wait_for(|m| matches!(m, Msg::RecoveryPageReply { .. }));
+                let Msg::RecoveryPageReply { advanced, data, .. } = env.payload else {
+                    unreachable!()
+                };
+                let word = u64::from_le_bytes(data[8..16].try_into().unwrap());
+                node.barrier();
+                assert_eq!(committed, 0xA1);
+                (advanced, word)
+            }
+        });
+        let (advanced, word) = out[1];
+        assert!(!advanced, "the home never closed the open interval");
+        assert_eq!(
+            word, 0xA1,
+            "recovery fetch leaked the home's open-interval write"
+        );
     }
 }

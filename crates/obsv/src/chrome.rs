@@ -1,0 +1,276 @@
+//! Chrome-trace / Perfetto export of a run's telemetry.
+//!
+//! One cluster run becomes one JSON document in the Chrome Trace Event
+//! format (the `traceEvents` array flavor), loadable in the Perfetto UI
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`:
+//!
+//! * each node is a thread (`tid` = node id) of one process;
+//! * the node's whole run is a `"X"` slice whose args carry the phase
+//!   breakdown — compute, wait, disk, and the fault-hidden time
+//!   (disk work overlapped behind communication) attributed to the span;
+//! * the recovery window (crash → resumed live) is a nested slice;
+//! * every coherence event is an instant (`"i"`) named by its
+//!   [`TraceKind::label`];
+//! * every accepted message is a causal edge: the sender's `MsgSend`
+//!   emits a zero-width slice plus a flow-start (`"s"`), the receiver's
+//!   `MsgRecv` a zero-width slice plus a flow-finish (`"f"`), joined by
+//!   an id derived from the per-link sequence number stamped by the
+//!   reliable layer — so arrows in the UI resolve to the exact
+//!   envelope, not just to the node pair.
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! precision kept in the fraction.
+
+use std::fmt::Write as _;
+
+use ccl_core::{NodeOutput, RunOutput, TraceKind};
+
+/// Identity of one message envelope, shared by its send and receive
+/// halves: per-link sequence numbers make `(src, dst, seq)` unique.
+fn flow_id(src: usize, dst: usize, seq: u64) -> String {
+    format!("{src}>{dst}#{seq}")
+}
+
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(body);
+}
+
+fn node_events<R>(out: &mut String, first: &mut bool, n: &NodeOutput<R>) {
+    let tid = n.node;
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"node {tid}\"}}}}"
+        ),
+    );
+    // The whole run as one slice; its args attribute the node's time,
+    // including the fault-hidden portion (disk writes the CCL overlap
+    // hid behind communication waits).
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":0,\"dur\":{},\
+             \"name\":\"node {tid} run\",\"cat\":\"run\",\"args\":{{\
+             \"compute_ns\":{},\"wait_ns\":{},\"disk_ns\":{},\
+             \"hidden_ns\":{},\"trace_dropped\":{}}}}}",
+            us(n.finish.as_nanos()),
+            n.phases.compute.as_nanos(),
+            n.phases.wait.as_nanos(),
+            n.phases.disk.as_nanos(),
+            n.phases.hidden.as_nanos(),
+            n.trace_dropped,
+        ),
+    );
+    if let (Some(crash), Some(exit)) = (n.crashed_at, n.recovery_exit) {
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"name\":\"recovery\",\"cat\":\"recovery\",\"args\":{{}}}}",
+                us(crash.as_nanos()),
+                us(exit.saturating_since(crash).as_nanos()),
+            ),
+        );
+    }
+    for ev in &n.trace {
+        let ts = us(ev.at.as_nanos());
+        match ev.kind {
+            TraceKind::MsgSend {
+                to,
+                seq,
+                bytes,
+                msg,
+            } => {
+                let id = flow_id(tid, to, seq);
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":0,\
+                         \"name\":\"{}\",\"cat\":\"msg\",\"args\":{{\"to\":{to},\
+                         \"seq\":{seq},\"bytes\":{bytes}}}}}",
+                        esc(msg)
+                    ),
+                );
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"ph\":\"s\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"id\":\"{id}\",\"name\":\"{}\",\"cat\":\"msg\"}}",
+                        esc(msg)
+                    ),
+                );
+            }
+            TraceKind::MsgRecv { from, seq, msg } => {
+                let id = flow_id(from, tid, seq);
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":0,\
+                         \"name\":\"{}\",\"cat\":\"msg\",\"args\":{{\"from\":{from},\
+                         \"seq\":{seq}}}}}",
+                        esc(msg)
+                    ),
+                );
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"id\":\"{id}\",\"name\":\"{}\",\"cat\":\"msg\"}}",
+                        esc(msg)
+                    ),
+                );
+            }
+            kind => {
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"name\":\"{}\",\"cat\":\"coherence\",\
+                         \"args\":{{\"detail\":\"{}\"}}}}",
+                        esc(kind.label()),
+                        esc(&format!("{kind:?}")),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Render `out` as a Chrome Trace Event JSON document titled `label`.
+pub fn chrome_trace<R>(run: &RunOutput<R>, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"label\":\"{}\",\
+         \"process_name\":\"ccl-dsm cluster\"}},\"traceEvents\":[",
+        esc(label)
+    );
+    let mut first = true;
+    for n in &run.nodes {
+        node_events(&mut out, &mut first, n);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use ccl_core::{run_program, ClusterSpec, Protocol};
+
+    fn tiny_run() -> RunOutput<u64> {
+        let spec = ClusterSpec::new(3, 12)
+            .with_page_size(256)
+            .with_protocol(Protocol::Ccl);
+        run_program(spec, |dsm| {
+            let arr = dsm.alloc::<u64>(8);
+            for round in 0..3 {
+                if dsm.me() == round % dsm.nodes() {
+                    let v = dsm.read(&arr, 0);
+                    dsm.write(&arr, 0, v + 1);
+                }
+                dsm.barrier();
+            }
+            dsm.read(&arr, 0)
+        })
+    }
+
+    #[test]
+    fn export_is_valid_json_with_matched_flows() {
+        let run = tiny_run();
+        let text = chrome_trace(&run, "tiny/ccl");
+        let doc = json::parse(&text).expect("chrome trace parses as JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+
+        let mut starts = Vec::new();
+        let mut finishes = Vec::new();
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            match ph {
+                "s" => starts.push(ev.get("id").unwrap().as_str().unwrap().to_string()),
+                "f" => finishes.push(ev.get("id").unwrap().as_str().unwrap().to_string()),
+                _ => {}
+            }
+        }
+        assert!(!finishes.is_empty(), "a CCL run must have message flows");
+        // Every finish resolves to exactly one start: the flow id names
+        // one concrete envelope.
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        let dup_free = {
+            let mut d = sorted.clone();
+            d.dedup();
+            d.len() == sorted.len()
+        };
+        assert!(dup_free, "flow ids must be unique per envelope");
+        for f in &finishes {
+            assert!(
+                sorted.binary_search(f).is_ok(),
+                "flow finish {f} has no matching send"
+            );
+        }
+        // Each finish's id encodes its own thread as destination.
+        for ev in events {
+            if ev.get("ph").unwrap().as_str() == Some("f") {
+                let id = ev.get("id").unwrap().as_str().unwrap();
+                let tid = ev.get("tid").unwrap().as_f64().unwrap() as usize;
+                let dst: usize = id[id.find('>').unwrap() + 1..id.find('#').unwrap()]
+                    .parse()
+                    .unwrap();
+                assert_eq!(dst, tid, "flow {id} landed on the wrong thread");
+            }
+        }
+    }
+
+    #[test]
+    fn every_accepted_envelope_appears_as_a_flow_finish() {
+        let run = tiny_run();
+        let total_recv: u64 = run.nodes.iter().map(|n| n.stats.msgs_recv).sum();
+        let text = chrome_trace(&run, "tiny/ccl");
+        let finishes = text.matches("\"ph\":\"f\"").count() as u64;
+        assert_eq!(finishes, total_recv);
+    }
+
+    #[test]
+    fn run_slices_carry_phase_args() {
+        let run = tiny_run();
+        let text = chrome_trace(&run, "tiny/ccl");
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let run_slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("run"))
+            .collect();
+        assert_eq!(run_slices.len(), run.nodes.len());
+        for (slice, node) in run_slices.iter().zip(&run.nodes) {
+            let args = slice.get("args").unwrap();
+            assert_eq!(
+                args.get("hidden_ns").unwrap().as_f64().unwrap() as u64,
+                node.phases.hidden.as_nanos()
+            );
+        }
+    }
+}

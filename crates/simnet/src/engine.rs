@@ -142,6 +142,31 @@ pub enum TraceKind {
     /// Recovery ran without a usable log (device failed before the
     /// crash): only the persisted log prefix was replayed.
     RecoveryDegraded,
+    /// A protocol message left this node. Together with the matching
+    /// [`MsgRecv`](TraceKind::MsgRecv) at the destination (same link,
+    /// same per-link sequence number) this forms one causal edge of the
+    /// run's message graph — the basis for exported trace flows.
+    MsgSend {
+        /// Destination node.
+        to: NodeId,
+        /// Per-link sequence number stamped by the reliable layer.
+        seq: u64,
+        /// Encoded wire bytes of the payload.
+        bytes: u32,
+        /// Stable payload-kind label (see [`WireSized::msg_label`]).
+        msg: &'static str,
+    },
+    /// A protocol message was accepted at this node (duplicates are
+    /// suppressed before this event fires). Pairs with the `MsgSend` of
+    /// the same `(sender, receiver, seq)` triple.
+    MsgRecv {
+        /// Originating node.
+        from: NodeId,
+        /// Per-link sequence number from the sender's reliable layer.
+        seq: u64,
+        /// Stable payload-kind label (see [`WireSized::msg_label`]).
+        msg: &'static str,
+    },
 }
 
 impl TraceKind {
@@ -170,7 +195,114 @@ impl TraceKind {
             TraceKind::DupSuppressed { .. } => "dup_suppressed",
             TraceKind::LogDeviceFailed => "log_device_failed",
             TraceKind::RecoveryDegraded => "recovery_degraded",
+            TraceKind::MsgSend { .. } => "msg_send",
+            TraceKind::MsgRecv { .. } => "msg_recv",
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sample of every `TraceKind` variant. `ordinal` below is a
+    /// wildcard-free match, so adding a variant without extending this
+    /// list fails to compile rather than silently escaping the label
+    /// checks (the report keys on these strings).
+    fn every_kind() -> Vec<TraceKind> {
+        vec![
+            TraceKind::ReadFault { page: 1 },
+            TraceKind::WriteFault { page: 1 },
+            TraceKind::PageFetch { page: 1, from: 0 },
+            TraceKind::DiffFlush { to: 0, bytes: 8 },
+            TraceKind::NoticesApplied { count: 1 },
+            TraceKind::LogAppend { bytes: 8 },
+            TraceKind::LogFlush {
+                bytes: 8,
+                overlapped: false,
+            },
+            TraceKind::Checkpoint { bytes: 8 },
+            TraceKind::LockAcquire { lock: 1 },
+            TraceKind::LockRelease { lock: 1 },
+            TraceKind::BarrierEnter { epoch: 1 },
+            TraceKind::BarrierExit { epoch: 1 },
+            TraceKind::Crash,
+            TraceKind::RecoveryBegin,
+            TraceKind::RecoveryReplay { notices: 1 },
+            TraceKind::RecoveryEnd,
+            TraceKind::Timeout { to: 0 },
+            TraceKind::Retransmit { to: 0, attempts: 1 },
+            TraceKind::DupSuppressed { from: 0 },
+            TraceKind::LogDeviceFailed,
+            TraceKind::RecoveryDegraded,
+            TraceKind::MsgSend {
+                to: 0,
+                seq: 1,
+                bytes: 8,
+                msg: "m",
+            },
+            TraceKind::MsgRecv {
+                from: 0,
+                seq: 1,
+                msg: "m",
+            },
+        ]
+    }
+
+    fn ordinal(k: &TraceKind) -> usize {
+        match k {
+            TraceKind::ReadFault { .. } => 0,
+            TraceKind::WriteFault { .. } => 1,
+            TraceKind::PageFetch { .. } => 2,
+            TraceKind::DiffFlush { .. } => 3,
+            TraceKind::NoticesApplied { .. } => 4,
+            TraceKind::LogAppend { .. } => 5,
+            TraceKind::LogFlush { .. } => 6,
+            TraceKind::Checkpoint { .. } => 7,
+            TraceKind::LockAcquire { .. } => 8,
+            TraceKind::LockRelease { .. } => 9,
+            TraceKind::BarrierEnter { .. } => 10,
+            TraceKind::BarrierExit { .. } => 11,
+            TraceKind::Crash => 12,
+            TraceKind::RecoveryBegin => 13,
+            TraceKind::RecoveryReplay { .. } => 14,
+            TraceKind::RecoveryEnd => 15,
+            TraceKind::Timeout { .. } => 16,
+            TraceKind::Retransmit { .. } => 17,
+            TraceKind::DupSuppressed { .. } => 18,
+            TraceKind::LogDeviceFailed => 19,
+            TraceKind::RecoveryDegraded => 20,
+            TraceKind::MsgSend { .. } => 21,
+            TraceKind::MsgRecv { .. } => 22,
+        }
+    }
+
+    #[test]
+    fn every_variant_has_a_unique_snake_case_label() {
+        let kinds = every_kind();
+        // The sample list covers each variant exactly once.
+        let mut seen = vec![false; kinds.len()];
+        for k in &kinds {
+            let i = ordinal(k);
+            assert!(!seen[i], "variant {i} sampled twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some variant never sampled");
+        // Labels are non-empty, snake_case, and pairwise distinct.
+        let mut labels: Vec<&'static str> = kinds.iter().map(|k| k.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+            assert!(
+                l.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "label {l:?} is not snake_case"
+            );
+            assert!(!l.starts_with('_') && !l.ends_with('_'), "label {l:?}");
+        }
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate trace-kind labels");
     }
 }
 
@@ -198,12 +330,42 @@ impl PhaseBreakdown {
     ///
     /// Overlapped disk time is carved out of the wait that hid it, so
     /// the four components still sum to the node's finish time.
+    ///
+    /// `stats` is fully destructured (no `..` rest pattern): adding a
+    /// `NodeStats` field without deciding whether it belongs in the
+    /// phase partition is a compile error here, which is what keeps the
+    /// `compute + wait + disk + hidden == finish` invariant honest.
     pub fn from_stats(stats: &NodeStats) -> PhaseBreakdown {
-        let hidden = stats.disk_time_overlapped.min(stats.wait_time);
+        let NodeStats {
+            compute_time,
+            wait_time,
+            disk_time,
+            disk_time_overlapped,
+            // Event counters: no time dimension, nothing to partition.
+            msgs_sent: _,
+            msgs_recv: _,
+            bytes_sent: _,
+            bytes_recv: _,
+            read_faults: _,
+            write_faults: _,
+            page_fetches: _,
+            diffs_created: _,
+            diff_bytes: _,
+            twins_created: _,
+            log_flushes: _,
+            log_bytes: _,
+            lock_acquires: _,
+            barriers: _,
+            timeouts: _,
+            retransmits: _,
+            dups_suppressed: _,
+            sends_to_stopped: _,
+        } = *stats;
+        let hidden = disk_time_overlapped.min(wait_time);
         PhaseBreakdown {
-            compute: stats.compute_time,
-            wait: stats.wait_time.saturating_sub(hidden),
-            disk: stats.disk_time,
+            compute: compute_time,
+            wait: wait_time.saturating_sub(hidden),
+            disk: disk_time,
             hidden,
         }
     }

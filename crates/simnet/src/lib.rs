@@ -29,18 +29,22 @@ mod disk;
 mod engine;
 mod error;
 mod fault;
+mod metrics;
 mod models;
 mod node;
 mod router;
 mod stats;
 mod time;
+mod trace;
 
 pub use disk::{DiskCounters, SimDisk};
 pub use engine::{CoherenceProtocol, PhaseBreakdown, TraceEvent, TraceKind};
 pub use error::{SimError, SimResult};
 pub use fault::{DiskFaultPlan, FaultPlan, Partition, SendFate, MAX_RETRANSMITS};
+pub use metrics::{Histogram, NodeMetrics, HIST_BINS};
 pub use models::{CostModel, CpuModel, DiskModel, NetworkModel};
 pub use node::{run_cluster, NodeCtx};
 pub use router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
 pub use stats::NodeStats;
 pub use time::{SimDuration, SimTime};
+pub use trace::{recycle_trace_buffer, TraceSink, DEFAULT_TRACE_CAPACITY};

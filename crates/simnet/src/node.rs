@@ -11,10 +11,12 @@ use crate::disk::SimDisk;
 use crate::engine::{TraceEvent, TraceKind};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultPlan, FaultState};
+use crate::metrics::NodeMetrics;
 use crate::models::CostModel;
 use crate::router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
 use crate::stats::NodeStats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceSink;
 
 /// The local machine of one DSM process.
 pub struct NodeCtx<M> {
@@ -28,10 +30,12 @@ pub struct NodeCtx<M> {
     pub disk: SimDisk,
     /// Execution counters.
     pub stats: NodeStats,
+    /// Hot-path distribution metrics (log-binned histograms).
+    pub metrics: NodeMetrics,
     /// Messages deferred while replaying from the log after a crash.
     deferred: Vec<Envelope<M>>,
     /// Structured telemetry stream, in emission (= virtual time) order.
-    trace: Vec<TraceEvent>,
+    trace: TraceSink,
     /// Virtual time of the simulated crash, if one was injected.
     pub crashed_at: Option<SimTime>,
     /// Virtual time at which log replay finished and the node resumed
@@ -54,8 +58,9 @@ impl<M: WireSized> NodeCtx<M> {
             faults: FaultState::new(ep.id(), ep.n_nodes(), FaultPlan::none()),
             ep,
             stats: NodeStats::default(),
+            metrics: NodeMetrics::default(),
             deferred: Vec::new(),
-            trace: Vec::new(),
+            trace: TraceSink::default(),
             crashed_at: None,
             recovery_exit: None,
         }
@@ -144,8 +149,7 @@ impl<M: WireSized> NodeCtx<M> {
                 self.trace(TraceKind::DupSuppressed { from: env.src });
                 continue;
             }
-            self.stats.msgs_recv += 1;
-            self.stats.bytes_recv += env.payload.wire_size() as u64;
+            self.accept(&env);
             return Ok(env);
         }
     }
@@ -160,10 +164,22 @@ impl<M: WireSized> NodeCtx<M> {
                 self.trace(TraceKind::DupSuppressed { from: env.src });
                 continue;
             }
-            self.stats.msgs_recv += 1;
-            self.stats.bytes_recv += env.payload.wire_size() as u64;
+            self.accept(&env);
             return Some(env);
         }
+    }
+
+    /// Account an accepted (non-duplicate) delivery: traffic counters
+    /// plus the `MsgRecv` half of the envelope's causal edge, keyed by
+    /// the same `(src, dst, seq)` triple the sender stamped.
+    fn accept(&mut self, env: &Envelope<M>) {
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.payload.wire_size() as u64;
+        self.trace(TraceKind::MsgRecv {
+            from: env.src,
+            seq: env.seq,
+            msg: env.payload.msg_label(),
+        });
     }
 
     /// Absorb a synchronously awaited message: the node was blocked, so
@@ -225,13 +241,26 @@ impl<M: WireSized> NodeCtx<M> {
 
     /// The telemetry emitted so far.
     pub fn trace_events(&self) -> &[TraceEvent] {
-        &self.trace
+        self.trace.events()
     }
 
     /// Take ownership of the telemetry stream (used when assembling the
     /// run output).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.trace)
+        self.trace.take()
+    }
+
+    /// Events discarded after the trace sink reached its capacity
+    /// (0 on every sized workload in the repo; nonzero means the export
+    /// is a prefix and the run output says so).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Bound the telemetry stream to at most `capacity` events
+    /// (defaults to [`crate::DEFAULT_TRACE_CAPACITY`]).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
     }
 
     /// Record a crash at the current virtual time. The telemetry
@@ -289,6 +318,9 @@ impl<M: WireSized + Clone> NodeCtx<M> {
         if fate.attempts > 0 {
             self.stats.timeouts += fate.attempts as u64;
             self.stats.retransmits += fate.attempts as u64;
+            self.metrics
+                .retransmit_backoff_ns
+                .record(fate.delay.as_nanos());
             self.trace(TraceKind::Timeout { to: dst });
             self.trace(TraceKind::Retransmit {
                 to: dst,
@@ -297,6 +329,12 @@ impl<M: WireSized + Clone> NodeCtx<M> {
         }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += size as u64;
+        self.trace(TraceKind::MsgSend {
+            to: dst,
+            seq,
+            bytes: size as u32,
+            msg: payload.msg_label(),
+        });
         let duplicate = fate.duplicate.then(|| Envelope {
             src: self.id,
             dst,

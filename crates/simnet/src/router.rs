@@ -46,6 +46,14 @@ pub trait WireSized {
     fn header_len(&self) -> usize {
         0
     }
+
+    /// Stable label naming this payload's message kind, recorded on the
+    /// `MsgSend`/`MsgRecv` telemetry pair so exported traces can name
+    /// each causal edge. Protocol payloads override this with their
+    /// per-variant kind; abstract test payloads keep the default.
+    fn msg_label(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// A message in flight.

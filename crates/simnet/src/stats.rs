@@ -57,29 +57,58 @@ pub struct NodeStats {
 
 impl NodeStats {
     /// Merge another node's counters into this one (cluster totals).
+    ///
+    /// `other` is fully destructured (no `..` rest pattern), so adding
+    /// a counter to `NodeStats` without deciding how it merges is a
+    /// compile error here rather than a silently-dropped column in
+    /// every cluster total.
     pub fn merge(&mut self, other: &NodeStats) {
-        self.msgs_sent += other.msgs_sent;
-        self.msgs_recv += other.msgs_recv;
-        self.bytes_sent += other.bytes_sent;
-        self.bytes_recv += other.bytes_recv;
-        self.read_faults += other.read_faults;
-        self.write_faults += other.write_faults;
-        self.page_fetches += other.page_fetches;
-        self.diffs_created += other.diffs_created;
-        self.diff_bytes += other.diff_bytes;
-        self.twins_created += other.twins_created;
-        self.log_flushes += other.log_flushes;
-        self.log_bytes += other.log_bytes;
-        self.lock_acquires += other.lock_acquires;
-        self.barriers += other.barriers;
-        self.timeouts += other.timeouts;
-        self.retransmits += other.retransmits;
-        self.dups_suppressed += other.dups_suppressed;
-        self.sends_to_stopped += other.sends_to_stopped;
-        self.compute_time += other.compute_time;
-        self.wait_time += other.wait_time;
-        self.disk_time += other.disk_time;
-        self.disk_time_overlapped += other.disk_time_overlapped;
+        let NodeStats {
+            msgs_sent,
+            msgs_recv,
+            bytes_sent,
+            bytes_recv,
+            read_faults,
+            write_faults,
+            page_fetches,
+            diffs_created,
+            diff_bytes,
+            twins_created,
+            log_flushes,
+            log_bytes,
+            lock_acquires,
+            barriers,
+            timeouts,
+            retransmits,
+            dups_suppressed,
+            sends_to_stopped,
+            compute_time,
+            wait_time,
+            disk_time,
+            disk_time_overlapped,
+        } = *other;
+        self.msgs_sent += msgs_sent;
+        self.msgs_recv += msgs_recv;
+        self.bytes_sent += bytes_sent;
+        self.bytes_recv += bytes_recv;
+        self.read_faults += read_faults;
+        self.write_faults += write_faults;
+        self.page_fetches += page_fetches;
+        self.diffs_created += diffs_created;
+        self.diff_bytes += diff_bytes;
+        self.twins_created += twins_created;
+        self.log_flushes += log_flushes;
+        self.log_bytes += log_bytes;
+        self.lock_acquires += lock_acquires;
+        self.barriers += barriers;
+        self.timeouts += timeouts;
+        self.retransmits += retransmits;
+        self.dups_suppressed += dups_suppressed;
+        self.sends_to_stopped += sends_to_stopped;
+        self.compute_time += compute_time;
+        self.wait_time += wait_time;
+        self.disk_time += disk_time;
+        self.disk_time_overlapped += disk_time_overlapped;
     }
 
     /// Total page faults (read + write).
@@ -106,6 +135,89 @@ impl NodeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A stats value with every field populated and no two fields
+    /// equal, seeded from `base` so two instances never collide.
+    fn fully_populated(base: u64) -> NodeStats {
+        NodeStats {
+            msgs_sent: base + 1,
+            msgs_recv: base + 2,
+            bytes_sent: base + 3,
+            bytes_recv: base + 4,
+            read_faults: base + 5,
+            write_faults: base + 6,
+            page_fetches: base + 7,
+            diffs_created: base + 8,
+            diff_bytes: base + 9,
+            twins_created: base + 10,
+            log_flushes: base + 11,
+            log_bytes: base + 12,
+            lock_acquires: base + 13,
+            barriers: base + 14,
+            timeouts: base + 15,
+            retransmits: base + 16,
+            dups_suppressed: base + 17,
+            sends_to_stopped: base + 18,
+            compute_time: SimDuration::from_nanos(base + 19),
+            wait_time: SimDuration::from_nanos(base + 20),
+            disk_time: SimDuration::from_nanos(base + 21),
+            disk_time_overlapped: SimDuration::from_nanos(base + 22),
+        }
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = fully_populated(100);
+        let b = fully_populated(1000);
+        a.merge(&b);
+        let expect = |off: u64| 100 + 1000 + 2 * off;
+        let NodeStats {
+            msgs_sent,
+            msgs_recv,
+            bytes_sent,
+            bytes_recv,
+            read_faults,
+            write_faults,
+            page_fetches,
+            diffs_created,
+            diff_bytes,
+            twins_created,
+            log_flushes,
+            log_bytes,
+            lock_acquires,
+            barriers,
+            timeouts,
+            retransmits,
+            dups_suppressed,
+            sends_to_stopped,
+            compute_time,
+            wait_time,
+            disk_time,
+            disk_time_overlapped,
+        } = a;
+        assert_eq!(msgs_sent, expect(1));
+        assert_eq!(msgs_recv, expect(2));
+        assert_eq!(bytes_sent, expect(3));
+        assert_eq!(bytes_recv, expect(4));
+        assert_eq!(read_faults, expect(5));
+        assert_eq!(write_faults, expect(6));
+        assert_eq!(page_fetches, expect(7));
+        assert_eq!(diffs_created, expect(8));
+        assert_eq!(diff_bytes, expect(9));
+        assert_eq!(twins_created, expect(10));
+        assert_eq!(log_flushes, expect(11));
+        assert_eq!(log_bytes, expect(12));
+        assert_eq!(lock_acquires, expect(13));
+        assert_eq!(barriers, expect(14));
+        assert_eq!(timeouts, expect(15));
+        assert_eq!(retransmits, expect(16));
+        assert_eq!(dups_suppressed, expect(17));
+        assert_eq!(sends_to_stopped, expect(18));
+        assert_eq!(compute_time.as_nanos(), expect(19));
+        assert_eq!(wait_time.as_nanos(), expect(20));
+        assert_eq!(disk_time.as_nanos(), expect(21));
+        assert_eq!(disk_time_overlapped.as_nanos(), expect(22));
+    }
 
     #[test]
     fn merge_adds_counters() {

@@ -15,3 +15,23 @@ cd "$(dirname "$0")/.."
 export HOTPATH_JSON="${HOTPATH_JSON:-$PWD/BENCH_hotpath.json}"
 cargo bench -p ccl-bench --bench hotpath
 echo "bench written to $HOTPATH_JSON"
+
+# Histogram summary: the phases bench emits one JSON object per run
+# (tiny sizes) whose `hist` block carries the cluster-merged log-binned
+# histograms; condense them into one table.
+echo
+echo "hot-path distribution summary (tiny runs; ns for latencies, bytes otherwise)"
+cargo bench -p ccl-bench --bench phases 2>/dev/null | python3 -c '
+import json, sys
+print("%-18s%-22s%7s%12s%12s%12s" % ("run", "metric", "count", "p50", "p99", "max"))
+for line in sys.stdin:
+    line = line.strip()
+    if not line.startswith("{"):
+        continue
+    d = json.loads(line)
+    for metric, h in d["hist"].items():
+        if h["count"] == 0:
+            continue
+        print("%-18s%-22s%7d%12d%12d%12d"
+              % (d["run"], metric, h["count"], h["p50"], h["p99"], h["max"]))
+'

@@ -21,6 +21,28 @@ python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']==
     "$PWD/target/BENCH_hotpath.smoke.json"
 echo "bench smoke: OK (target/BENCH_hotpath.smoke.json well-formed)"
 
+echo "==> report smoke (obsv pipeline: tiny matrix, schema check, drift gate)"
+./target/release/report --smoke --out "$PWD/target/report_smoke.json" >/dev/null
+python3 - "$PWD/target/report_smoke.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ccl-report/v1" and d["scale"] == "smoke", "bad header"
+apps = d["apps"]
+assert set(apps) == {"3D-FFT", "MG", "Shallow", "Water"}, sorted(apps)
+for name, a in apps.items():
+    runs = a["runs"]
+    assert set(runs) == {"none", "ml", "ccl"}, (name, sorted(runs))
+    assert len({r["digest"] for r in runs.values()}) == 1, f"{name}: protocols disagree"
+    assert runs["none"]["log_bytes"] == 0, name
+    assert 0 < runs["ccl"]["log_bytes"] < runs["ml"]["log_bytes"], f"{name}: CCL log not smaller"
+    for proto, r in runs.items():
+        assert r["trace_dropped"] == 0, (name, proto)
+        h = r["hist"]["fetch_latency_ns"]
+        assert h["min"] <= h["p50"] <= h["p99"] <= h["max"], (name, proto, h)
+    assert a["recovery"]["ml_ns"] > 0 and a["recovery"]["ccl_ns"] > 0, name
+print("report smoke: OK (schema valid, CCL < ML log everywhere, drift gate passed)")
+PYEOF
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

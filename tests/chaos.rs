@@ -52,7 +52,10 @@ fn random_faults(rng: &mut Rng) -> FaultPlan {
 }
 
 /// Run `app` under `spec` and assert every node returns the serial
-/// reference digest; failures name the fault seed for reproduction.
+/// reference digest **and** balances its phase accounting: every clock
+/// advance is charged to exactly one of compute/wait/disk/hidden, so
+/// the four must sum to the node's finish time under any fault
+/// schedule. Failures name the fault seed for reproduction.
 fn run_and_check(app: App, spec: ClusterSpec) -> RunOutput<u64> {
     let protocol = spec.protocol;
     let seed = spec.faults.seed;
@@ -66,6 +69,17 @@ fn run_and_check(app: App, spec: ClusterSpec) -> RunOutput<u64> {
             app.name(),
             protocol,
             n.node
+        );
+        assert_eq!(
+            n.phases.total().as_nanos(),
+            n.finish.as_nanos(),
+            "{} under {:?}: node {} phase accounting leaks \
+             (fault seed {seed:#018x}): {:?} vs finish {:?}",
+            app.name(),
+            protocol,
+            n.node,
+            n.phases,
+            n.finish
         );
     }
     out
@@ -143,6 +157,32 @@ fn fault_free_plan_leaves_runs_untouched() {
             0,
             "{protocol:?}: fault machinery fired without a fault plan"
         );
+    }
+}
+
+// ------------------------------------------------------------
+// Phase accounting across the whole matrix
+// ------------------------------------------------------------
+
+/// The observability invariant, exhaustively: for every application,
+/// every Table 2 protocol, and two fault schedules (clean, and a lossy
+/// network — plus a crash where a recovery protocol can replay), each
+/// node's compute + wait + disk + hidden time equals its finish time.
+/// `run_and_check` asserts the balance per node, so this test is the
+/// matrix driver; the randomized chaos properties above re-check it on
+/// every schedule they draw.
+#[test]
+fn phase_accounting_balances_across_the_matrix() {
+    for app in App::ALL {
+        for protocol in Protocol::TABLE2 {
+            run_and_check(app, tiny_spec(app, protocol));
+            let mut faulty =
+                tiny_spec(app, protocol).with_faults(FaultPlan::lossy(0xFA57_AC1D, 15, 10));
+            if protocol != Protocol::None {
+                faulty = faulty.with_crash(CrashPlan::new(1, 3));
+            }
+            run_and_check(app, faulty);
+        }
     }
 }
 
