@@ -279,33 +279,38 @@ fn micro_suite() -> Vec<Micro> {
     out
 }
 
-/// The seed's numbers for the same suite, captured on this machine at
-/// the pre-PR commit (341da22) via a worktree build running byte-for-
+/// The pre-PR numbers for the same suite, captured on this machine at
+/// the pre-PR commit (952ad7c) via a worktree build running byte-for-
 /// byte the same workloads, iteration counts, and best-of-N policy as
-/// this file. The kernel split-outs (`diff_create_reference`/`_pooled`)
-/// did not exist pre-PR; the seed `diff_create` (the then-naive kernel
-/// with per-run allocation) is the before-number for both. Pre-PR
-/// `envelope_fanout` deep-copies every payload, which is the point.
-/// Water's paper-scale `exec_time_ns`/`log_bytes` vary slightly run to
-/// run (pre-existing lock-arrival nondeterminism, digest stable).
+/// this file. All six micro kernels exist at that commit, so every row
+/// is a direct before/after pair. Water's `exec_time_ns`/`log_bytes`
+/// here differ from the post-PR goldens — and from earlier captures of
+/// themselves — because pre-PR lock arrival order followed physical
+/// thread scheduling; that nondeterminism is exactly what the
+/// conservative virtual-time scheduler (DESIGN.md §12) removes. The
+/// other three apps' virtual numbers match post-PR bit for bit:
+/// evidence the scheduler pins delivery *order* without changing
+/// virtual-time semantics.
 const PRE_PR_JSON: &str = "{\"micro\":{\
-    \"diff_create\":{\"mb_per_s\":2717.9,\"ns_per_op\":1507.0},\
-    \"diff_apply\":{\"mb_per_s\":26168.5,\"ns_per_op\":49.9},\
-    \"codec_roundtrip\":{\"mb_per_s\":2058.1,\"ns_per_op\":712.0},\
-    \"envelope_fanout\":{\"mb_per_s\":5521.9,\"ns_per_op\":662.6}},\
+    \"diff_create\":{\"mb_per_s\":4464.3,\"ns_per_op\":917.5},\
+    \"diff_create_reference\":{\"mb_per_s\":3044.7,\"ns_per_op\":1345.3},\
+    \"diff_create_pooled\":{\"mb_per_s\":7380.1,\"ns_per_op\":555.0},\
+    \"diff_apply\":{\"mb_per_s\":28810.4,\"ns_per_op\":45.3},\
+    \"codec_roundtrip\":{\"mb_per_s\":1995.8,\"ns_per_op\":734.2},\
+    \"envelope_fanout\":{\"mb_per_s\":103082.8,\"ns_per_op\":35.5}},\
     \"apps\":[\
-    {\"app\":\"3D-FFT\",\"protocol\":\"none\",\"wall_ms\":287.5,\"exec_time_ns\":1263526672,\"log_bytes\":0},\
-    {\"app\":\"3D-FFT\",\"protocol\":\"ml\",\"wall_ms\":335.3,\"exec_time_ns\":1563877292,\"log_bytes\":41586608},\
-    {\"app\":\"3D-FFT\",\"protocol\":\"ccl\",\"wall_ms\":318.0,\"exec_time_ns\":1296801220,\"log_bytes\":694320},\
-    {\"app\":\"MG\",\"protocol\":\"none\",\"wall_ms\":436.8,\"exec_time_ns\":416847992,\"log_bytes\":0},\
-    {\"app\":\"MG\",\"protocol\":\"ml\",\"wall_ms\":450.4,\"exec_time_ns\":469015462,\"log_bytes\":8222396},\
-    {\"app\":\"MG\",\"protocol\":\"ccl\",\"wall_ms\":463.3,\"exec_time_ns\":426190070,\"log_bytes\":604744},\
-    {\"app\":\"Shallow\",\"protocol\":\"none\",\"wall_ms\":944.9,\"exec_time_ns\":688383864,\"log_bytes\":0},\
-    {\"app\":\"Shallow\",\"protocol\":\"ml\",\"wall_ms\":955.6,\"exec_time_ns\":749263574,\"log_bytes\":10745640},\
-    {\"app\":\"Shallow\",\"protocol\":\"ccl\",\"wall_ms\":956.6,\"exec_time_ns\":698320638,\"log_bytes\":1755240},\
-    {\"app\":\"Water\",\"protocol\":\"none\",\"wall_ms\":19.6,\"exec_time_ns\":1632688928,\"log_bytes\":0},\
-    {\"app\":\"Water\",\"protocol\":\"ml\",\"wall_ms\":19.8,\"exec_time_ns\":1643347470,\"log_bytes\":1963188},\
-    {\"app\":\"Water\",\"protocol\":\"ccl\",\"wall_ms\":23.2,\"exec_time_ns\":1625996484,\"log_bytes\":399548}]}";
+    {\"app\":\"3D-FFT\",\"protocol\":\"none\",\"wall_ms\":268.4,\"exec_time_ns\":1263526672,\"log_bytes\":0},\
+    {\"app\":\"3D-FFT\",\"protocol\":\"ml\",\"wall_ms\":315.0,\"exec_time_ns\":1563877292,\"log_bytes\":41586608},\
+    {\"app\":\"3D-FFT\",\"protocol\":\"ccl\",\"wall_ms\":306.7,\"exec_time_ns\":1296801220,\"log_bytes\":694320},\
+    {\"app\":\"MG\",\"protocol\":\"none\",\"wall_ms\":458.6,\"exec_time_ns\":416847992,\"log_bytes\":0},\
+    {\"app\":\"MG\",\"protocol\":\"ml\",\"wall_ms\":460.9,\"exec_time_ns\":469015462,\"log_bytes\":8222396},\
+    {\"app\":\"MG\",\"protocol\":\"ccl\",\"wall_ms\":550.4,\"exec_time_ns\":426190070,\"log_bytes\":604744},\
+    {\"app\":\"Shallow\",\"protocol\":\"none\",\"wall_ms\":884.0,\"exec_time_ns\":688383864,\"log_bytes\":0},\
+    {\"app\":\"Shallow\",\"protocol\":\"ml\",\"wall_ms\":869.4,\"exec_time_ns\":749263574,\"log_bytes\":10745640},\
+    {\"app\":\"Shallow\",\"protocol\":\"ccl\",\"wall_ms\":1026.7,\"exec_time_ns\":698320638,\"log_bytes\":1755240},\
+    {\"app\":\"Water\",\"protocol\":\"none\",\"wall_ms\":22.5,\"exec_time_ns\":1629788532,\"log_bytes\":0},\
+    {\"app\":\"Water\",\"protocol\":\"ml\",\"wall_ms\":22.1,\"exec_time_ns\":1638640100,\"log_bytes\":1962924},\
+    {\"app\":\"Water\",\"protocol\":\"ccl\",\"wall_ms\":22.0,\"exec_time_ns\":1626104646,\"log_bytes\":399612}]}";
 
 /// Wall-clock one app x protocol run; returns (wall_ms, exec_ns, log_bytes).
 /// Best-of-3 in full mode (single run in smoke): the virtual outputs are

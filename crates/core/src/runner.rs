@@ -214,6 +214,35 @@ impl<R> RunOutput<R> {
         s.push_str("}}");
         s
     }
+
+    /// Physical-layer scheduler telemetry as a JSON string: per-node
+    /// watermark-stall counts from the conservative virtual-time
+    /// scheduler. Kept out of [`phases_json`](Self::phases_json) on
+    /// purpose — stall counts depend on real thread interleaving, so
+    /// two bit-identical runs may differ here. The bench harness prints
+    /// this separately so overhead is recorded without breaking the
+    /// byte-for-byte determinism contract on the main telemetry.
+    pub fn sched_json(&self, label: &str) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"run\":\"{label}\",\"sched_stalls_total\":{},\"nodes\":[",
+            self.total_stats().sched_stalls
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"node\":{},\"sched_stalls\":{}}}",
+                n.node, n.stats.sched_stalls
+            );
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 /// Install (once) a panic hook that keeps the default behaviour for

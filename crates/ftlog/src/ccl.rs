@@ -251,7 +251,11 @@ impl CclLogger {
         let replay = self.replay.as_ref().expect("fetch outside recovery");
         let mut found: HashMap<(PageId, IntervalId), PageDiff> = HashMap::new();
         let mut outstanding = 0usize;
-        for (page, ivs) in wants {
+        // Request in (page, writer) order: these iterations feed sends,
+        // so they must not inherit HashMap iteration order.
+        let mut pages: Vec<_> = wants.iter().collect();
+        pages.sort_unstable_by_key(|(page, _)| **page);
+        for (page, ivs) in pages {
             let mut per_writer: HashMap<u32, Vec<u32>> = HashMap::new();
             for iv in ivs {
                 if iv.node == me {
@@ -264,6 +268,8 @@ impl CclLogger {
                     per_writer.entry(iv.node).or_default().push(iv.seq);
                 }
             }
+            let mut per_writer: Vec<_> = per_writer.into_iter().collect();
+            per_writer.sort_unstable_by_key(|(writer, _)| *writer);
             for (writer, seqs) in per_writer {
                 inner
                     .ctx

@@ -419,7 +419,6 @@ impl HomelessNode {
     }
 
     fn ensure_access(&mut self, page: PageId, access: Access) {
-        self.pump();
         let state = self.pages[page as usize].state;
         match state.fault_for(access) {
             None => {}
@@ -499,6 +498,10 @@ impl HomelessNode {
             }
         }
         let n_requests = per_writer.len();
+        // Request in writer order: the iteration feeds sends, so it
+        // must not inherit HashMap iteration order.
+        let mut per_writer: Vec<_> = per_writer.into_iter().collect();
+        per_writer.sort_unstable_by_key(|(writer, _)| *writer);
         for (writer, seqs) in per_writer {
             self.ctx
                 .send(writer as usize, HMsg::DiffRequest { page, seqs })

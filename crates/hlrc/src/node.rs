@@ -157,7 +157,6 @@ impl HlrcNode {
     /// if the protection state requires it. This is the software stand-in
     /// for the mprotect/SIGSEGV trap (see DESIGN.md).
     pub fn ensure_access(&mut self, page: PageId, access: Access) {
-        self.pump();
         let me_home = self.inner.pages.is_home(page);
         if me_home {
             // Home copies never miss; the first write of an interval
@@ -569,6 +568,10 @@ impl HlrcNode {
         }
 
         let n_flushes = per_home.len();
+        // Flush in home order: the iteration feeds sends and trace
+        // events, so it must not inherit HashMap iteration order.
+        let mut per_home: Vec<_> = per_home.into_iter().collect();
+        per_home.sort_unstable_by_key(|(home, _)| *home);
         for (home, diffs) in per_home {
             let bytes: u64 = diffs.iter().map(|d| d.encoded_size() as u64).sum();
             self.inner

@@ -1,0 +1,155 @@
+//! detcheck — the run-to-run determinism gate.
+//!
+//! Runs every application under every Table 2 protocol **twice with
+//! identical specs** and requires the two runs to be bit-identical:
+//! byte-for-byte equal `phases_json`, equal full trace fingerprints
+//! (`MsgSend`/`MsgRecv` causal edges included), equal digests, virtual
+//! execution times, and total log bytes — no tolerance bands anywhere.
+//! The fault-free matrix is then repeated under fixed chaos schedules
+//! (lossy network, a partition window, and — for the logging
+//! protocols — a mid-run crash) to show that determinism survives the
+//! reliable layer and recovery, not just the happy path.
+//!
+//! Usage: `detcheck [--paper] [--chaos N]`
+//!
+//! * default scale is the 4-node smoke matrix (seconds); `--paper`
+//!   runs the paper's 8-node workloads (minutes),
+//! * `--chaos N` selects how many of the fixed chaos schedules to
+//!   replay (default 2).
+//!
+//! Exit status is non-zero on the first mismatch, with the offending
+//! field named. `scripts/verify.sh` runs the smoke matrix on every
+//! verification pass.
+
+use ccl_apps::App;
+use ccl_core::{CrashPlan, FaultPlan, Partition, Protocol, RunOutput, SimDuration, SimTime};
+use obsv::report::{trace_fingerprint, Scale};
+
+/// Fixed chaos schedules, in replay order. Each is fully determined by
+/// its constants, so two invocations build byte-identical fault plans.
+fn chaos_plan(index: usize, n_nodes: usize) -> FaultPlan {
+    match index % 4 {
+        0 => FaultPlan::lossy(0xDE7_0001, 25, 15),
+        1 => FaultPlan::lossy(0xDE7_0002, 40, 10).with_partition(Partition {
+            a: 0,
+            b: 2 % n_nodes,
+            from: SimTime(400_000),
+            until: SimTime(400_000) + SimDuration::from_micros(600),
+        }),
+        2 => FaultPlan::lossy(0xDE7_0003, 10, 40),
+        _ => FaultPlan::lossy(0xDE7_0004, 50, 25).with_partition(Partition {
+            a: 1,
+            b: 3 % n_nodes,
+            from: SimTime(1_200_000),
+            until: SimTime(1_200_000) + SimDuration::from_micros(300),
+        }),
+    }
+}
+
+/// Everything detcheck compares between two same-spec runs.
+struct Observables {
+    phases_json: String,
+    trace_fp: u64,
+    digest: u64,
+    exec_ns: u64,
+    log_bytes: u64,
+}
+
+fn observe(label: &str, out: &RunOutput<u64>) -> Observables {
+    Observables {
+        phases_json: out.phases_json(label),
+        trace_fp: trace_fingerprint(out),
+        digest: out.nodes[0].result,
+        exec_ns: out.exec_time().as_nanos(),
+        log_bytes: out.total_log_bytes(),
+    }
+}
+
+/// Run `make` twice and compare every observable exactly. Returns the
+/// number of mismatched fields (0 = deterministic).
+fn check_pair(label: &str, make: impl Fn() -> RunOutput<u64>) -> usize {
+    let a = observe(label, &make());
+    let b = observe(label, &make());
+    let mut bad = 0;
+    let mut field = |name: &str, equal: bool| {
+        if !equal {
+            eprintln!("FAIL {label}: {name} differs between same-seed runs");
+            bad += 1;
+        }
+    };
+    field("digest", a.digest == b.digest);
+    field("exec_ns", a.exec_ns == b.exec_ns);
+    field("log_bytes", a.log_bytes == b.log_bytes);
+    field("trace_fingerprint", a.trace_fp == b.trace_fp);
+    field("phases_json", a.phases_json == b.phases_json);
+    if bad == 0 {
+        println!(
+            "ok   {label}: exec_ns={} log_bytes={} fp={:#018x}",
+            a.exec_ns, a.log_bytes, a.trace_fp
+        );
+    }
+    bad
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut chaos = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--chaos" => {
+                chaos = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--chaos takes a count");
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: detcheck [--paper] [--chaos N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    println!("== fault-free matrix ({}) ==", scale.label());
+    for app in App::ALL {
+        for protocol in Protocol::TABLE2 {
+            let label = format!("{}/{}", app.name(), protocol.label());
+            failures += check_pair(&label, || scale.run(app, protocol));
+        }
+    }
+
+    println!(
+        "== chaos matrix ({}, {} schedule(s)) ==",
+        scale.label(),
+        chaos
+    );
+    for index in 0..chaos {
+        let plan = chaos_plan(index, scale.nodes());
+        for app in App::ALL {
+            for protocol in Protocol::TABLE2 {
+                let label = format!("{}/{}/chaos{}", app.name(), protocol.label(), index);
+                let plan = plan.clone();
+                failures += check_pair(&label, || {
+                    let mut spec = scale.spec(app, protocol).with_faults(plan.clone());
+                    // Logging protocols also replay a mid-run crash:
+                    // recovery must be just as reproducible.
+                    if protocol != Protocol::None {
+                        spec = spec.with_crash(CrashPlan::new(1, 3));
+                    }
+                    match scale {
+                        Scale::Paper => ccl_core::run_program(spec, move |dsm| app.run_paper(dsm)),
+                        Scale::Smoke => ccl_core::run_program(spec, move |dsm| app.run_tiny(dsm)),
+                    }
+                });
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("detcheck: {failures} observable(s) were not reproducible");
+        std::process::exit(1);
+    }
+    println!("detcheck: every run was bit-reproducible");
+}

@@ -10,14 +10,15 @@
 //! 2. Markdown tables for the paper's Table 2 / Figure 4 / Figure 5,
 //!    spliced into `EXPERIMENTS.md` between `<!-- report:* -->` markers,
 //! 3. a regression verdict ([`compare`]) against a committed baseline:
-//!    deterministic fields must match exactly; fields that legitimately
-//!    vary between real-time executions (crash-recovery timings, and
-//!    everything downstream of Water's lock-arrival order) carry
-//!    explicit tolerance annotations in the baseline itself, each with
-//!    a recorded reason.
+//!    every field must match exactly. The conservative virtual-time
+//!    scheduler (DESIGN.md §12) makes the whole matrix — Water's
+//!    lock-heavy schedule and crash-recovery timing included — a pure
+//!    function of the spec, so the tolerance annotations the baseline
+//!    used to carry are gone; the annotation machinery remains for any
+//!    future genuinely wall-clock measurement.
 
 use ccl_apps::App;
-use ccl_core::{run_program, ClusterSpec, CrashPlan, NodeMetrics, Protocol, RunOutput, TraceKind};
+use ccl_core::{run_program, ClusterSpec, CrashPlan, NodeMetrics, Protocol, RunOutput};
 
 use crate::json::Json;
 
@@ -56,17 +57,17 @@ impl Scale {
         }
     }
 
-    /// Crash-recovery trials (timings jitter with real-time scheduling,
-    /// so the paper scale reports a median of 3; smoke takes 1 and
-    /// relies on its wide tolerance band).
+    /// Crash-recovery trials. One at either scale: the conservative
+    /// virtual-time scheduler makes recovery timing a pure function of
+    /// the spec, so repeated trials return the same number (detcheck
+    /// verifies exactly that) and a median would be waste.
     pub fn trials(self) -> usize {
-        match self {
-            Scale::Paper => 3,
-            Scale::Smoke => 1,
-        }
+        1
     }
 
-    fn spec(self, app: App, protocol: Protocol) -> ClusterSpec {
+    /// The cluster spec for `app` under `protocol` at this scale
+    /// (shared with the `detcheck` determinism gate).
+    pub fn spec(self, app: App, protocol: Protocol) -> ClusterSpec {
         match self {
             Scale::Paper => ccl_bench::paper_spec(app, protocol),
             Scale::Smoke => ClusterSpec::new(4, app.tiny_pages(256) + 4)
@@ -102,21 +103,16 @@ impl Scale {
     }
 }
 
-/// FNV-1a over every node's trace event kinds, in node order, skipping
-/// the `MsgSend`/`MsgRecv` causal-edge events — those record *physical*
-/// inbox interleaving across concurrent senders, which real thread
-/// scheduling permutes without changing any virtual-time observable.
-/// (The same exclusion the determinism goldens use.)
+/// FNV-1a over every node's trace event kinds, in node order —
+/// including the `MsgSend`/`MsgRecv` causal edges. The conservative
+/// virtual-time scheduler delivers messages in `(arrival, src, seq)`
+/// order, so the full causal schedule is deterministic and the
+/// fingerprint pins it. (The same coverage the determinism goldens
+/// use.)
 pub fn trace_fingerprint(out: &RunOutput<u64>) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for n in &out.nodes {
         for ev in &n.trace {
-            if matches!(
-                ev.kind,
-                TraceKind::MsgSend { .. } | TraceKind::MsgRecv { .. }
-            ) {
-                continue;
-            }
             let tag = format!("{:?}", ev.kind);
             for b in tag.bytes() {
                 h ^= b as u64;
@@ -474,68 +470,22 @@ pub struct Tolerance {
     pub why: String,
 }
 
-fn tol(path: &str, band: Band, why: &str) -> Tolerance {
-    Tolerance {
-        path: path.to_string(),
-        band,
-        why: why.to_string(),
-    }
-}
-
-/// The tolerance set a freshly blessed baseline is annotated with.
+/// The tolerance set a freshly blessed baseline is annotated with:
+/// **empty** — every field compares exactly.
 ///
-/// Three sources of legitimate nondeterminism, all rooted in physical
-/// (wall-clock) scheduling that the virtual-time model deliberately
-/// does not serialize:
-///
-/// * **Crash-recovery timing** depends on how far the survivors ran
-///   ahead before blocking on the failed node, which varies between
-///   real-time executions (the benches report medians for the same
-///   reason).
-/// * **Water's lock-arrival order**: lock grants are served in request
-///   *arrival* order, and arrival order across concurrent requesters is
-///   physical. Every virtual-time observable downstream of Water's
-///   locks — execution time, wait-time histograms, even the diff/flush
-///   pattern — legitimately varies run to run (measured: up to ~20% on
-///   `exec_ns`, a few percent on traffic). (ROADMAP: "Water
-///   lock-arrival variance".) Water's *digest* still must match
-///   exactly: molecular updates commute, so the result is
-///   order-independent even though the schedule is not.
-/// * **MG's flush scheduling under ML/CCL**: MG is the one barrier app
-///   with concurrent writers flushing diffs to the same home, and the
-///   home serves them in physical arrival order. The log *content*
-///   (bytes, flush counts, histograms) is invariant, but the per-node
-///   event interleaving — and through ack timing the execution time,
-///   by parts in ten thousand — is not.
+/// The annotations this set used to carry (Water's ~20–30% `exec_ns`
+/// swing from physical lock-arrival order, MG's ±0.01% ack-timing
+/// nudge from physical flush arrival, and crash-recovery timing that
+/// depended on how far survivors ran ahead) all rooted in the router
+/// delivering messages in physical arrival order. The conservative
+/// virtual-time scheduler delivers in `(arrival, src, seq)` order
+/// (DESIGN.md §12), which makes lock grants, flush service, and
+/// recovery progress pure functions of virtual time — so the bands are
+/// gone, not widened. The `Band`/path machinery stays: a future
+/// genuinely physical measurement (e.g. wall-clock overhead) can
+/// re-annotate itself, with a recorded reason, without rebuilding it.
 pub fn default_tolerances() -> Vec<Tolerance> {
-    const RECOVERY_WHY: &str = "recovery timing depends on how far survivors ran ahead \
-         before blocking, which varies between real-time executions";
-    const WATER_WHY: &str = "Water lock grants follow physical request-arrival order, so \
-         all schedule-downstream observables vary run to run (digest excluded: \
-         molecular updates commute)";
-    const MG_WHY: &str = "MG's concurrent diff flushes reach the home in physical arrival \
-         order, permuting logging events and nudging ack timing by ~0.01%";
-    vec![
-        tol("apps.*.recovery.ml_ns", Band::Pct(60.0), RECOVERY_WHY),
-        tol("apps.*.recovery.ccl_ns", Band::Pct(60.0), RECOVERY_WHY),
-        tol("apps.Water.runs.*.exec_ns", Band::Pct(30.0), WATER_WHY),
-        tol("apps.Water.runs.*.log_bytes", Band::Pct(20.0), WATER_WHY),
-        tol("apps.Water.runs.*.log_flushes", Band::Pct(20.0), WATER_WHY),
-        tol("apps.Water.runs.*.msgs_sent", Band::Pct(20.0), WATER_WHY),
-        tol("apps.Water.runs.*.bytes_sent", Band::Pct(20.0), WATER_WHY),
-        tol("apps.Water.runs.*.trace_events", Band::Pct(20.0), WATER_WHY),
-        tol("apps.Water.runs.*.trace_fp", Band::Ignore, WATER_WHY),
-        tol("apps.Water.runs.*.hist.**", Band::Ignore, WATER_WHY),
-        tol("apps.Water.recovery.reexec_ns", Band::Pct(30.0), WATER_WHY),
-        tol(
-            "apps.Water.recovery.crash_after_barriers",
-            Band::Pct(10.0),
-            WATER_WHY,
-        ),
-        tol("apps.MG.runs.*.exec_ns", Band::Pct(1.0), MG_WHY),
-        tol("apps.MG.runs.*.trace_fp", Band::Ignore, MG_WHY),
-        tol("apps.MG.recovery.reexec_ns", Band::Pct(1.0), MG_WHY),
-    ]
+    Vec::new()
 }
 
 /// Serialize tolerances for embedding in a baseline document.
@@ -767,6 +717,14 @@ mod tests {
         }
     }
 
+    fn tol(path: &str, band: Band, why: &str) -> Tolerance {
+        Tolerance {
+            path: path.to_string(),
+            band,
+            why: why.to_string(),
+        }
+    }
+
     #[test]
     fn identical_reports_pass_the_gate() {
         let doc = report_json(&fake_report());
@@ -775,7 +733,10 @@ mod tests {
         let res = compare(&doc, &base, &rules);
         assert!(res.passed(), "{:?}", res.violations);
         assert!(res.compared > 50);
-        assert!(res.ignored > 0, "Water hist fields must be ignored");
+        assert_eq!(
+            res.ignored, 0,
+            "the default tolerance set is empty: every field compares"
+        );
     }
 
     #[test]
@@ -796,36 +757,71 @@ mod tests {
         );
     }
 
+    /// With the empty default set, even a one-count drift on a field
+    /// that used to carry a wide band (recovery timing) is a violation.
+    #[test]
+    fn recovery_timing_now_compares_exactly() {
+        let doc = report_json(&fake_report());
+        let mut drifted = fake_report();
+        drifted.apps[3].recovery.ml_ns += 2;
+        let base = baseline_json(&drifted, &default_tolerances());
+        let res = compare(&doc, &base, &parse_tolerances(&base));
+        assert!(!res.passed());
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| v.starts_with("apps.Water.recovery.ml_ns")),
+            "{:?}",
+            res.violations
+        );
+    }
+
+    /// The band machinery itself still works for baselines that carry
+    /// explicit annotations (none do today, but the escape hatch stays
+    /// tested): drift inside a `pct` band passes, outside fails.
     #[test]
     fn banded_fields_absorb_drift_within_tolerance() {
+        let rules = vec![tol(
+            "apps.*.recovery.ml_ns",
+            Band::Pct(60.0),
+            "synthetic band for the gate test",
+        )];
         let doc = report_json(&fake_report());
         let mut drifted = fake_report();
         for a in &mut drifted.apps {
             a.recovery.ml_ns = (a.recovery.ml_ns as f64 * 1.4) as u64; // +40% < 60%
         }
-        let base = baseline_json(&drifted, &default_tolerances());
+        let base = baseline_json(&drifted, &rules);
         let res = compare(&doc, &base, &parse_tolerances(&base));
         assert!(res.passed(), "{:?}", res.violations);
 
         let mut way_off = fake_report();
         way_off.apps[0].recovery.ml_ns *= 3;
-        let base = baseline_json(&way_off, &default_tolerances());
+        let base = baseline_json(&way_off, &rules);
         let res = compare(&doc, &base, &parse_tolerances(&base));
         assert!(!res.passed());
     }
 
+    /// `ignore` annotations skip exactly the matching fields and count
+    /// them, leaving every other path exact.
     #[test]
-    fn water_fingerprint_is_ignored_but_fft_is_not() {
+    fn ignore_band_skips_only_matching_fields() {
+        let rules = vec![tol(
+            "apps.Water.runs.*.trace_fp",
+            Band::Ignore,
+            "synthetic ignore for the gate test",
+        )];
         let doc = report_json(&fake_report());
         let mut drifted = fake_report();
         drifted.apps[3].runs[2].trace_fp ^= 1; // Water: ignored
-        let base = baseline_json(&drifted, &default_tolerances());
+        let base = baseline_json(&drifted, &rules);
         let res = compare(&doc, &base, &parse_tolerances(&base));
         assert!(res.passed(), "{:?}", res.violations);
+        assert!(res.ignored > 0);
 
         let mut drifted = fake_report();
         drifted.apps[0].runs[2].trace_fp ^= 1; // 3D-FFT: exact
-        let base = baseline_json(&drifted, &default_tolerances());
+        let base = baseline_json(&drifted, &rules);
         let res = compare(&doc, &base, &parse_tolerances(&base));
         assert!(!res.passed());
     }
@@ -877,7 +873,10 @@ mod tests {
 
     #[test]
     fn tolerances_round_trip_through_json() {
-        let rules = default_tolerances();
+        let rules = vec![
+            tol("apps.*.recovery.ml_ns", Band::Pct(60.0), "round trip"),
+            tol("apps.Water.runs.*.hist.**", Band::Ignore, "round trip"),
+        ];
         let mut doc = Json::obj();
         doc.set("tolerances", tolerances_json(&rules));
         let text = doc.pretty();

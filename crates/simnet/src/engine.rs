@@ -360,6 +360,7 @@ impl PhaseBreakdown {
             retransmits: _,
             dups_suppressed: _,
             sends_to_stopped: _,
+            sched_stalls: _,
         } = *stats;
         let hidden = disk_time_overlapped.min(wait_time);
         PhaseBreakdown {
@@ -411,11 +412,14 @@ pub trait CoherenceProtocol<M: WireSized> {
         self.deferring()
     }
 
-    /// Drain the inbox, servicing (or deferring) every pending message.
-    /// Called at fault/synchronization points and whenever the node
-    /// blocks.
+    /// Drain every message that has already arrived in virtual time,
+    /// servicing (or deferring) each. Called at fault/synchronization
+    /// points and whenever the node blocks. Bounded by the node's own
+    /// clock: the conservative scheduler only releases envelopes the
+    /// node could observe "now", so pumping never waits on peers that
+    /// are merely behind.
     fn pump(&mut self) {
-        while let Some(env) = self.ctx().try_recv() {
+        while let Some(env) = self.ctx().recv_arrived() {
             if self.must_defer(&env.payload) {
                 self.ctx().defer(env);
             } else {

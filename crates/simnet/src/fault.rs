@@ -179,6 +179,36 @@ pub struct SendFate {
     pub duplicate: bool,
 }
 
+/// Exact record of the per-link sequence numbers delivered so far.
+///
+/// Virtual-time-ordered delivery can legally reorder a link's messages
+/// (a retransmitted envelope's arrival stamp may fall after a later
+/// send's), so duplicate suppression must not assume monotone sequence
+/// numbers: a highest-seen watermark would swallow the late original.
+/// The dense prefix compacts into `low`; only the out-of-order frontier
+/// lives in the set.
+#[derive(Debug, Default)]
+struct SeenSeqs {
+    /// Every sequence number in `1..=low` has been delivered.
+    low: u64,
+    /// Delivered numbers above `low` (sparse, compacted eagerly).
+    above: std::collections::BTreeSet<u64>,
+}
+
+impl SeenSeqs {
+    /// Record `seq`; true if it was already delivered.
+    fn check(&mut self, seq: u64) -> bool {
+        if seq <= self.low || self.above.contains(&seq) {
+            return true;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&(self.low + 1)) {
+            self.low += 1;
+        }
+        false
+    }
+}
+
 /// Per-node fault-injection state: the plan plus one PRNG stream and
 /// one sequence counter per directed link.
 #[derive(Debug)]
@@ -189,8 +219,8 @@ pub(crate) struct FaultState {
     link_rngs: Vec<SplitMix64>,
     /// Next sequence number per destination (starts at 1; 0 = unset).
     next_seq: Vec<u64>,
-    /// Highest sequence number seen per source (duplicate suppression).
-    last_seen: Vec<u64>,
+    /// Sequence numbers seen per source (duplicate suppression).
+    seen: Vec<SeenSeqs>,
 }
 
 impl FaultState {
@@ -212,7 +242,7 @@ impl FaultState {
             active,
             link_rngs,
             next_seq: vec![1; n_nodes],
-            last_seen: vec![0; n_nodes],
+            seen: (0..n_nodes).map(|_| SeenSeqs::default()).collect(),
         }
     }
 
@@ -233,12 +263,7 @@ impl FaultState {
         if seq == 0 {
             return false;
         }
-        if seq <= self.last_seen[src] {
-            true
-        } else {
-            self.last_seen[src] = seq;
-            false
-        }
+        self.seen[src].check(seq)
     }
 
     /// Judge one `me -> dst` transmission put on the wire at `sent_at`.
@@ -413,6 +438,21 @@ mod tests {
         assert!(st.is_duplicate(1, 2));
         // Unsequenced legacy envelopes are never suppressed.
         assert!(!st.is_duplicate(1, 0));
+    }
+
+    /// Virtual-time-ordered delivery can reorder a link (a delayed
+    /// retransmission lands after a later send): the late original must
+    /// NOT be mistaken for a duplicate, while a true duplicate of it
+    /// still is.
+    #[test]
+    fn out_of_order_originals_are_not_suppressed() {
+        let mut st = FaultState::new(0, 2, FaultPlan::none());
+        assert!(!st.is_duplicate(1, 2));
+        assert!(!st.is_duplicate(1, 3));
+        assert!(!st.is_duplicate(1, 1)); // late original, not a dup
+        assert!(st.is_duplicate(1, 1)); // its second copy is
+        assert!(st.is_duplicate(1, 3));
+        assert!(!st.is_duplicate(1, 4));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::error::{SimError, SimResult};
 use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::NodeMetrics;
 use crate::models::CostModel;
-use crate::router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
+use crate::router::{make_endpoints_with_lookahead, Endpoint, Envelope, NodeId, WireSized};
 use crate::stats::NodeStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceSink;
@@ -45,6 +45,11 @@ pub struct NodeCtx<M> {
     /// sequence counters. Lives in the transport layer, so it survives
     /// a simulated crash of the DSM process above it.
     faults: FaultState,
+    /// Rank of the last delivery, as a soundness witness for the
+    /// conservative scheduler: per-receiver delivery order must be
+    /// nondecreasing in `(arrive_at, src, seq)` (checked in debug
+    /// builds).
+    last_rank: (SimTime, NodeId, u64),
 }
 
 impl<M: WireSized> NodeCtx<M> {
@@ -63,6 +68,7 @@ impl<M: WireSized> NodeCtx<M> {
             trace: TraceSink::default(),
             crashed_at: None,
             recovery_exit: None,
+            last_rank: (SimTime::ZERO, 0, 0),
         }
     }
 
@@ -137,13 +143,16 @@ impl<M: WireSized> NodeCtx<M> {
         self.clock += d;
     }
 
-    /// Block until the next envelope arrives. Does not touch the clock;
-    /// the caller decides whether the arrival is synchronous (absorb its
-    /// arrival time) or served asynchronously. Duplicate deliveries are
-    /// suppressed here by sequence number, invisibly to the protocol.
+    /// Block until the next envelope in virtual-time order is safe to
+    /// deliver. Does not touch the clock; the caller decides whether
+    /// the arrival is synchronous (absorb its arrival time) or served
+    /// asynchronously. Duplicate deliveries are suppressed here by
+    /// sequence number, invisibly to the protocol.
     pub fn recv(&mut self) -> SimResult<Envelope<M>> {
         loop {
-            let env = self.ep.recv()?;
+            let env = self.ep.recv();
+            self.stats.sched_stalls += self.ep.take_stalls();
+            let env = env?;
             if self.faults.is_duplicate(env.src, env.seq) {
                 self.stats.dups_suppressed += 1;
                 self.trace(TraceKind::DupSuppressed { from: env.src });
@@ -154,11 +163,16 @@ impl<M: WireSized> NodeCtx<M> {
         }
     }
 
-    /// Non-blocking inbox poll (used to service requests mid-compute).
-    /// Suppresses duplicates like [`NodeCtx::recv`].
-    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+    /// Deliver the next envelope that has already arrived by this
+    /// node's clock, if any (used to service requests at sync points
+    /// mid-run). Blocks only until the conservative scheduler can
+    /// answer definitively; the answer itself is a pure function of
+    /// virtual time. Suppresses duplicates like [`NodeCtx::recv`].
+    pub fn recv_arrived(&mut self) -> Option<Envelope<M>> {
         loop {
-            let env = self.ep.try_recv()?;
+            let env = self.ep.recv_upto(self.clock);
+            self.stats.sched_stalls += self.ep.take_stalls();
+            let env = env?;
             if self.faults.is_duplicate(env.src, env.seq) {
                 self.stats.dups_suppressed += 1;
                 self.trace(TraceKind::DupSuppressed { from: env.src });
@@ -173,6 +187,15 @@ impl<M: WireSized> NodeCtx<M> {
     /// plus the `MsgRecv` half of the envelope's causal edge, keyed by
     /// the same `(src, dst, seq)` triple the sender stamped.
     fn accept(&mut self, env: &Envelope<M>) {
+        let rank = (env.arrive_at, env.src, env.seq);
+        debug_assert!(
+            rank >= self.last_rank,
+            "delivery order regressed at node {}: {:?} after {:?}",
+            self.id,
+            rank,
+            self.last_rank
+        );
+        self.last_rank = rank;
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += env.payload.wire_size() as u64;
         self.trace(TraceKind::MsgRecv {
@@ -376,7 +399,7 @@ where
     R: Send,
     F: Fn(NodeCtx<M>) -> R + Send + Sync,
 {
-    let eps = make_endpoints::<M>(n);
+    let eps = make_endpoints_with_lookahead::<M>(n, cost.net.latency);
     let f = &f;
     thread::scope(|s| {
         let handles: Vec<_> = eps

@@ -45,6 +45,11 @@ pub struct NodeStats {
     /// Sends addressed to a peer that had already finished its program
     /// (tolerated under failure injection, not an error).
     pub sends_to_stopped: u64,
+    /// Times a receive parked waiting for the conservative scheduler's
+    /// watermark bound to clear. Physical-layer telemetry: the count
+    /// depends on real thread interleaving, so it is reported alongside
+    /// the deterministic counters but excluded from `phases_json`.
+    pub sched_stalls: u64,
     /// Virtual time spent in application compute charges.
     pub compute_time: SimDuration,
     /// Virtual time spent blocked on remote replies / synchronization.
@@ -82,6 +87,7 @@ impl NodeStats {
             retransmits,
             dups_suppressed,
             sends_to_stopped,
+            sched_stalls,
             compute_time,
             wait_time,
             disk_time,
@@ -105,6 +111,7 @@ impl NodeStats {
         self.retransmits += retransmits;
         self.dups_suppressed += dups_suppressed;
         self.sends_to_stopped += sends_to_stopped;
+        self.sched_stalls += sched_stalls;
         self.compute_time += compute_time;
         self.wait_time += wait_time;
         self.disk_time += disk_time;
@@ -158,10 +165,11 @@ mod tests {
             retransmits: base + 16,
             dups_suppressed: base + 17,
             sends_to_stopped: base + 18,
-            compute_time: SimDuration::from_nanos(base + 19),
-            wait_time: SimDuration::from_nanos(base + 20),
-            disk_time: SimDuration::from_nanos(base + 21),
-            disk_time_overlapped: SimDuration::from_nanos(base + 22),
+            sched_stalls: base + 19,
+            compute_time: SimDuration::from_nanos(base + 20),
+            wait_time: SimDuration::from_nanos(base + 21),
+            disk_time: SimDuration::from_nanos(base + 22),
+            disk_time_overlapped: SimDuration::from_nanos(base + 23),
         }
     }
 
@@ -190,6 +198,7 @@ mod tests {
             retransmits,
             dups_suppressed,
             sends_to_stopped,
+            sched_stalls,
             compute_time,
             wait_time,
             disk_time,
@@ -213,10 +222,11 @@ mod tests {
         assert_eq!(retransmits, expect(16));
         assert_eq!(dups_suppressed, expect(17));
         assert_eq!(sends_to_stopped, expect(18));
-        assert_eq!(compute_time.as_nanos(), expect(19));
-        assert_eq!(wait_time.as_nanos(), expect(20));
-        assert_eq!(disk_time.as_nanos(), expect(21));
-        assert_eq!(disk_time_overlapped.as_nanos(), expect(22));
+        assert_eq!(sched_stalls, expect(19));
+        assert_eq!(compute_time.as_nanos(), expect(20));
+        assert_eq!(wait_time.as_nanos(), expect(21));
+        assert_eq!(disk_time.as_nanos(), expect(22));
+        assert_eq!(disk_time_overlapped.as_nanos(), expect(23));
     }
 
     #[test]

@@ -22,6 +22,10 @@ impl SimTime {
     /// The cluster epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of virtual time (an unreachable instant; arithmetic
+    /// saturates here rather than wrapping).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Nanoseconds since the epoch.
     #[inline]
     pub fn as_nanos(self) -> u64 {

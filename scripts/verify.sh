@@ -14,6 +14,14 @@ cargo test -q --workspace
 echo "==> chaos smoke (2 seeded fault schedules per app/protocol)"
 CHAOS_SCHEDULES=2 cargo test -q --test chaos
 
+echo "==> determinism gate (every app x protocol twice same-seed, byte-compared)"
+# Runs every app x {None, ML, CCL} twice with identical specs and
+# requires byte-identical phases_json plus equal full trace
+# fingerprints (MsgSend/MsgRecv included), then replays the chaos
+# matrix once (two fixed schedules, with crashes for ML/CCL) under the
+# same comparison. No tolerances anywhere.
+./target/release/detcheck --chaos 2
+
 echo "==> bench smoke (hotpath, tiny sizes)"
 HOTPATH_SMOKE=1 HOTPATH_JSON="$PWD/target/BENCH_hotpath.smoke.json" \
     cargo bench -p ccl-bench --bench hotpath >/dev/null
