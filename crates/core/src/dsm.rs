@@ -29,10 +29,19 @@ pub struct Dsm {
     pending_detection: SimDuration,
     barriers_done: u64,
     restored: Option<Vec<u8>>,
+    /// Coordinated-checkpoint cadence (every `n` barriers), if any.
+    checkpoint_every: Option<u64>,
+    /// Application blob the next cadence checkpoint will save, set via
+    /// [`Dsm::set_checkpoint_state`].
+    ckpt_state: Vec<u8>,
 }
 
 impl Dsm {
-    pub(crate) fn new(node: HlrcNode, crashes: Vec<CrashPlan>) -> Dsm {
+    pub(crate) fn new(
+        node: HlrcNode,
+        crashes: Vec<CrashPlan>,
+        checkpoint_every: Option<u64>,
+    ) -> Dsm {
         let fired = vec![false; crashes.len()];
         Dsm {
             node,
@@ -42,6 +51,8 @@ impl Dsm {
             pending_detection: SimDuration::ZERO,
             barriers_done: 0,
             restored: None,
+            checkpoint_every,
+            ckpt_state: Vec::new(),
         }
     }
 
@@ -198,11 +209,33 @@ impl Dsm {
     pub fn barrier(&mut self) {
         self.node.barrier();
         self.barriers_done += 1;
+        // Cadence checkpoint: every node reaches this barrier, so the
+        // cut is coordinated. Taken before any crash scheduled at the
+        // same barrier fires (the checkpoint completes, then the node
+        // dies), and suppressed during log replay — truncating the log
+        // being replayed would destroy it.
+        if let Some(n) = self.checkpoint_every {
+            if self.barriers_done.is_multiple_of(n) && !self.node.ft.in_recovery() {
+                let state = std::mem::take(&mut self.ckpt_state);
+                self.checkpoint(&state);
+                self.ckpt_state = state;
+            }
+        }
         let me = self.me();
         for (i, plan) in self.crashes.iter().enumerate() {
             if !self.fired[i] && plan.node == me && self.barriers_done == plan.after_barriers {
                 self.fired[i] = true;
                 self.pending_detection = plan.detection_delay;
+                if let Some(tear) = plan.torn_tail {
+                    // The crash lands mid-flush: damage the last
+                    // flushed log batch before the unwind, so recovery
+                    // sees a torn tail instead of a clean log.
+                    self.node
+                        .inner
+                        .ctx
+                        .disk
+                        .tear_last_flush(tear.seed, tear.garble);
+                }
                 panic_any(CrashToken);
             }
         }
@@ -239,6 +272,15 @@ impl Dsm {
         self.restored.take()
     }
 
+    /// Set the application blob that cadence-driven checkpoints (see
+    /// [`crate::ClusterSpec::with_checkpoint_cadence`]) will save.
+    /// Update it whenever the program's restart point advances; a
+    /// program that never calls this checkpoints an empty blob.
+    pub fn set_checkpoint_state(&mut self, blob: &[u8]) {
+        self.ckpt_state.clear();
+        self.ckpt_state.extend_from_slice(blob);
+    }
+
     // ------------------------------------------------------------
     // Runner plumbing
     // ------------------------------------------------------------
@@ -256,6 +298,9 @@ impl Dsm {
         self.restored = self.node.ft.restored_app_state();
         self.alloc_cursor = 0;
         self.barriers_done = 0;
+        // The re-run sets its own restart blob; don't let the dead
+        // incarnation's blob leak into the next cadence checkpoint.
+        self.ckpt_state.clear();
     }
 }
 

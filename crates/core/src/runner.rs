@@ -44,6 +44,10 @@ pub struct NodeOutput<R> {
     pub stats: NodeStats,
     /// Stable-storage counters.
     pub disk: DiskCounters,
+    /// Bytes resident in this node's ML/CCL log streams when the run
+    /// ended. Unlike the cumulative `stats.log_bytes`, this shrinks at
+    /// every checkpoint truncation — a cadence run keeps it bounded.
+    pub log_bytes_on_disk: u64,
     /// Virtual time at which this node finished the program.
     pub finish: SimTime,
     /// Where this node's time went; the four components sum to
@@ -145,8 +149,13 @@ impl<R> RunOutput<R> {
     pub fn phases_json(&self, label: &str) -> String {
         use std::fmt::Write;
         let total = self.total_stats();
-        let disk: (u64, u64) = self.nodes.iter().fold((0, 0), |(r, f), n| {
-            (r + n.disk.write_retries, f + n.disk.failed_writes)
+        let disk = self.nodes.iter().fold(DiskCounters::default(), |mut d, n| {
+            d.write_retries += n.disk.write_retries;
+            d.failed_writes += n.disk.failed_writes;
+            d.full_writes += n.disk.full_writes;
+            d.torn_records += n.disk.torn_records;
+            d.corrupted_records += n.disk.corrupted_records;
+            d
         });
         let mut s = String::new();
         let _ = write!(
@@ -160,7 +169,8 @@ impl<R> RunOutput<R> {
              \"jitter_max_ns\":{},\"partitions\":{},\"crashes\":{},\
              \"disk_fault_nodes\":{},\"timeouts\":{},\"retransmits\":{},\
              \"dups_suppressed\":{},\"sends_to_stopped\":{},\
-             \"write_retries\":{},\"failed_writes\":{}}},\"nodes\":[",
+             \"write_retries\":{},\"failed_writes\":{},\"full_writes\":{},\
+             \"torn_records\":{},\"corrupted_records\":{}}},\"nodes\":[",
             self.faults.seed,
             self.faults.drop_per_mille,
             self.faults.dup_per_mille,
@@ -172,8 +182,11 @@ impl<R> RunOutput<R> {
             total.retransmits,
             total.dups_suppressed,
             total.sends_to_stopped,
-            disk.0,
-            disk.1,
+            disk.write_retries,
+            disk.failed_writes,
+            disk.full_writes,
+            disk.torn_records,
+            disk.corrupted_records,
         );
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
@@ -310,7 +323,11 @@ where
             Protocol::Rsl => Box::new(ftlog::RslLogger::new()),
         };
         let node = HlrcNode::new(ctx, cfg, ft);
-        let mut dsm = Dsm::new(node, spec.failures.crashes.clone());
+        let mut dsm = Dsm::new(
+            node,
+            spec.failures.crashes.clone(),
+            spec.checkpoint_every_barriers,
+        );
         let crashes_here = spec.failures.crashes.iter().any(|c| c.node == id);
         let result = if crashes_here {
             // Each scheduled crash event fires once; re-run the program
@@ -335,11 +352,15 @@ where
         // until every node has finished all its protocol traffic.
         dsm.barrier();
         let inner = &mut dsm.node.inner;
+        let log_bytes_on_disk = (inner.ctx.disk.stream_bytes(ftlog::ML_STREAM)
+            + inner.ctx.disk.stream_bytes(ftlog::CCL_STREAM))
+            as u64;
         NodeOutput {
             node: id,
             result,
             stats: inner.ctx.stats,
             disk: inner.ctx.disk.counters(),
+            log_bytes_on_disk,
             finish: inner.ctx.now(),
             phases: inner.ctx.stats.phases(),
             trace: inner.ctx.take_trace(),

@@ -43,6 +43,20 @@ impl Protocol {
     pub const TABLE2: [Protocol; 3] = [Protocol::None, Protocol::Ml, Protocol::Ccl];
 }
 
+/// Damage the crashing node's *last flushed log batch* at the moment
+/// of the crash, modelling a power cut that lands mid-flush: a seeded
+/// prefix of the batch persists intact, the next record is torn
+/// (truncated short, or garbled by one bit when `garble` is set), and
+/// the rest of the batch is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Garble one bit of the boundary record instead of truncating it.
+    pub garble: bool,
+    /// Seed choosing how much of the batch survives and where the
+    /// damage lands (deterministic per seed).
+    pub seed: u64,
+}
+
 /// Inject a crash of `node` immediately after it completes its
 /// `after_barriers`-th barrier (a point where no locks are in flight,
 /// matching the paper's crash-after-flush scenario).
@@ -54,6 +68,9 @@ pub struct CrashPlan {
     pub after_barriers: u64,
     /// Failure-detection delay before recovery starts.
     pub detection_delay: SimDuration,
+    /// When set, the crash lands mid-flush: the last flushed log batch
+    /// is torn at a seeded point instead of persisting whole.
+    pub torn_tail: Option<TornTail>,
 }
 
 impl CrashPlan {
@@ -63,12 +80,31 @@ impl CrashPlan {
             node,
             after_barriers,
             detection_delay: SimDuration::ZERO,
+            torn_tail: None,
         }
     }
 
     /// Set the failure-detection delay.
     pub fn with_detection_delay(mut self, d: SimDuration) -> CrashPlan {
         self.detection_delay = d;
+        self
+    }
+
+    /// Make the crash land mid-flush: truncate the boundary record of
+    /// the last flushed batch at a seeded point.
+    pub fn with_torn_tail(mut self, seed: u64) -> CrashPlan {
+        self.torn_tail = Some(TornTail {
+            garble: false,
+            seed,
+        });
+        self
+    }
+
+    /// Make the crash land mid-flush and flip one bit of the boundary
+    /// record instead of truncating it (a torn sector that still has
+    /// the right length).
+    pub fn with_garbled_tail(mut self, seed: u64) -> CrashPlan {
+        self.torn_tail = Some(TornTail { garble: true, seed });
         self
     }
 }
@@ -130,6 +166,12 @@ pub struct ClusterSpec {
     pub failures: FailureSpec,
     /// Message-fault plan applied to every node's transport.
     pub faults: FaultPlan,
+    /// Coordinated-checkpoint cadence: every node takes a checkpoint
+    /// right after every `n`-th barrier (counted per program
+    /// incarnation), truncating its ML/CCL logs and compacting the
+    /// checkpoint page stream. `None` means the application checkpoints
+    /// explicitly (or never).
+    pub checkpoint_every_barriers: Option<u64>,
 }
 
 impl ClusterSpec {
@@ -144,6 +186,7 @@ impl ClusterSpec {
             cost: CostModel::ULTRA5_CLUSTER,
             failures: FailureSpec::none(),
             faults: FaultPlan::none(),
+            checkpoint_every_barriers: None,
         }
     }
 
@@ -181,6 +224,14 @@ impl ClusterSpec {
     /// partitions), applied to every node's transport.
     pub fn with_faults(mut self, plan: FaultPlan) -> ClusterSpec {
         self.faults = plan;
+        self
+    }
+
+    /// Take a coordinated checkpoint after every `n`-th barrier,
+    /// truncating logs and compacting superseded checkpoint pages.
+    pub fn with_checkpoint_cadence(mut self, n: u64) -> ClusterSpec {
+        assert!(n > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every_barriers = Some(n);
         self
     }
 
@@ -231,6 +282,31 @@ mod tests {
         assert!(!FailureSpec::none()
             .with_disk_fault(1, DiskFaultPlan::transient(1, 10))
             .is_none());
+    }
+
+    #[test]
+    fn torn_tail_and_cadence_builders() {
+        let plain = CrashPlan::new(1, 3);
+        assert_eq!(plain.torn_tail, None);
+        let torn = CrashPlan::new(1, 3).with_torn_tail(7);
+        assert_eq!(
+            torn.torn_tail,
+            Some(TornTail {
+                garble: false,
+                seed: 7
+            })
+        );
+        let garbled = CrashPlan::new(1, 3).with_garbled_tail(9);
+        assert_eq!(
+            garbled.torn_tail,
+            Some(TornTail {
+                garble: true,
+                seed: 9
+            })
+        );
+        let spec = ClusterSpec::new(4, 16).with_checkpoint_cadence(2);
+        assert_eq!(spec.checkpoint_every_barriers, Some(2));
+        assert_eq!(ClusterSpec::new(4, 16).checkpoint_every_barriers, None);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind, WriteNotice};
 use pagemem::{Decode, Encode, IntervalId, PageDiff, PageId, PageState, VClock};
 use simnet::{Envelope, SimDuration, SimTime, TraceKind};
 
+use crate::frame;
 use crate::log_record::{CclRecord, SyncTag};
 
 /// Stable-storage stream holding the coherence-centric log.
@@ -87,6 +88,24 @@ pub struct CclLogger {
     /// later crash replays only the persisted prefix, re-executing the
     /// rest live (degraded recovery).
     degraded: bool,
+    /// Stream epoch stamped into every frame; bumped at each log
+    /// truncation so stale records can never join the new log.
+    epoch: u32,
+    /// The device is at capacity: the last flush was refused and
+    /// logging is paused until a checkpoint truncates the log. A crash
+    /// meanwhile replays the persisted prefix, then re-executes live.
+    paused_full: bool,
+    /// Set by [`CclLogger::begin_recovery`] when the salvage scan found
+    /// the log damaged (or gone): replay could not reconstruct every
+    /// update the cluster saw this node apply, so
+    /// [`FaultTolerance::finish_recovery`] must repair the home copies
+    /// before any deferred peer request is served.
+    needs_repair: bool,
+    /// Release history fetched once from the barrier manager at
+    /// [`CclLogger::begin_recovery`] (to synthesize lost barrier `Sync`
+    /// records) and reused by the home-repair wave at recovery exit, so
+    /// a damaged-log recovery costs a single history round trip.
+    saved_releases: Option<Vec<(u32, VClock, Vec<WriteNotice>)>>,
 }
 
 impl CclLogger {
@@ -105,6 +124,10 @@ impl CclLogger {
             serve_cache: None,
             durable_home_diffs: false,
             degraded: false,
+            epoch: 0,
+            paused_full: false,
+            needs_repair: false,
+            saved_releases: None,
         }
     }
 
@@ -139,10 +162,13 @@ impl CclLogger {
     }
 
     fn stage(&mut self, inner: &mut NodeInner, rec: CclRecord) {
-        if self.degraded {
+        if self.degraded || self.paused_full {
             return;
         }
-        let bytes = rec.encoded_size();
+        // Staged-byte accounting uses the exact framed size mirror so
+        // Table 2 log bytes include the on-disk header overhead without
+        // a second encode pass.
+        let bytes = frame::framed_size(rec.encoded_size());
         inner.ctx.trace(TraceKind::LogAppend {
             bytes: bytes as u64,
         });
@@ -153,8 +179,8 @@ impl CclLogger {
     /// Encode and write the staged records through the OS cache,
     /// returning `(cpu_copy_cost, device_drain_time)`.
     fn flush_staged(&mut self, inner: &mut NodeInner) -> (SimDuration, SimDuration) {
-        if self.degraded {
-            // The device is gone; drop anything staged since then.
+        if self.degraded || self.paused_full {
+            // The device is gone (or full); drop anything staged.
             self.staged.clear();
             self.staged_bytes = 0;
             return (SimDuration::ZERO, SimDuration::ZERO);
@@ -173,7 +199,8 @@ impl CclLogger {
                     indexed.push(((d.page, interval.seq), pos, d.clone()));
                 }
             }
-            encoded.push(rec.encode_to_sized_vec());
+            let payload = rec.encode_to_sized_vec();
+            encoded.push(frame::frame_record(self.epoch, pos as u32, &payload));
         }
         self.staged_bytes = 0;
         let retries_before = inner.ctx.disk.counters().write_retries;
@@ -185,6 +212,18 @@ impl CclLogger {
             // here; callers account only for successful flushes.
             self.degraded = true;
             inner.ctx.trace(TraceKind::LogDeviceFailed);
+            let futile = inner.ctx.disk.model().write_time(0);
+            inner.ctx.charge_disk(futile);
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
+        if inner.ctx.disk.is_full() {
+            // ENOSPC: the batch (and its would-be index entries) was
+            // refused whole. Logging pauses — appending a later batch
+            // over the gap would poison replay — until a coordinated
+            // checkpoint truncates the log. A crash meanwhile degrades
+            // gracefully to prefix replay + live re-execution.
+            self.paused_full = true;
+            inner.ctx.trace(TraceKind::LogDeviceFull);
             let futile = inner.ctx.disk.model().write_time(0);
             inner.ctx.charge_disk(futile);
             return (SimDuration::ZERO, SimDuration::ZERO);
@@ -233,6 +272,10 @@ impl CclLogger {
                 Msg::RecoveryPageRequest { .. } => {
                     let done = inner.ctx.service_time(&env);
                     inner.serve_recovery_page(&env, done, true, true, self.durable_home_diffs);
+                }
+                Msg::ReleaseHistoryRequest => {
+                    let done = inner.ctx.service_time(&env);
+                    inner.serve_release_history(&env, done);
                 }
                 _ => inner.ctx.defer(env),
             }
@@ -291,6 +334,137 @@ impl CclLogger {
             }
         }
         found
+    }
+
+    /// The barrier manager's retained release history: read locally when
+    /// this node *is* the manager, fetched over the network otherwise —
+    /// but at most once per recovery ([`CclLogger::begin_recovery`]
+    /// caches it in `saved_releases` for the repair wave to take). A
+    /// crashed manager lost its history and answers with an empty list;
+    /// every consumer degrades gracefully on that.
+    fn fetch_release_history(
+        &mut self,
+        inner: &mut NodeInner,
+    ) -> Vec<(u32, VClock, Vec<WriteNotice>)> {
+        if let Some(releases) = self.saved_releases.take() {
+            return releases;
+        }
+        let mgr = inner.cfg.barrier_manager();
+        if mgr == inner.me() {
+            inner
+                .barrier_mgr
+                .as_ref()
+                .map(|m| m.release_history())
+                .unwrap_or_default()
+        } else {
+            inner
+                .ctx
+                .send(mgr, Msg::ReleaseHistoryRequest)
+                .expect("send release history request");
+            let env = self.recovery_wait(inner, |m| matches!(m, Msg::ReleaseHistoryReply { .. }));
+            let Msg::ReleaseHistoryReply { releases } = env.payload else {
+                unreachable!("waited for a release history reply");
+            };
+            releases
+        }
+    }
+
+    /// Home-repair wave, run once at recovery exit when the salvage
+    /// scan found the log damaged. A torn or rotten tail may have taken
+    /// `Updates` records with it — updates this home *applied and
+    /// acked* before the crash, which replay therefore could not
+    /// reconstruct, leaving the home copies stale. The writers' own
+    /// stable logs still hold those diffs (a CCL ack never releases
+    /// them), so the lost updates are recoverable: replay the barrier
+    /// manager's retained release history against the restored home
+    /// versions, refetch every uncovered foreign interval from its
+    /// writer's log, and re-apply in history order (each writer's
+    /// notices are causally ordered there, and concurrent writers touch
+    /// disjoint words under DRF, so that order is a valid
+    /// linearization). A crashed manager answers with an empty history
+    /// and the wave degrades to a no-op — single-failure best effort,
+    /// like the rest of the recovery path.
+    fn repair_home_pages(&mut self, inner: &mut NodeInner) {
+        let me = inner.me();
+        let releases = self.fetch_release_history(inner);
+        // Foreign-interval notices naming pages homed here that the
+        // restored home version does not cover: exactly the updates the
+        // damaged log lost.
+        let mut missing: Vec<WriteNotice> = Vec::new();
+        for (_epoch, _vc, notices) in &releases {
+            for n in notices {
+                if n.interval.node as usize == me
+                    || !inner.pages.is_home(n.page)
+                    || missing.contains(n)
+                {
+                    continue;
+                }
+                let covered = inner
+                    .pages
+                    .entry(n.page)
+                    .version
+                    .as_ref()
+                    .expect("home version")
+                    .covers(n.interval);
+                if !covered {
+                    missing.push(*n);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        // Refetch from the writers' stable logs, all requests in
+        // parallel, in deterministic (page, writer) order.
+        let mut per_writer: HashMap<(PageId, u32), Vec<u32>> = HashMap::new();
+        for n in &missing {
+            per_writer
+                .entry((n.page, n.interval.node))
+                .or_default()
+                .push(n.interval.seq);
+        }
+        let mut per_writer: Vec<_> = per_writer.into_iter().collect();
+        per_writer.sort_unstable_by_key(|((page, writer), _)| (*page, *writer));
+        let outstanding = per_writer.len();
+        for ((page, writer), seqs) in per_writer {
+            inner
+                .ctx
+                .send(writer as usize, Msg::LoggedDiffRequest { page, seqs })
+                .expect("send logged diff request");
+        }
+        let mut fetched: HashMap<(PageId, IntervalId), PageDiff> = HashMap::new();
+        for _ in 0..outstanding {
+            let env = self.recovery_wait(inner, |m| matches!(m, Msg::LoggedDiffReply { .. }));
+            if let Msg::LoggedDiffReply { page, diffs } = env.payload {
+                for (iv, d) in diffs {
+                    inner.ctx.charge_copy(d.encoded_size());
+                    fetched.insert((page, iv), d);
+                }
+            }
+        }
+        let mut applied = 0u32;
+        for n in &missing {
+            if let Some(d) = fetched.get(&(n.page, n.interval)) {
+                inner.ctx.charge_copy(d.payload_bytes());
+                inner.pages.apply_home_diff(d, n.interval);
+                applied += 1;
+            } else {
+                // A miss in the writer's log means the interval's diff
+                // for this page was silently empty: observe it so the
+                // version honestly names what the copy contains.
+                inner
+                    .pages
+                    .entry_mut(n.page)
+                    .version
+                    .as_mut()
+                    .expect("home version")
+                    .observe(n.interval);
+            }
+        }
+        inner.ctx.trace(TraceKind::HomeRepair {
+            notices: missing.len() as u32,
+            diffs: applied,
+        });
     }
 
     /// Reconstruct remote copies of `pages` (paper: "prefetching data
@@ -381,6 +555,7 @@ impl CclLogger {
         let mut batch_bytes = 0usize;
         let mut updates: Vec<(IntervalId, Vec<PageId>)> = Vec::new();
         let mut sync: Option<(Vec<WriteNotice>, VClock)> = None;
+        let mut drift = false;
         {
             let replay = self.replay.as_mut().expect("not in recovery");
             let me = inner.me() as u32;
@@ -402,12 +577,28 @@ impl CclLogger {
                         }
                     }
                     CclRecord::Sync { tag, notices, vc } => {
-                        assert_eq!(*tag, expected, "CCL replay drift at {expected:?}");
+                        if *tag != expected {
+                            // A real log record disagreeing with the
+                            // re-executed sync sequence is a logic bug —
+                            // but a *synthesized* barrier record (size 0)
+                            // can land here legitimately: mid-log damage
+                            // may have discarded acquire records below
+                            // the synthesized horizon. Abandon the rest
+                            // of the replay and re-execute live; the
+                            // home-repair wave still runs at exit.
+                            assert_eq!(*size, 0, "CCL replay drift at {expected:?}");
+                            drift = true;
+                            break;
+                        }
                         sync = Some((notices.clone(), vc.clone()));
                         break;
                     }
                 }
             }
+        }
+        if drift {
+            self.replay = None;
+            return RecoveryStep::LogExhausted;
         }
         if batch_bytes > 0 {
             // One sequential log read per replayed interval (bandwidth
@@ -693,25 +884,127 @@ impl FaultTolerance for CclLogger {
         self.staged_bytes = 0;
         self.diff_index.clear();
         self.home_diff_cache.clear();
-        if self.degraded || inner.ctx.disk.has_failed() {
-            // The log device died before the crash. Replay whatever
-            // prefix made it to stable storage; the tail of the
-            // pre-crash execution is simply re-executed live.
-            self.degraded = true;
+        if self.degraded || inner.ctx.disk.has_failed() || self.paused_full {
+            // The log device died (or filled) before the crash. Replay
+            // whatever prefix made it to stable storage; the tail of
+            // the pre-crash execution is simply re-executed live.
+            self.degraded = self.degraded || inner.ctx.disk.has_failed();
             inner.ctx.trace(TraceKind::RecoveryDegraded);
         }
-        self.restored_app = crate::checkpoint::restore_meta(inner);
-        let raw = inner.ctx.disk.peek_stream(CCL_STREAM).to_vec();
-        let mut records = Vec::with_capacity(raw.len());
-        for (pos, bytes) in raw.iter().enumerate() {
-            let rec = CclRecord::decode_from_slice(bytes).expect("corrupt CCL log record");
+        // Salvage scan: verify every frame, adopt the longest valid
+        // prefix, and cut the torn/corrupt tail off the stable stream
+        // so later appends stay contiguous.
+        let s = frame::salvage(inner.ctx.disk.peek_stream(CCL_STREAM));
+        let damaged = !s.is_clean();
+        // Any lost record may be an `Updates` the cluster already saw
+        // this home apply (the writer's ack released nothing — its own
+        // stable log still has the diff). Schedule the home-repair wave
+        // that refetches those updates before going live.
+        self.needs_repair = damaged || self.degraded || self.paused_full;
+        let mut payloads = s.payloads;
+        if damaged {
+            if s.crc_mismatches > 0 {
+                inner
+                    .ctx
+                    .trace(TraceKind::CrcMismatch { stream: CCL_STREAM });
+            }
+            inner.ctx.trace(TraceKind::TornTailDetected {
+                stream: CCL_STREAM,
+                salvaged: payloads.len() as u32,
+                discarded: s.discarded,
+            });
+            inner.ctx.disk.truncate_records(CCL_STREAM, payloads.len());
+            inner.ctx.trace(TraceKind::LogTruncated {
+                stream: CCL_STREAM,
+                records: payloads.len() as u32,
+            });
+        }
+        self.epoch = s.epoch;
+        let mut meta_rot = false;
+        match crate::checkpoint::restore_meta(inner) {
+            Ok(app) => self.restored_app = app,
+            Err(_) => {
+                // The persisted checkpoint metadata is rotten. The log
+                // begins at a checkpoint whose protocol state we cannot
+                // restore, so neither is usable: discard both and
+                // re-execute from scratch instead of panicking.
+                inner.ctx.trace(TraceKind::CrcMismatch {
+                    stream: crate::checkpoint::CKPT_META,
+                });
+                inner.ctx.trace(TraceKind::RecoveryDegraded);
+                inner.ctx.disk.truncate(crate::checkpoint::CKPT_META);
+                inner.ctx.disk.truncate(CCL_STREAM);
+                payloads.clear();
+                self.epoch += 1;
+                self.restored_app = None;
+                self.needs_repair = true;
+                meta_rot = true;
+            }
+        }
+        let mut records = Vec::with_capacity(payloads.len());
+        for (pos, payload) in payloads.iter().enumerate() {
+            // The salvage scan CRC-verified every surviving payload, so
+            // a decode failure here would be a logic bug, not damage.
+            let rec = CclRecord::decode_from_slice(payload).expect("verified CCL log record");
             // Rebuild the survivor-service index as a side effect.
             if let CclRecord::Diffs { interval, diffs } = &rec {
                 for d in diffs {
                     self.diff_index.insert((d.page, interval.seq), pos);
                 }
             }
-            records.push((rec, bytes.len()));
+            // Replay read charging covers what the device transfers:
+            // the framed record, header included.
+            records.push((rec, frame::framed_size(payload.len())));
+        }
+        // A damaged log may have lost the final barrier `Sync` records
+        // with its tail. Replaying only the salvaged prefix would end
+        // recovery *before* the cluster-visible horizon: deferred peer
+        // requests would then be served from home copies the live
+        // re-execution has not rewritten yet — and those writes are this
+        // node's own, refetchable from nobody. The barrier manager's
+        // retained release history holds exactly the lost records'
+        // content (epoch, merged clock, merged notices — the very
+        // snapshot `on_notices` logged), so synthesize the missing
+        // barrier records and replay to the true horizon. Synthesized
+        // records carry size 0: nothing is read from disk for them. A
+        // crashed manager answers with an empty history and synthesis
+        // degrades to a no-op (single-failure best effort).
+        self.saved_releases = None;
+        if self.needs_repair && !meta_rot {
+            let releases = self.fetch_release_history(inner);
+            let last_logged = records
+                .iter()
+                .filter_map(|(rec, _)| match rec {
+                    CclRecord::Sync {
+                        tag: SyncTag::Barrier(e),
+                        ..
+                    } => Some(*e),
+                    _ => None,
+                })
+                .max();
+            let mut synthesized = 0u32;
+            for (epoch, vc, notices) in &releases {
+                // Skip epochs the restored checkpoint already covers and
+                // epochs the salvaged prefix still has real records for.
+                if *epoch < inner.barrier_epoch || last_logged.is_some_and(|e| *epoch <= e) {
+                    continue;
+                }
+                records.push((
+                    CclRecord::Sync {
+                        tag: SyncTag::Barrier(*epoch),
+                        notices: notices.clone(),
+                        vc: vc.clone(),
+                    },
+                    0,
+                ));
+                synthesized += 1;
+            }
+            if synthesized > 0 {
+                inner.ctx.trace(TraceKind::SyncSynthesized {
+                    records: synthesized,
+                });
+            }
+            self.saved_releases = Some(releases);
         }
         self.replay = Some(CclReplay {
             records,
@@ -741,6 +1034,14 @@ impl FaultTolerance for CclLogger {
         self.home_diff_cache.clear();
         self.serve_cache = None;
         inner.ctx.disk.truncate(CCL_STREAM);
+        // New epoch: stale records from before the truncation can never
+        // be mistaken for the new log's.
+        self.epoch += 1;
+        if self.paused_full && !inner.ctx.disk.is_full() {
+            // The truncation freed space: logging resumes cleanly from
+            // this checkpoint.
+            self.paused_full = false;
+        }
     }
 
     fn in_recovery(&self) -> bool {
@@ -767,6 +1068,12 @@ impl FaultTolerance for CclLogger {
         RecoveryStep::Replayed
     }
 
+    fn finish_recovery(&mut self, inner: &mut NodeInner) {
+        if std::mem::take(&mut self.needs_repair) {
+            self.repair_home_pages(inner);
+        }
+    }
+
     fn serve_logged_diffs(&mut self, inner: &mut NodeInner, env: &Envelope<Msg>) {
         let Msg::LoggedDiffRequest { page, seqs } = &env.payload else {
             return;
@@ -779,10 +1086,20 @@ impl FaultTolerance for CclLogger {
         if self.serve_cache.is_none() {
             let mut cache: HashMap<(PageId, u32), PageDiff> = HashMap::new();
             let mut total = 0usize;
-            let raw = inner.ctx.disk.peek_stream(CCL_STREAM).to_vec();
-            for bytes in &raw {
-                total += bytes.len();
-                let rec = CclRecord::decode_from_slice(bytes).expect("corrupt CCL log record");
+            // The survivor's own log can carry latent bit rot too: the
+            // scan serves only the verified prefix — a miss falls back
+            // to the volatile caches, and a diff lost to rot is treated
+            // like a silently empty one (the recovering peer's digest
+            // check remains the arbiter).
+            let s = frame::salvage(inner.ctx.disk.peek_stream(CCL_STREAM));
+            if !s.is_clean() {
+                inner
+                    .ctx
+                    .trace(TraceKind::CrcMismatch { stream: CCL_STREAM });
+            }
+            for payload in &s.payloads {
+                total += frame::framed_size(payload.len());
+                let rec = CclRecord::decode_from_slice(payload).expect("verified CCL log record");
                 if let CclRecord::Diffs { interval, diffs } = rec {
                     for d in diffs {
                         cache.insert((d.page, interval.seq), d);

@@ -4,22 +4,32 @@
 //! state (vector clock, interval counter, barrier epoch), and an opaque
 //! application-state blob. The first checkpoint writes every home page;
 //! subsequent checkpoints are incremental — only pages whose version
-//! advanced since the last checkpoint are written.
+//! advanced since the last checkpoint are written, and images that a
+//! newer checkpoint supersedes are compacted away so `CKPT_PAGES` holds
+//! at most one image per home page.
 //!
 //! Checkpoints must be **coordinated at a barrier** (all nodes
 //! checkpoint at the same episode, holding no locks): that is what makes
 //! each home's checkpoint base usable during any peer's recovery and
 //! lets the logs be truncated safely. The paper's experiments take no
 //! checkpoints (recovery replays from the initial state, which this
-//! module models as the implicit epoch-zero checkpoint).
+//! module models as the implicit epoch-zero checkpoint); a
+//! `ClusterSpec` checkpoint cadence takes real ones.
+//!
+//! Both checkpoint streams use the [`crate::frame`] record format, so a
+//! garbled or torn checkpoint record degrades recovery (the node falls
+//! back to re-execution) instead of panicking — [`restore_meta`] returns
+//! a typed [`RestoreError`] on damage.
 
+use crate::frame::{self, FrameError, FRAME_HEADER_BYTES};
 use hlrc::NodeInner;
 use pagemem::{ByteReader, ByteWriter, CodecError, Decode, Encode, VClock};
 use simnet::{SimDuration, TraceKind};
+use std::collections::BTreeMap;
 
 /// Stream holding the latest checkpoint's metadata record.
 pub const CKPT_META: &str = "ckpt.meta";
-/// Stream accumulating checkpointed page images (incremental).
+/// Stream holding the checkpointed page images (latest per page).
 pub const CKPT_PAGES: &str = "ckpt.pages";
 
 /// Protocol/application state saved with a checkpoint.
@@ -59,9 +69,41 @@ impl Decode for CheckpointMeta {
     }
 }
 
+/// Why a persisted checkpoint record could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The record's frame failed verification (torn tail, bit rot).
+    Frame(FrameError),
+    /// The frame verified but the payload did not decode (a logic bug
+    /// or a version skew, never silent corruption — the CRC rules that
+    /// out).
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Frame(e) => write!(f, "checkpoint frame damaged: {e}"),
+            RestoreError::Codec(e) => write!(f, "checkpoint payload undecodable: {e:?}"),
+        }
+    }
+}
+
+/// The page id a `CKPT_PAGES` payload describes (its leading `u32`).
+fn payload_page(payload: &[u8]) -> Option<u32> {
+    let mut r = ByteReader::new(payload);
+    r.get_u32().ok()
+}
+
 /// Take a checkpoint of `inner` (call right after a barrier, with no
 /// locks held). Returns the stable-storage write time; the caller
 /// decides how to charge it.
+///
+/// `CKPT_PAGES` is compacted in the same access: images superseded by a
+/// newer one of the same page are dropped, so the stream is bounded by
+/// one image per home page no matter how many checkpoints are taken.
+/// Only the newly written images are charged — retained ones are
+/// already on the platter.
 pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
     // A permanently failed device cannot persist a checkpoint; taking
     // one anyway would desynchronize the in-memory base image from
@@ -71,7 +113,7 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
     }
     let me = inner.me();
     // Incremental page set: anything whose version moved past the base.
-    let mut page_records: Vec<Vec<u8>> = Vec::new();
+    let mut new_pages: Vec<(u32, Vec<u8>)> = Vec::new();
     for (p, e) in inner.pages.iter() {
         if e.home != me {
             continue;
@@ -85,8 +127,31 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
         w.put_u32(p);
         version.encode(&mut w);
         w.put_bytes(e.frame.as_ref().expect("home frame").bytes());
-        page_records.push(w.into_bytes());
+        new_pages.push((p, w.into_bytes()));
     }
+    // Salvage the current page stream and keep the latest surviving
+    // image per page, minus the pages this checkpoint rewrites.
+    let prior_records = inner.ctx.disk.record_count(CKPT_PAGES);
+    let old = frame::salvage(inner.ctx.disk.peek_stream(CKPT_PAGES));
+    if !old.is_clean() {
+        inner
+            .ctx
+            .trace(TraceKind::CrcMismatch { stream: CKPT_PAGES });
+    }
+    let mut retained: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    for payload in old.payloads {
+        if let Some(p) = payload_page(&payload) {
+            retained.insert(p, payload); // later images supersede earlier
+        }
+    }
+    for (p, _) in &new_pages {
+        retained.remove(p);
+    }
+    // Every prior record either survives in `retained` or is dropped:
+    // superseded by a newer image, replaced by this checkpoint, or
+    // damaged beyond salvage.
+    let compacted = prior_records - retained.len();
+    let epoch = old.epoch.max(meta_epoch(inner)) + 1;
     let meta = CheckpointMeta {
         vc: inner.vc.clone(),
         next_interval: inner.next_interval,
@@ -94,33 +159,69 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
         last_barrier_vc: inner.last_barrier_vc.clone(),
         app_state: app_state.to_vec(),
     };
-    inner.ctx.disk.truncate(CKPT_META);
-    let meta_bytes = meta.encode_to_vec();
-    let total = meta_bytes.len() + page_records.iter().map(Vec::len).sum::<usize>();
+    let meta_record = frame::frame_record(epoch, 0, &meta.encode_to_vec());
+    let new_bytes: usize = new_pages
+        .iter()
+        .map(|(_, payload)| frame::framed_size(payload.len()))
+        .sum();
+    let mut stream: Vec<Vec<u8>> = Vec::with_capacity(retained.len() + new_pages.len());
+    let mut payloads: Vec<Vec<u8>> = retained.into_values().collect();
+    payloads.extend(new_pages.iter().map(|(_, payload)| payload.clone()));
+    for (seq, payload) in payloads.iter().enumerate() {
+        stream.push(frame::frame_record(epoch, seq as u32, payload));
+    }
     inner.ctx.trace(TraceKind::Checkpoint {
-        bytes: total as u64,
+        bytes: (meta_record.len() + new_bytes) as u64,
     });
-    let d1 = inner.ctx.disk.flush_records(CKPT_META, vec![meta_bytes]);
-    let d2 = inner.ctx.disk.flush_records(CKPT_PAGES, page_records);
+    inner.ctx.trace(TraceKind::CheckpointTaken {
+        pages: new_pages.len() as u32,
+        compacted: compacted as u32,
+    });
+    inner.ctx.disk.truncate(CKPT_META);
+    let d1 = inner.ctx.disk.flush_records(CKPT_META, vec![meta_record]);
+    let d2 = inner.ctx.disk.rewrite_stream(CKPT_PAGES, stream, new_bytes);
     // The in-memory base copies become the stable checkpoint image the
     // recovery path restores from.
     inner.pages.promote_base();
     d1 + d2
 }
 
+/// The epoch of the persisted checkpoint metadata (0 if none or
+/// unreadable).
+fn meta_epoch(inner: &NodeInner) -> u32 {
+    inner
+        .ctx
+        .disk
+        .peek_stream(CKPT_META)
+        .first()
+        .and_then(|rec| frame::decode_frame(rec).ok())
+        .map_or(0, |f| f.epoch)
+}
+
 /// Restore checkpointed protocol state into `inner` (after a crash and
-/// `reset_to_base`). Returns the saved application blob, or `None` if no
-/// checkpoint was ever taken.
-pub fn restore_meta(inner: &mut NodeInner) -> Option<Vec<u8>> {
-    let bytes = inner.ctx.disk.peek_stream(CKPT_META).first()?.clone();
+/// `reset_to_base`). Returns the saved application blob, `Ok(None)` if
+/// no checkpoint was ever taken, or a [`RestoreError`] if the persisted
+/// record is damaged — the caller degrades to re-execution instead of
+/// trusting (or panicking on) rotten state.
+pub fn restore_meta(inner: &mut NodeInner) -> Result<Option<Vec<u8>>, RestoreError> {
+    let Some(bytes) = inner.ctx.disk.peek_stream(CKPT_META).first().cloned() else {
+        return Ok(None);
+    };
     let cost = inner.ctx.disk.read_cost(bytes.len());
     inner.ctx.charge_disk(cost);
-    let meta = CheckpointMeta::decode_from_slice(&bytes).expect("corrupt checkpoint meta");
+    let frame = frame::decode_frame(&bytes).map_err(RestoreError::Frame)?;
+    let meta = CheckpointMeta::decode_from_slice(&frame.payload).map_err(RestoreError::Codec)?;
     inner.vc = meta.vc;
     inner.next_interval = meta.next_interval;
     inner.barrier_epoch = meta.barrier_epoch;
     inner.last_barrier_vc = meta.last_barrier_vc;
-    Some(meta.app_state)
+    Ok(Some(meta.app_state))
+}
+
+/// Exact framed size of a checkpoint-page record carrying `payload_len`
+/// payload bytes (used by tests asserting boundedness).
+pub fn framed_page_record_size(payload_len: usize) -> usize {
+    payload_len + FRAME_HEADER_BYTES
 }
 
 #[cfg(test)]
@@ -171,7 +272,9 @@ mod tests {
             inner.next_interval = 0;
             inner.barrier_epoch = 0;
 
-            let app = restore_meta(&mut inner).expect("checkpoint exists");
+            let app = restore_meta(&mut inner)
+                .expect("meta intact")
+                .expect("checkpoint exists");
             assert_eq!(app, b"iter=5");
             assert_eq!(inner.next_interval, 1);
             assert_eq!(inner.barrier_epoch, 2);
@@ -181,14 +284,16 @@ mod tests {
     }
 
     #[test]
-    fn second_checkpoint_is_incremental() {
+    fn second_checkpoint_is_incremental_and_compacted() {
         let cfg = DsmConfig::new(1, 4).with_page_size(64);
         run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
             let mut inner = NodeInner::new(ctx, cfg);
             // First checkpoint: all 4 home pages written.
             take_checkpoint(&mut inner, b"");
             assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 4);
-            // Modify one page, checkpoint again: only it is appended.
+            // Modify one page, checkpoint again: only its image is
+            // rewritten; the superseded one is compacted away, so the
+            // stream still holds exactly one image per page.
             inner.pages.frame_mut(1).write_u64(0, 9);
             inner
                 .pages
@@ -198,7 +303,45 @@ mod tests {
                 .unwrap()
                 .observe(IntervalId { node: 0, seq: 0 });
             take_checkpoint(&mut inner, b"");
-            assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 5);
+            assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 4);
+        });
+    }
+
+    /// Stream bytes stay bounded across many checkpoints: each one
+    /// replaces superseded images instead of appending forever.
+    #[test]
+    fn repeated_checkpoints_keep_ckpt_pages_bounded() {
+        let cfg = DsmConfig::new(1, 4).with_page_size(64);
+        run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
+            let mut inner = NodeInner::new(ctx, cfg);
+            take_checkpoint(&mut inner, b"");
+            let baseline = inner.ctx.disk.stream_bytes(CKPT_PAGES);
+            assert!(baseline > 0);
+            for round in 0..10u64 {
+                // Touch the same page every round: without compaction
+                // the stream would grow by one image per round.
+                inner.pages.frame_mut(2).write_u64(0, round);
+                inner
+                    .pages
+                    .entry_mut(2)
+                    .version
+                    .as_mut()
+                    .unwrap()
+                    .observe(IntervalId {
+                        node: 0,
+                        seq: round as u32,
+                    });
+                take_checkpoint(&mut inner, b"state");
+                assert_eq!(inner.ctx.disk.record_count(CKPT_PAGES), 4);
+            }
+            let after = inner.ctx.disk.stream_bytes(CKPT_PAGES);
+            // Version clocks grow a little as intervals accumulate, but
+            // the stream stays within a small constant of one image per
+            // page — never 10 appended images.
+            assert!(
+                after < baseline + baseline / 2,
+                "CKPT_PAGES grew {baseline} -> {after}"
+            );
         });
     }
 
@@ -207,7 +350,32 @@ mod tests {
         let cfg = DsmConfig::new(1, 1).with_page_size(64);
         run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
             let mut inner = NodeInner::new(ctx, cfg);
-            assert!(restore_meta(&mut inner).is_none());
+            assert!(restore_meta(&mut inner).unwrap().is_none());
+        });
+    }
+
+    /// Pinned regression: a garbled `CKPT_META` record used to panic
+    /// (`expect("corrupt checkpoint meta")`); now it is a typed error
+    /// the recovery path turns into degraded re-execution.
+    #[test]
+    fn garbled_meta_is_an_error_not_a_panic() {
+        let cfg = DsmConfig::new(1, 1).with_page_size(64);
+        run_cluster::<hlrc::Msg, _, _>(1, CostModel::default(), move |ctx| {
+            let mut inner = NodeInner::new(ctx, cfg);
+            take_checkpoint(&mut inner, b"good");
+            // Rot one payload bit of the persisted meta record.
+            let mut rec = inner.ctx.disk.peek_stream(CKPT_META)[0].clone();
+            let last = rec.len() - 1;
+            rec[last] ^= 0x10;
+            inner.ctx.disk.truncate(CKPT_META);
+            inner.ctx.disk.flush_records(CKPT_META, vec![rec]);
+            let err = restore_meta(&mut inner).unwrap_err();
+            assert!(matches!(err, RestoreError::Frame(FrameError::CrcMismatch)));
+            // A torn (truncated) meta record is also an error.
+            let short = inner.ctx.disk.peek_stream(CKPT_META)[0][..7].to_vec();
+            inner.ctx.disk.truncate(CKPT_META);
+            inner.ctx.disk.flush_records(CKPT_META, vec![short]);
+            assert!(restore_meta(&mut inner).is_err());
         });
     }
 }

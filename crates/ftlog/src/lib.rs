@@ -24,13 +24,20 @@
 
 mod ccl;
 pub mod checkpoint;
+pub mod frame;
 mod log_record;
 mod ml;
 mod recovery;
 pub mod related;
 
 pub use ccl::{CclLogger, CCL_STREAM};
-pub use checkpoint::{restore_meta, take_checkpoint, CheckpointMeta, CKPT_META, CKPT_PAGES};
+pub use checkpoint::{
+    restore_meta, take_checkpoint, CheckpointMeta, RestoreError, CKPT_META, CKPT_PAGES,
+};
+pub use frame::{
+    crc32, decode_frame, frame_record, framed_size, salvage, Frame, FrameError, Salvage,
+    FRAME_HEADER_BYTES, FRAME_MAGIC,
+};
 pub use log_record::{CclRecord, SyncTag};
 pub use ml::{MlLogger, ML_STREAM};
 pub use recovery::replay_apply_notices;

@@ -19,6 +19,20 @@ use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind};
 use pagemem::{Decode, Encode, PageState, VClock};
 use simnet::{SimDuration, SimTime, TraceKind};
 
+/// A record handed to replay: from the verified on-disk prefix, or
+/// synthesized from the barrier manager's release history when the log
+/// lost its tail (see [`MlLogger::begin_recovery`]).
+struct ReplayRecord {
+    msg: Msg,
+    /// Synthesized records may legitimately disagree with the
+    /// re-executed operation sequence (mid-log damage can discard the
+    /// records between the salvaged prefix and the synthesized horizon);
+    /// replay then abandons them instead of treating the drift as a
+    /// logic bug.
+    synthesized: bool,
+}
+
+use crate::frame;
 use crate::recovery::replay_apply_notices;
 
 /// Stable-storage stream holding the ML log.
@@ -36,6 +50,22 @@ pub struct MlLogger {
     /// later crash replays only the persisted prefix, re-executing the
     /// rest live (degraded recovery).
     degraded: bool,
+    /// Stream epoch stamped into every frame; bumped at each log
+    /// truncation so stale records can never join the new log.
+    epoch: u32,
+    /// Frame sequence number of the next staged record.
+    next_seq: u32,
+    /// The device is at capacity: the last flush was refused and
+    /// logging is paused until a checkpoint truncates the log. A crash
+    /// meanwhile replays the persisted prefix, then re-executes live.
+    paused_full: bool,
+    /// Verified-prefix length established by the last recovery scan
+    /// (replay never reads past it, even if a failed device refused
+    /// the repair truncation).
+    log_valid: usize,
+    /// Barrier-release records synthesized from the barrier manager's
+    /// release history, consumed by replay after the on-disk prefix.
+    synthesized: Vec<Msg>,
 }
 
 impl MlLogger {
@@ -48,6 +78,11 @@ impl MlLogger {
             restored_app: None,
             disk_free_at: SimTime::ZERO,
             degraded: false,
+            epoch: 0,
+            next_seq: 0,
+            paused_full: false,
+            log_valid: 0,
+            synthesized: Vec::new(),
         }
     }
 
@@ -61,8 +96,8 @@ impl MlLogger {
     /// device is still draining earlier flushes. The device drain itself
     /// proceeds in the background (tracked by `disk_free_at`).
     fn flush_staged(&mut self, inner: &mut NodeInner) -> SimDuration {
-        if self.degraded {
-            // The device is gone; drop anything staged since then.
+        if self.degraded || self.paused_full {
+            // The device is gone (or full); drop anything staged.
             self.staged.clear();
             self.staged_bytes = 0;
             return SimDuration::ZERO;
@@ -83,6 +118,16 @@ impl MlLogger {
             // is the one futile access that discovered the failure.
             self.degraded = true;
             inner.ctx.trace(TraceKind::LogDeviceFailed);
+            return inner.ctx.disk.model().write_time(0);
+        }
+        if inner.ctx.disk.is_full() {
+            // ENOSPC: the batch was refused whole. Pause logging —
+            // appending a later batch over the gap would poison replay
+            // — until a coordinated checkpoint truncates the log and
+            // frees the space. A crash meanwhile degrades gracefully:
+            // the persisted prefix replays, the rest re-executes live.
+            self.paused_full = true;
+            inner.ctx.trace(TraceKind::LogDeviceFull);
             return inner.ctx.disk.model().write_time(0);
         }
         let mut drain = inner.ctx.disk.model().drain_time(bytes);
@@ -110,22 +155,87 @@ impl MlLogger {
     /// the log in order, so the device cost is sequential-bandwidth
     /// plus a per-record read()/decode overhead (~100 us on the era's
     /// CPU), not a full seek per record.
-    fn next_record(&mut self, inner: &mut NodeInner) -> Option<Msg> {
+    fn next_record(&mut self, inner: &mut NodeInner) -> Option<ReplayRecord> {
         let cursor = self.cursor.as_mut().expect("not in recovery");
+        if *cursor >= self.log_valid {
+            // The on-disk prefix is consumed: continue through the
+            // synthesized barrier releases (no device transfer — their
+            // content came over the network with the history reply).
+            let msg = self.synthesized.get(*cursor - self.log_valid)?.clone();
+            *cursor += 1;
+            return Some(ReplayRecord {
+                msg,
+                synthesized: true,
+            });
+        }
         let (bytes, _) = inner.ctx.disk.read_record(ML_STREAM, *cursor)?;
         *cursor += 1;
         let cost = inner.ctx.disk.model().drain_time(bytes.len()) + SimDuration::from_micros(100);
         inner.ctx.charge_disk(cost);
-        Some(Msg::decode_from_slice(&bytes).expect("corrupt ML log record"))
+        // The recovery scan verified every record up to `log_valid`, so
+        // both unwraps hold: damage was already cut at the salvage step.
+        let frame = frame::decode_frame(&bytes).expect("verified ML frame");
+        Some(ReplayRecord {
+            msg: Msg::decode_from_slice(&frame.payload).expect("verified ML log record"),
+            synthesized: false,
+        })
     }
 
     /// After a successful replay step, drop out of recovery eagerly if
-    /// the whole log has been consumed (the pre-crash state is reached).
+    /// the whole verified log prefix (and every synthesized release) has
+    /// been consumed (the pre-crash — or pre-damage — state is reached).
     fn maybe_finish(&mut self, inner: &NodeInner) {
         if let Some(cursor) = self.cursor {
-            if cursor >= inner.ctx.disk.record_count(ML_STREAM) {
+            let limit =
+                self.log_valid.min(inner.ctx.disk.record_count(ML_STREAM)) + self.synthesized.len();
+            if cursor >= limit {
                 self.cursor = None;
             }
+        }
+    }
+
+    /// Abandon the rest of the replay: a synthesized record disagreed
+    /// with the re-executed operation sequence, so the synthesized
+    /// horizon is not reachable by guided replay. Fall back to live
+    /// re-execution from here (the pre-synthesis behavior).
+    fn abandon_replay(&mut self) -> RecoveryStep {
+        self.cursor = None;
+        self.synthesized.clear();
+        RecoveryStep::LogExhausted
+    }
+
+    /// The barrier manager's retained release history: read locally when
+    /// this node *is* the manager, fetched over the network otherwise.
+    /// A crashed manager lost its history and answers with an empty
+    /// list; synthesis then degrades to a no-op (single-failure best
+    /// effort). ML replay is otherwise purely local, so every other
+    /// message class is safe to defer until recovery ends.
+    fn fetch_release_history(
+        &mut self,
+        inner: &mut NodeInner,
+    ) -> Vec<(u32, VClock, Vec<hlrc::WriteNotice>)> {
+        let mgr = inner.cfg.barrier_manager();
+        if mgr == inner.me() {
+            return inner
+                .barrier_mgr
+                .as_ref()
+                .map(|m| m.release_history())
+                .unwrap_or_default();
+        }
+        inner
+            .ctx
+            .send(mgr, Msg::ReleaseHistoryRequest)
+            .expect("send release history request");
+        loop {
+            let env = inner.ctx.recv().expect("cluster channel closed");
+            if let Msg::ReleaseHistoryReply { .. } = &env.payload {
+                inner.ctx.absorb(&env);
+                let Msg::ReleaseHistoryReply { releases } = env.payload else {
+                    unreachable!("matched above");
+                };
+                return releases;
+            }
+            inner.ctx.defer(env);
         }
     }
 
@@ -152,7 +262,7 @@ impl FaultTolerance for MlLogger {
     }
 
     fn on_incoming(&mut self, inner: &mut NodeInner, msg: &Msg) {
-        if self.degraded {
+        if self.degraded || self.paused_full {
             return;
         }
         let log_it = matches!(
@@ -164,13 +274,16 @@ impl FaultTolerance for MlLogger {
         );
         if log_it {
             // Sized encode: one exact allocation per record (`Msg` sizes
-            // itself by arithmetic, so this costs no pre-pass encode).
-            let bytes = msg.encode_to_sized_vec();
+            // itself by arithmetic, so this costs no pre-pass encode),
+            // wrapped in the checksummed frame it will persist under.
+            let payload = msg.encode_to_sized_vec();
+            let record = frame::frame_record(self.epoch, self.next_seq, &payload);
+            self.next_seq += 1;
             inner.ctx.trace(TraceKind::LogAppend {
-                bytes: bytes.len() as u64,
+                bytes: record.len() as u64,
             });
-            self.staged_bytes += bytes.len();
-            self.staged.push(bytes);
+            self.staged_bytes += record.len();
+            self.staged.push(record);
         }
     }
 
@@ -199,18 +312,113 @@ impl FaultTolerance for MlLogger {
         self.flush_staged(inner)
     }
 
+    fn flush_before_ack(&mut self, inner: &mut NodeInner) -> SimDuration {
+        // Receiver-based pessimistic logging: once the home acks a diff
+        // flush the writer discards its copy, leaving this log as the
+        // update's only surviving record. The staged frame must be
+        // durable before the ack goes out, or a crash tearing the final
+        // flush would silently lose an update the cluster already acted
+        // on. (CCL does not need this gate — the writer's own stable
+        // log keeps the diff and recovery refetches it from there.)
+        self.flush_staged(inner)
+    }
+
     fn begin_recovery(&mut self, inner: &mut NodeInner) {
         inner.ctx.trace(TraceKind::RecoveryBegin);
         self.staged.clear();
         self.staged_bytes = 0;
-        if self.degraded || inner.ctx.disk.has_failed() {
-            // The log device died before the crash. Replay whatever
-            // prefix made it to stable storage; the tail of the
-            // pre-crash execution is simply re-executed live.
-            self.degraded = true;
+        self.synthesized.clear();
+        if self.degraded || inner.ctx.disk.has_failed() || self.paused_full {
+            // The log device died (or filled) before the crash. Replay
+            // whatever prefix made it to stable storage; the tail of
+            // the pre-crash execution is simply re-executed live.
+            self.degraded = self.degraded || inner.ctx.disk.has_failed();
             inner.ctx.trace(TraceKind::RecoveryDegraded);
         }
-        self.restored_app = crate::checkpoint::restore_meta(inner);
+        // Salvage scan: verify every frame, adopt the longest valid
+        // prefix, and cut the torn/corrupt tail off the stable stream
+        // so later appends stay contiguous.
+        let s = frame::salvage(inner.ctx.disk.peek_stream(ML_STREAM));
+        let valid = s.payloads.len();
+        if !s.is_clean() {
+            if s.crc_mismatches > 0 {
+                inner
+                    .ctx
+                    .trace(TraceKind::CrcMismatch { stream: ML_STREAM });
+            }
+            inner.ctx.trace(TraceKind::TornTailDetected {
+                stream: ML_STREAM,
+                salvaged: valid as u32,
+                discarded: s.discarded,
+            });
+            inner.ctx.disk.truncate_records(ML_STREAM, valid);
+            inner.ctx.trace(TraceKind::LogTruncated {
+                stream: ML_STREAM,
+                records: valid as u32,
+            });
+        }
+        self.log_valid = valid;
+        self.epoch = s.epoch;
+        self.next_seq = valid as u32;
+        let mut meta_rot = false;
+        match crate::checkpoint::restore_meta(inner) {
+            Ok(app) => self.restored_app = app,
+            Err(_) => {
+                // The persisted checkpoint metadata is rotten. The log
+                // begins at a checkpoint whose protocol state we cannot
+                // restore, so neither is usable: discard both and
+                // re-execute from scratch instead of panicking.
+                inner.ctx.trace(TraceKind::CrcMismatch {
+                    stream: crate::checkpoint::CKPT_META,
+                });
+                inner.ctx.trace(TraceKind::RecoveryDegraded);
+                inner.ctx.disk.truncate(crate::checkpoint::CKPT_META);
+                inner.ctx.disk.truncate(ML_STREAM);
+                self.log_valid = 0;
+                self.epoch += 1;
+                self.next_seq = 0;
+                self.restored_app = None;
+                meta_rot = true;
+            }
+        }
+        // A damaged log may have lost the final barrier-release records
+        // with its tail (the completion flush is the only batch whose
+        // durability no ack gates). Replaying only the salvaged prefix
+        // would end recovery *before* the cluster-visible horizon:
+        // deferred peer requests would be served from home copies the
+        // live catch-up has not rewritten yet, and the catch-up itself
+        // would re-send diffs the homes already applied. The barrier
+        // manager's release history holds exactly the lost releases'
+        // content (epoch, merged clock, merged notices), so synthesize
+        // them and replay to the true horizon instead.
+        if !meta_rot && (!s.is_clean() || self.degraded || self.paused_full) {
+            let last_logged = s
+                .payloads
+                .iter()
+                .filter_map(|p| match Msg::decode_from_slice(p) {
+                    Ok(Msg::BarrierRelease { epoch, .. }) => Some(epoch),
+                    _ => None,
+                })
+                .max();
+            let releases = self.fetch_release_history(inner);
+            for (epoch, vc, notices) in releases {
+                // Skip epochs the restored checkpoint already covers and
+                // epochs the salvaged prefix still has real records for.
+                if epoch < inner.barrier_epoch || last_logged.is_some_and(|e| epoch <= e) {
+                    continue;
+                }
+                self.synthesized.push(Msg::BarrierRelease {
+                    epoch,
+                    vc: vc.into(),
+                    notices: notices.into(),
+                });
+            }
+            if !self.synthesized.is_empty() {
+                inner.ctx.trace(TraceKind::SyncSynthesized {
+                    records: self.synthesized.len() as u32,
+                });
+            }
+        }
         self.cursor = Some(0);
         self.maybe_finish(inner);
     }
@@ -226,10 +434,18 @@ impl FaultTolerance for MlLogger {
             return;
         }
         // Everything before the checkpoint is no longer needed for
-        // replay: truncate the log.
+        // replay: truncate the log and open a fresh stream epoch so
+        // stale records can never be mistaken for the new log's.
         self.staged.clear();
         self.staged_bytes = 0;
         inner.ctx.disk.truncate(ML_STREAM);
+        self.epoch += 1;
+        self.next_seq = 0;
+        if self.paused_full && !inner.ctx.disk.is_full() {
+            // The truncation freed space: logging resumes cleanly from
+            // this checkpoint.
+            self.paused_full = false;
+        }
     }
 
     fn in_recovery(&self) -> bool {
@@ -238,12 +454,12 @@ impl FaultTolerance for MlLogger {
 
     fn recovery_acquire(&mut self, inner: &mut NodeInner, lock: u32) -> RecoveryStep {
         loop {
-            let Some(msg) = self.next_record(inner) else {
+            let Some(rec) = self.next_record(inner) else {
                 self.cursor = None;
                 return RecoveryStep::LogExhausted;
             };
-            match &msg {
-                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+            match &rec.msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
                 Msg::LockGrant {
                     lock: l,
                     vc,
@@ -259,27 +475,35 @@ impl FaultTolerance for MlLogger {
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }
-                other => panic!(
-                    "ML replay drift at acquire({lock}): unexpected {}",
-                    other.kind()
-                ),
+                other => {
+                    if rec.synthesized {
+                        return self.abandon_replay();
+                    }
+                    panic!(
+                        "ML replay drift at acquire({lock}): unexpected {}",
+                        other.kind()
+                    )
+                }
             }
         }
     }
 
     fn recovery_barrier(&mut self, inner: &mut NodeInner, epoch: u32) -> RecoveryStep {
         loop {
-            let Some(msg) = self.next_record(inner) else {
+            let Some(rec) = self.next_record(inner) else {
                 self.cursor = None;
                 return RecoveryStep::LogExhausted;
             };
-            match &msg {
-                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+            match &rec.msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
                 Msg::BarrierRelease {
                     epoch: e,
                     vc,
                     notices,
                 } => {
+                    if *e != epoch && rec.synthesized {
+                        return self.abandon_replay();
+                    }
                     assert_eq!(*e, epoch, "ML replay drift: wrong barrier epoch");
                     // Close the interval locally (diffs are already at
                     // their homes from before the crash).
@@ -294,22 +518,27 @@ impl FaultTolerance for MlLogger {
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }
-                other => panic!(
-                    "ML replay drift at barrier({epoch}): unexpected {}",
-                    other.kind()
-                ),
+                other => {
+                    if rec.synthesized {
+                        return self.abandon_replay();
+                    }
+                    panic!(
+                        "ML replay drift at barrier({epoch}): unexpected {}",
+                        other.kind()
+                    )
+                }
             }
         }
     }
 
     fn recovery_fault(&mut self, inner: &mut NodeInner, page: u32, _write: bool) -> RecoveryStep {
         loop {
-            let Some(msg) = self.next_record(inner) else {
+            let Some(rec) = self.next_record(inner) else {
                 self.cursor = None;
                 return RecoveryStep::LogExhausted;
             };
-            match &msg {
-                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &msg),
+            match &rec.msg {
+                Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
                 Msg::PageReply { page: p, data, .. } => {
                     assert_eq!(*p, page, "ML replay drift: wrong page reply");
                     inner.ctx.charge_copy(data.len());
@@ -320,10 +549,15 @@ impl FaultTolerance for MlLogger {
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
                 }
-                other => panic!(
-                    "ML replay drift at fault({page}): unexpected {}",
-                    other.kind()
-                ),
+                other => {
+                    if rec.synthesized {
+                        return self.abandon_replay();
+                    }
+                    panic!(
+                        "ML replay drift at fault({page}): unexpected {}",
+                        other.kind()
+                    )
+                }
             }
         }
     }

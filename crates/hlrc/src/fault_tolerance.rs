@@ -120,6 +120,17 @@ pub trait FaultTolerance: Send {
         (SimDuration::ZERO, true)
     }
 
+    /// Write-ahead gate before the home acknowledges an applied diff
+    /// flush. The ack releases the writer's only other copy of the
+    /// diff, so a protocol whose log is the *sole* recovery source for
+    /// the update (ML) must make the staged record durable first — a
+    /// crash tearing the final flush then only ever loses records no
+    /// peer acted on. CCL skips this: the writer's own stable log
+    /// keeps the diff, and recovery refetches it from there.
+    fn flush_before_ack(&mut self, inner: &mut NodeInner) -> SimDuration {
+        SimDuration::ZERO
+    }
+
     /// A checkpoint is being taken: persist whatever the protocol needs
     /// and truncate obsolete logs.
     fn on_checkpoint(&mut self, inner: &mut NodeInner) {}
@@ -158,6 +169,15 @@ pub trait FaultTolerance: Send {
     fn recovery_fault(&mut self, inner: &mut NodeInner, page: PageId, write: bool) -> RecoveryStep {
         unreachable!("page fault in recovery without a recovery protocol")
     }
+
+    /// Last step of recovery, run right before the node goes live and
+    /// the traffic deferred during replay is serviced. A protocol whose
+    /// salvage scan found the log damaged repairs its home copies here
+    /// (CCL reconciles the barrier manager's release history against
+    /// its home versions and refetches the lost updates from the
+    /// writers' stable logs) — after this returns, served pages must be
+    /// current.
+    fn finish_recovery(&mut self, inner: &mut NodeInner) {}
 
     /// Serve a surviving peer's request for logged diffs (the recovering
     /// node reconstructs remote copies from writers' stable logs).

@@ -196,6 +196,20 @@ pub enum Msg {
         /// (interval, diff) pairs found in the writer's stable log.
         diffs: Vec<(IntervalId, PageDiff)>,
     },
+    /// Recovery: ask the barrier manager for its retained episode
+    /// releases. A node whose log came back damaged (torn tail, bit
+    /// rot, dead device) reconciles this history against its home-copy
+    /// versions to learn which applied updates its log lost, then
+    /// refetches those diffs from the writers' stable logs.
+    ReleaseHistoryRequest,
+    /// Reply to [`Msg::ReleaseHistoryRequest`]: every retained episode
+    /// release, in ascending epoch order. Within one release the notice
+    /// order is the manager's merge order, which respects causality —
+    /// replaying it is a valid re-application order.
+    ReleaseHistoryReply {
+        /// (epoch, merged clock, merged notices) per completed episode.
+        releases: Vec<(u32, VClock, Vec<WriteNotice>)>,
+    },
 }
 
 impl Msg {
@@ -215,6 +229,8 @@ impl Msg {
             Msg::RecoveryPageReply { .. } => "RecoveryPageReply",
             Msg::LoggedDiffRequest { .. } => "LoggedDiffRequest",
             Msg::LoggedDiffReply { .. } => "LoggedDiffReply",
+            Msg::ReleaseHistoryRequest => "ReleaseHistoryRequest",
+            Msg::ReleaseHistoryReply { .. } => "ReleaseHistoryReply",
         }
     }
 }
@@ -308,6 +324,18 @@ impl Encode for Msg {
                     d.encode(w);
                 }
             }
+            Msg::ReleaseHistoryRequest => {
+                w.put_u8(13);
+            }
+            Msg::ReleaseHistoryReply { releases } => {
+                w.put_u8(14);
+                w.put_u32(releases.len() as u32);
+                for (epoch, vc, notices) in releases {
+                    w.put_u32(*epoch);
+                    vc.encode(w);
+                    encode_notices(w, notices);
+                }
+            }
         }
     }
 
@@ -343,6 +371,14 @@ impl Encode for Msg {
                     + diffs
                         .iter()
                         .map(|(_, d)| 8 + d.encoded_size())
+                        .sum::<usize>()
+            }
+            Msg::ReleaseHistoryRequest => 1,
+            Msg::ReleaseHistoryReply { releases } => {
+                1 + 4
+                    + releases
+                        .iter()
+                        .map(|(_, vc, n)| 4 + vc.encoded_size() + notices(n))
                         .sum::<usize>()
             }
         }
@@ -419,6 +455,17 @@ impl Decode for Msg {
                     diffs.push((iv, d));
                 }
                 Msg::LoggedDiffReply { page, diffs }
+            }
+            13 => Msg::ReleaseHistoryRequest,
+            14 => {
+                let n = r.get_u32()? as usize;
+                let mut releases = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let epoch = r.get_u32()?;
+                    let vc = VClock::decode(r)?;
+                    releases.push((epoch, vc, decode_notices(r)?));
+                }
+                Msg::ReleaseHistoryReply { releases }
             }
             t => {
                 return Err(CodecError::BadTag {
@@ -533,6 +580,10 @@ mod tests {
         roundtrip(Msg::LoggedDiffReply {
             page: 9,
             diffs: vec![(iv, sample_diff())],
+        });
+        roundtrip(Msg::ReleaseHistoryRequest);
+        roundtrip(Msg::ReleaseHistoryReply {
+            releases: vec![(0, vc.clone(), vec![notice]), (1, vc.clone(), vec![])],
         });
     }
 

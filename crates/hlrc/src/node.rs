@@ -212,10 +212,10 @@ impl HlrcNode {
                             self.ft
                                 .recovery_fault(&mut self.inner, page, access == Access::Write);
                         if step == RecoveryStep::LogExhausted {
-                            self.resume_live();
+                            self.exit_recovery();
                             self.fetch_page(page);
                         } else if !self.ft.in_recovery() {
-                            self.resume_live();
+                            self.exit_recovery();
                         }
                     } else {
                         self.fetch_page(page);
@@ -325,11 +325,11 @@ impl HlrcNode {
                 RecoveryStep::Replayed => {
                     self.inner.ctx.stats.lock_acquires += 1;
                     if !self.ft.in_recovery() {
-                        self.resume_live();
+                        self.exit_recovery();
                     }
                     return;
                 }
-                RecoveryStep::LogExhausted => self.resume_live(),
+                RecoveryStep::LogExhausted => self.exit_recovery(),
             }
         }
         // LRC: an acquire delimits the current interval.
@@ -398,11 +398,11 @@ impl HlrcNode {
                     self.inner.barrier_epoch += 1;
                     self.inner.ctx.stats.barriers += 1;
                     if !self.ft.in_recovery() {
-                        self.resume_live();
+                        self.exit_recovery();
                     }
                     return;
                 }
-                RecoveryStep::LogExhausted => self.resume_live(),
+                RecoveryStep::LogExhausted => self.exit_recovery(),
             }
         }
         self.end_interval();
@@ -722,6 +722,26 @@ impl NodeInner {
             )
             .expect("send recovery page reply");
     }
+
+    /// Answer a [`Msg::ReleaseHistoryRequest`] from the barrier
+    /// manager's retained per-epoch releases, finishing service at
+    /// `done`. A freshly crashed manager answers with an empty history
+    /// (its map was wiped with the rest of volatile memory), which the
+    /// requester treats as "nothing to repair" — best effort, exactly
+    /// like the single-failure assumption everywhere else.
+    pub fn serve_release_history(&mut self, env: &Envelope<Msg>, done: SimTime) {
+        debug_assert_eq!(self.me(), self.cfg.barrier_manager());
+        let releases = self
+            .barrier_mgr
+            .as_ref()
+            .map(|m| m.release_history())
+            .unwrap_or_default();
+        let reply = Msg::ReleaseHistoryReply { releases };
+        let copy_cost = self.ctx.cost.cpu.copy(reply.encoded_size());
+        self.ctx
+            .send_from(done + copy_cost, env.src, reply)
+            .expect("send release history reply");
+    }
 }
 
 /// The engine runs the HLRC node: the pump, the reply-while-blocked
@@ -748,7 +768,9 @@ impl CoherenceProtocol<Msg> for HlrcNode {
         self.ft.in_recovery()
             && !matches!(
                 payload,
-                Msg::RecoveryPageRequest { .. } | Msg::LoggedDiffRequest { .. }
+                Msg::RecoveryPageRequest { .. }
+                    | Msg::LoggedDiffRequest { .. }
+                    | Msg::ReleaseHistoryRequest
             )
     }
 
@@ -776,9 +798,17 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                 self.inner.pool.recycle_diff(d);
             }
             self.ft.on_updates_applied(&mut self.inner, writer, &pages);
+            // Write-ahead gate: the ack tells the writer it may discard
+            // its diff, so a protocol whose log is the only remaining
+            // copy must persist the staged record first (see
+            // [`FaultTolerance::flush_before_ack`]).
+            let wal = self.ft.flush_before_ack(&mut self.inner);
+            if wal > SimDuration::ZERO {
+                self.inner.ctx.charge_disk(wal);
+            }
             self.inner
                 .ctx
-                .send_from(done + copy_cost, src, Msg::DiffAck { writer })
+                .send_from(done + copy_cost + wal, src, Msg::DiffAck { writer })
                 .expect("send diff ack");
             return;
         }
@@ -920,6 +950,9 @@ impl CoherenceProtocol<Msg> for HlrcNode {
             Msg::LoggedDiffRequest { .. } => {
                 self.ft.serve_logged_diffs(&mut self.inner, &env);
             }
+            Msg::ReleaseHistoryRequest => {
+                self.inner.serve_release_history(&env, done);
+            }
             other => unreachable!(
                 "unexpected asynchronous message {} at node {}",
                 other.kind(),
@@ -960,8 +993,18 @@ impl HlrcNode {
             // failed log device (degraded recovery). Live re-execution
             // starts right away, so recovery formally ends here; without
             // this stamp `recovery_exit` would never be set.
-            self.resume_live();
+            self.exit_recovery();
         }
+    }
+
+    /// Leave recovery: give the fault-tolerance layer its last word
+    /// (home-copy repair from surviving logs, see
+    /// [`FaultTolerance::finish_recovery`]) and only then go live and
+    /// service the traffic deferred during replay — survivors must
+    /// never be handed a page the repair pass was about to fix.
+    fn exit_recovery(&mut self) {
+        self.ft.finish_recovery(&mut self.inner);
+        self.resume_live();
     }
 
     /// Total encoded bytes of a message (diagnostics helper).

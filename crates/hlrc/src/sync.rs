@@ -150,6 +150,19 @@ impl BarrierMgr {
         self.released.get(&epoch).map(|(vc, n)| (vc, n))
     }
 
+    /// Every retained release in ascending epoch order, for a
+    /// [`crate::Msg::ReleaseHistoryReply`]. A recovering home replays
+    /// this history to find updates its damaged log lost.
+    pub fn release_history(&self) -> Vec<(u32, VClock, Vec<WriteNotice>)> {
+        let mut v: Vec<_> = self
+            .released
+            .iter()
+            .map(|(e, (vc, n))| (*e, (**vc).clone(), n.to_vec()))
+            .collect();
+        v.sort_unstable_by_key(|(e, ..)| *e);
+        v
+    }
+
     /// Record one node's arrival. Returns true when everyone is in.
     pub fn arrive(
         &mut self,

@@ -22,7 +22,9 @@
 //! verification pass.
 
 use ccl_apps::App;
-use ccl_core::{CrashPlan, FaultPlan, Partition, Protocol, RunOutput, SimDuration, SimTime};
+use ccl_core::{
+    CrashPlan, DiskFaultPlan, FaultPlan, Partition, Protocol, RunOutput, SimDuration, SimTime,
+};
 use obsv::report::{trace_fingerprint, Scale};
 
 /// Fixed chaos schedules, in replay order. Each is fully determined by
@@ -144,6 +146,44 @@ fn main() {
                     }
                 });
             }
+        }
+    }
+
+    // Stable-storage damage must be just as reproducible as network
+    // chaos: the mid-flush tear, the salvage scan, the synthesized
+    // replay horizon, and the repair wave are all seeded/deterministic,
+    // so two same-spec runs must agree byte-for-byte here too.
+    println!("== durability matrix ({}) ==", scale.label());
+    let mut seed = 0xD15C_C4A5_4ED0_u64;
+    for app in App::ALL {
+        for protocol in [Protocol::Ml, Protocol::Ccl] {
+            seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let torn_seed = seed;
+            let label = format!("{}/{}/torn", app.name(), protocol.label());
+            failures += check_pair(&label, || {
+                let crash = if torn_seed.is_multiple_of(2) {
+                    CrashPlan::new(1, 3).with_torn_tail(torn_seed)
+                } else {
+                    CrashPlan::new(1, 3).with_garbled_tail(torn_seed)
+                };
+                let spec = scale.spec(app, protocol).with_crash(crash);
+                match scale {
+                    Scale::Paper => ccl_core::run_program(spec, move |dsm| app.run_paper(dsm)),
+                    Scale::Smoke => ccl_core::run_program(spec, move |dsm| app.run_tiny(dsm)),
+                }
+            });
+            let rot_seed = seed.rotate_left(17);
+            let label = format!("{}/{}/rot", app.name(), protocol.label());
+            failures += check_pair(&label, || {
+                let spec = scale
+                    .spec(app, protocol)
+                    .with_disk_fault(1, DiskFaultPlan::bit_rot(rot_seed, 350))
+                    .with_crash(CrashPlan::new(1, 3));
+                match scale {
+                    Scale::Paper => ccl_core::run_program(spec, move |dsm| app.run_paper(dsm)),
+                    Scale::Smoke => ccl_core::run_program(spec, move |dsm| app.run_tiny(dsm)),
+                }
+            });
         }
     }
 

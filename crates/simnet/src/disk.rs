@@ -27,6 +27,12 @@ pub struct DiskCounters {
     pub write_retries: u64,
     /// Writes lost because the device had failed permanently.
     pub failed_writes: u64,
+    /// Flushes refused whole because the device was at capacity.
+    pub full_writes: u64,
+    /// Records damaged or lost by a mid-flush crash (torn tail).
+    pub torn_records: u64,
+    /// Records silently damaged at rest by injected latent bit rot.
+    pub corrupted_records: u64,
 }
 
 /// A simulated local disk holding named append-only record streams.
@@ -40,6 +46,11 @@ pub struct SimDisk {
     /// Permanently failed for writes. Previously persisted data stays
     /// readable (a dead log device, not media loss).
     failed: bool,
+    /// At capacity: flushes are refused until a truncation frees space.
+    full: bool,
+    /// The most recent successful flush: `(stream, first record index)`.
+    /// A mid-flush crash tears into exactly this batch.
+    last_flush: Option<(String, usize)>,
 }
 
 #[derive(Debug)]
@@ -58,6 +69,8 @@ impl SimDisk {
             counters: DiskCounters::default(),
             faults: None,
             failed: false,
+            full: false,
+            last_flush: None,
         }
     }
 
@@ -76,6 +89,29 @@ impl SimDisk {
     /// True once the device has failed permanently for writes.
     pub fn has_failed(&self) -> bool {
         self.failed
+    }
+
+    /// True while the device is at its capacity bound: the last flush
+    /// was refused and nothing will persist until a truncation frees
+    /// space (the deterministic `LogDeviceFull` condition).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Total bytes persisted across all streams.
+    pub fn used_bytes(&self) -> u64 {
+        self.streams
+            .values()
+            .flatten()
+            .map(|r| r.len() as u64)
+            .sum()
+    }
+
+    /// Recompute the capacity condition after records were freed.
+    fn update_full(&mut self) {
+        if let Some(cap) = self.faults.as_ref().and_then(|st| st.plan.capacity_bytes) {
+            self.full = self.used_bytes() >= cap;
+        }
     }
 
     /// The disk's cost model.
@@ -105,11 +141,13 @@ impl SimDisk {
             return self.flush_records_faulty(stream, records.into_iter().collect());
         }
         let dst = self.streams.entry(stream.to_string()).or_default();
+        let first = dst.len();
         let mut bytes = 0usize;
         for r in records {
             bytes += r.len();
             dst.push(r);
         }
+        self.last_flush = Some((stream.to_string(), first));
         self.counters.writes += 1;
         self.counters.bytes_written += bytes as u64;
         self.model.write_time(bytes)
@@ -119,6 +157,22 @@ impl SimDisk {
     /// lose) the batch.
     fn flush_records_faulty(&mut self, stream: &str, records: Vec<Vec<u8>>) -> SimDuration {
         let bytes: usize = records.iter().map(|r| r.len()).sum();
+        // Capacity bound: a flush that would overflow is refused whole
+        // (nothing persists) and the device reports itself full until a
+        // truncation frees space. The caller pays one futile access
+        // discovering ENOSPC.
+        if !self.failed {
+            let used = self.used_bytes();
+            if let Some(cap) = self.faults.as_ref().and_then(|st| st.plan.capacity_bytes) {
+                if used + bytes as u64 > cap {
+                    self.full = true;
+                }
+            }
+            if self.full {
+                self.counters.full_writes += 1;
+                return self.model.write_time(0);
+            }
+        }
         let mut retried = false;
         if !self.failed {
             if let Some(st) = self.faults.as_mut() {
@@ -141,9 +195,28 @@ impl SimDisk {
             return self.model.write_time(0);
         }
         let dst = self.streams.entry(stream.to_string()).or_default();
-        for r in records {
-            dst.push(r);
+        let first = dst.len();
+        // Latent bit rot is injected while the record is persisted
+        // (deterministic regardless of read order); like real media
+        // decay it is only *detected* when a recovery scan verifies
+        // the record's frame CRC.
+        let faults = self.faults.as_mut();
+        let mut corrupted = 0u64;
+        if let Some(st) = faults {
+            let per_mille = st.plan.corrupt_per_mille;
+            for mut r in records {
+                if per_mille > 0 && st.rng.below(1000) < per_mille as u64 && !r.is_empty() {
+                    let bit = st.rng.below(r.len() as u64 * 8) as usize;
+                    r[bit / 8] ^= 1 << (bit % 8);
+                    corrupted += 1;
+                }
+                dst.push(r);
+            }
+        } else {
+            dst.extend(records);
         }
+        self.counters.corrupted_records += corrupted;
+        self.last_flush = Some((stream.to_string(), first));
         self.counters.writes += 1;
         self.counters.bytes_written += bytes as u64;
         let mut cost = self.model.write_time(bytes);
@@ -152,6 +225,43 @@ impl SimDisk {
             cost += self.model.write_time(bytes);
         }
         cost
+    }
+
+    /// Tear into the most recent successful flush, as a crash landing
+    /// mid-access would: a seeded prefix of the batch stays fully
+    /// persisted, the next record is damaged (`garble` flips one seeded
+    /// bit; otherwise the record is truncated short), and the rest of
+    /// the batch never reaches the platter. Returns false if there is
+    /// no flushed batch to tear.
+    ///
+    /// All randomness comes from `seed`, so a given crash schedule
+    /// tears identically in every run.
+    pub fn tear_last_flush(&mut self, seed: u64, garble: bool) -> bool {
+        let Some((stream, first)) = self.last_flush.clone() else {
+            return false;
+        };
+        let Some(v) = self.streams.get_mut(&stream) else {
+            return false;
+        };
+        if first >= v.len() {
+            return false;
+        }
+        let batch = v.len() - first;
+        let mut rng = SplitMix64::new(seed);
+        let keep = rng.below(batch as u64) as usize;
+        let victim = &mut v[first + keep];
+        if garble && !victim.is_empty() {
+            let bit = rng.below(victim.len() as u64 * 8) as usize;
+            victim[bit / 8] ^= 1 << (bit % 8);
+        } else {
+            let torn_len = rng.below(victim.len().max(1) as u64) as usize;
+            victim.truncate(torn_len);
+        }
+        v.truncate(first + keep + 1);
+        self.counters.torn_records += (batch - keep) as u64;
+        self.last_flush = None;
+        self.update_full();
+        true
     }
 
     /// Number of records currently in `stream`.
@@ -194,6 +304,11 @@ impl SimDisk {
                 v[start..end].to_vec()
             })
             .unwrap_or_default();
+        if recs.is_empty() {
+            // Nothing to transfer: no access happened, no time passes
+            // (Table 2 read counts must not include empty probes).
+            return (recs, SimDuration::ZERO);
+        }
         let bytes: usize = recs.iter().map(|r| r.len()).sum();
         self.counters.reads += 1;
         self.counters.bytes_read += bytes as u64;
@@ -212,7 +327,11 @@ impl SimDisk {
 
     /// Cost of one sequential read of `bytes` (explicit charging
     /// companion to [`SimDisk::peek_stream`]); counts as one access.
+    /// A zero-byte read is no access at all: free and uncounted.
     pub fn read_cost(&mut self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
         self.counters.reads += 1;
         self.counters.bytes_read += bytes as u64;
         self.model.read_time(bytes)
@@ -229,6 +348,44 @@ impl SimDisk {
         if let Some(v) = self.streams.get_mut(stream) {
             v.clear();
         }
+        self.update_full();
+    }
+
+    /// Cut `stream` down to its first `keep` records (salvage repair:
+    /// a verified prefix survives, the torn/corrupt tail is removed).
+    /// Free, like `ftruncate`. A permanently failed device refuses,
+    /// same as [`SimDisk::truncate`].
+    pub fn truncate_records(&mut self, stream: &str, keep: usize) {
+        if self.failed {
+            return;
+        }
+        if let Some(v) = self.streams.get_mut(stream) {
+            v.truncate(keep);
+        }
+        self.update_full();
+    }
+
+    /// Replace `stream`'s contents wholesale (checkpoint compaction:
+    /// retained images plus newly written ones). Charges one write
+    /// access of `charged_bytes` — only the *new* bytes; retained
+    /// records are already on the platter and move by rename. A failed
+    /// device refuses and the caller pays one futile access.
+    pub fn rewrite_stream(
+        &mut self,
+        stream: &str,
+        records: Vec<Vec<u8>>,
+        charged_bytes: usize,
+    ) -> SimDuration {
+        if self.failed {
+            self.counters.failed_writes += 1;
+            return self.model.write_time(0);
+        }
+        self.streams.insert(stream.to_string(), records);
+        self.last_flush = None;
+        self.counters.writes += 1;
+        self.counters.bytes_written += charged_bytes as u64;
+        self.update_full();
+        self.model.write_time(charged_bytes)
     }
 
     /// Names of all non-empty streams (diagnostics).
@@ -370,5 +527,125 @@ mod tests {
         d.flush_records("a", vec![vec![1]]);
         d.flush_records("b", Vec::<Vec<u8>>::new());
         assert_eq!(d.stream_names(), vec!["a"]);
+    }
+
+    /// Read counters are exact: probing a missing or empty stream, or
+    /// charging a zero-byte read, is not a disk access (Table 2 read
+    /// counts must only reflect real transfers).
+    #[test]
+    fn empty_reads_are_not_accesses() {
+        let mut d = disk();
+        let (recs, cost) = d.read_range("missing", 0..10);
+        assert!(recs.is_empty());
+        assert_eq!(cost, SimDuration::ZERO);
+        assert_eq!(d.read_cost(0), SimDuration::ZERO);
+        d.flush_records("log", vec![vec![1u8; 4]]);
+        let (_, _) = d.read_range("log", 5..9); // clamped to empty
+        assert_eq!(d.counters().reads, 0);
+        assert_eq!(d.counters().bytes_read, 0);
+        // A real transfer still counts exactly once.
+        let (_, _) = d.read_range("log", 0..1);
+        assert_eq!(d.counters().reads, 1);
+        assert_eq!(d.counters().bytes_read, 4);
+    }
+
+    #[test]
+    fn capacity_bound_refuses_overflow_until_truncation() {
+        let mut d = disk();
+        d.set_faults(DiskFaultPlan::none().with_capacity(100));
+        d.flush_records("log", vec![vec![1u8; 60]]);
+        assert!(!d.is_full());
+        // This flush would overflow: refused whole, device now full.
+        d.flush_records("log", vec![vec![2u8; 60]]);
+        assert!(d.is_full());
+        assert_eq!(d.record_count("log"), 1);
+        assert_eq!(d.counters().full_writes, 1);
+        // Still full: later flushes keep being refused.
+        d.flush_records("log", vec![vec![3u8; 1]]);
+        assert_eq!(d.counters().full_writes, 2);
+        // Truncation frees space and clears the condition.
+        d.truncate("log");
+        assert!(!d.is_full());
+        d.flush_records("log", vec![vec![4u8; 60]]);
+        assert_eq!(d.record_count("log"), 1);
+    }
+
+    #[test]
+    fn tear_last_flush_keeps_prefix_and_damages_tail() {
+        let mut d = disk();
+        d.flush_records("log", vec![vec![0u8; 8]]);
+        d.flush_records("log", (0..5).map(|i| vec![i as u8 + 1; 16]));
+        assert!(d.tear_last_flush(0xBEEF, false));
+        // The earlier flush is untouched; the torn batch keeps a
+        // prefix plus one short record, and the rest is gone.
+        let n = d.record_count("log");
+        assert!((2..=6).contains(&n), "{n} records survived");
+        assert_eq!(d.peek_stream("log")[0], vec![0u8; 8]);
+        let last = d.peek_stream("log").last().unwrap();
+        assert!(last.len() < 16, "torn record must be short");
+        assert!(d.counters().torn_records > 0);
+        // The batch is consumed: a second tear finds nothing.
+        assert!(!d.tear_last_flush(0xBEEF, false));
+    }
+
+    #[test]
+    fn tear_is_deterministic_per_seed() {
+        let run = |seed: u64, garble: bool| {
+            let mut d = disk();
+            d.flush_records("log", (0..6).map(|i| vec![i as u8; 32]));
+            d.tear_last_flush(seed, garble);
+            d.peek_stream("log").to_vec()
+        };
+        assert_eq!(run(7, false), run(7, false));
+        assert_eq!(run(7, true), run(7, true));
+        assert_ne!(run(7, false), run(8, false));
+    }
+
+    #[test]
+    fn garbled_tear_flips_one_bit() {
+        let mut d = disk();
+        d.flush_records("log", vec![vec![0u8; 64]]);
+        assert!(d.tear_last_flush(3, true));
+        let rec = &d.peek_stream("log")[0];
+        assert_eq!(rec.len(), 64, "garble keeps the length");
+        let flipped: u32 = rec.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
+    }
+
+    #[test]
+    fn bit_rot_damages_records_deterministically() {
+        let mut d = disk();
+        d.set_faults(DiskFaultPlan::bit_rot(42, 1000)); // every record
+        d.flush_records("log", vec![vec![0u8; 32], vec![0u8; 32]]);
+        assert_eq!(d.counters().corrupted_records, 2);
+        for rec in d.peek_stream("log") {
+            let flipped: u32 = rec.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(flipped, 1);
+        }
+        let mut e = disk();
+        e.set_faults(DiskFaultPlan::bit_rot(42, 1000));
+        e.flush_records("log", vec![vec![0u8; 32], vec![0u8; 32]]);
+        assert_eq!(d.peek_stream("log"), e.peek_stream("log"));
+    }
+
+    #[test]
+    fn truncate_records_cuts_tail_only() {
+        let mut d = disk();
+        d.flush_records("log", (0..5).map(|i| vec![i as u8; 4]));
+        d.truncate_records("log", 3);
+        assert_eq!(d.record_count("log"), 3);
+        assert_eq!(d.peek_stream("log")[2], vec![2u8; 4]);
+    }
+
+    #[test]
+    fn rewrite_stream_replaces_and_charges_only_new_bytes() {
+        let mut d = disk();
+        d.flush_records("ckpt", (0..4).map(|i| vec![i as u8; 100]));
+        let before = d.counters();
+        let cost = d.rewrite_stream("ckpt", vec![vec![9u8; 100], vec![8u8; 50]], 50);
+        assert_eq!(d.record_count("ckpt"), 2);
+        assert_eq!(d.counters().writes, before.writes + 1);
+        assert_eq!(d.counters().bytes_written, before.bytes_written + 50);
+        assert_eq!(cost, DiskModel::ULTRA5_LOCAL.write_time(50));
     }
 }

@@ -167,6 +167,55 @@ pub enum TraceKind {
         /// Stable payload-kind label (see [`WireSized::msg_label`]).
         msg: &'static str,
     },
+    /// The log device hit its capacity bound: the flush was refused and
+    /// logging is paused until a checkpoint truncates the log.
+    LogDeviceFull,
+    /// A recovery scan found a torn tail (mid-flush crash): the stream
+    /// was cut to its longest verified prefix.
+    TornTailDetected {
+        /// The damaged stable stream.
+        stream: &'static str,
+        /// Records in the verified prefix that was salvaged.
+        salvaged: u32,
+        /// Records discarded (the torn frame and everything after it).
+        discarded: u32,
+    },
+    /// A recovery scan found a frame whose CRC (or magic) check failed:
+    /// latent bit rot or a garbled write.
+    CrcMismatch {
+        /// The damaged stable stream.
+        stream: &'static str,
+    },
+    /// A stable stream was cut down to a verified prefix (salvage
+    /// repair) — distinct from the free post-checkpoint truncation.
+    LogTruncated {
+        /// The repaired stream.
+        stream: &'static str,
+        /// Records surviving the cut.
+        records: u32,
+    },
+    /// A coordinated checkpoint completed, with its compaction effect.
+    CheckpointTaken {
+        /// Page images written by this checkpoint.
+        pages: u32,
+        /// Superseded page images dropped from `CKPT_PAGES`.
+        compacted: u32,
+    },
+    /// A recovering home whose log was damaged refetched the updates
+    /// its pages were missing from the surviving writers' stable logs.
+    HomeRepair {
+        /// Missing write notices reconciled against the release history.
+        notices: u32,
+        /// Logged diffs actually fetched and re-applied.
+        diffs: u32,
+    },
+    /// A recovering node whose log lost its tail synthesized the missing
+    /// barrier `Sync` records from the barrier manager's release history
+    /// so replay extends to the true pre-crash horizon.
+    SyncSynthesized {
+        /// Barrier records appended to the replay sequence.
+        records: u32,
+    },
 }
 
 impl TraceKind {
@@ -197,6 +246,13 @@ impl TraceKind {
             TraceKind::RecoveryDegraded => "recovery_degraded",
             TraceKind::MsgSend { .. } => "msg_send",
             TraceKind::MsgRecv { .. } => "msg_recv",
+            TraceKind::LogDeviceFull => "log_device_full",
+            TraceKind::TornTailDetected { .. } => "torn_tail_detected",
+            TraceKind::CrcMismatch { .. } => "crc_mismatch",
+            TraceKind::LogTruncated { .. } => "log_truncated",
+            TraceKind::CheckpointTaken { .. } => "checkpoint_taken",
+            TraceKind::HomeRepair { .. } => "home_repair",
+            TraceKind::SyncSynthesized { .. } => "sync_synthesized",
         }
     }
 }
@@ -246,6 +302,26 @@ mod tests {
                 seq: 1,
                 msg: "m",
             },
+            TraceKind::LogDeviceFull,
+            TraceKind::TornTailDetected {
+                stream: "s",
+                salvaged: 1,
+                discarded: 1,
+            },
+            TraceKind::CrcMismatch { stream: "s" },
+            TraceKind::LogTruncated {
+                stream: "s",
+                records: 1,
+            },
+            TraceKind::CheckpointTaken {
+                pages: 1,
+                compacted: 1,
+            },
+            TraceKind::HomeRepair {
+                notices: 1,
+                diffs: 1,
+            },
+            TraceKind::SyncSynthesized { records: 1 },
         ]
     }
 
@@ -274,6 +350,13 @@ mod tests {
             TraceKind::RecoveryDegraded => 20,
             TraceKind::MsgSend { .. } => 21,
             TraceKind::MsgRecv { .. } => 22,
+            TraceKind::LogDeviceFull => 23,
+            TraceKind::TornTailDetected { .. } => 24,
+            TraceKind::CrcMismatch { .. } => 25,
+            TraceKind::LogTruncated { .. } => 26,
+            TraceKind::CheckpointTaken { .. } => 27,
+            TraceKind::HomeRepair { .. } => 28,
+            TraceKind::SyncSynthesized { .. } => 29,
         }
     }
 

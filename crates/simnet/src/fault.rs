@@ -321,6 +321,17 @@ pub struct DiskFaultPlan {
     /// itself failed. Reads of previously persisted data still work
     /// (the paper's "log disk gone" degradation, not media loss).
     pub fail_after_writes: Option<u64>,
+    /// Probability (per mille) that a persisted record suffers latent
+    /// bit rot: one seeded bit of the stored copy is flipped. The rot
+    /// is injected at persist time (deterministic regardless of read
+    /// order) but — like real media decay — only *detected* when a
+    /// recovery scan verifies the record's frame CRC.
+    pub corrupt_per_mille: u16,
+    /// If set, the device holds at most this many bytes across all
+    /// streams: a flush that would exceed the bound is refused in full
+    /// and the device reports itself full until a truncation frees
+    /// space (the deterministic `LogDeviceFull` condition).
+    pub capacity_bytes: Option<u64>,
 }
 
 impl DiskFaultPlan {
@@ -330,6 +341,8 @@ impl DiskFaultPlan {
             seed: 0,
             transient_per_mille: 0,
             fail_after_writes: None,
+            corrupt_per_mille: 0,
+            capacity_bytes: None,
         }
     }
 
@@ -337,24 +350,53 @@ impl DiskFaultPlan {
     /// probability, no permanent failure.
     pub fn transient(seed: u64, per_mille: u16) -> DiskFaultPlan {
         DiskFaultPlan {
-            seed,
             transient_per_mille: per_mille,
-            fail_after_writes: None,
+            ..DiskFaultPlan::none_with_seed(seed)
         }
     }
 
     /// Permanent failure at the `n`th write (1-based).
     pub fn permanent_at(n: u64) -> DiskFaultPlan {
         DiskFaultPlan {
-            seed: 0,
-            transient_per_mille: 0,
             fail_after_writes: Some(n),
+            ..DiskFaultPlan::none()
+        }
+    }
+
+    /// Latent bit rot: each persisted record is silently damaged with
+    /// the given probability (detected later by frame CRC scans).
+    pub fn bit_rot(seed: u64, per_mille: u16) -> DiskFaultPlan {
+        DiskFaultPlan {
+            corrupt_per_mille: per_mille,
+            ..DiskFaultPlan::none_with_seed(seed)
+        }
+    }
+
+    /// Add latent bit rot to this plan.
+    pub fn with_bit_rot(mut self, per_mille: u16) -> DiskFaultPlan {
+        self.corrupt_per_mille = per_mille;
+        self
+    }
+
+    /// Bound the device's total capacity in bytes.
+    pub fn with_capacity(mut self, bytes: u64) -> DiskFaultPlan {
+        self.capacity_bytes = Some(bytes);
+        self
+    }
+
+    fn none_with_seed(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            ..DiskFaultPlan::none()
         }
     }
 
     /// True if this plan can never perturb a write.
     pub fn is_none(&self) -> bool {
-        self.transient_per_mille == 0 && self.fail_after_writes.is_none()
+        self.transient_per_mille == 0
+            && self.fail_after_writes.is_none()
+            && self.corrupt_per_mille == 0
+            && self.capacity_bytes.is_none()
     }
 }
 

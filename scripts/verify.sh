@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> chaos smoke (2 seeded fault schedules per app/protocol)"
 CHAOS_SCHEDULES=2 cargo test -q --test chaos
 
+echo "==> checkpoint-cadence smoke (bounded logs, torn-crash restart, device-full resume)"
+cargo test -q --test checkpoint_cadence
+
 echo "==> determinism gate (every app x protocol twice same-seed, byte-compared)"
 # Runs every app x {None, ML, CCL} twice with identical specs and
 # requires byte-identical phases_json plus equal full trace

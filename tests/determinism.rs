@@ -75,17 +75,17 @@ fn goldens() -> Vec<Golden> {
             App::Fft3d,
             Ml,
             0x360c9ba06b0461e6,
-            32_946_642,
-            93_228,
-            0x10dce3b5eedff813,
+            32_990_382,
+            99_060,
+            0x98dd14739038219f,
         ),
         g(
             App::Fft3d,
             Ccl,
             0x360c9ba06b0461e6,
-            32_388_930,
-            9_036,
-            0x741b365a47565b87,
+            32_393_790,
+            9_684,
+            0xbeaa402f9028bdf7,
         ),
         g(
             App::Shallow,
@@ -99,17 +99,17 @@ fn goldens() -> Vec<Golden> {
             App::Shallow,
             Ml,
             0xe13d122136fea4e6,
-            25_140_492,
-            66_120,
-            0x345ed51edb0ff322,
+            25_169_652,
+            70_008,
+            0x8069d3f84780249e,
         ),
         g(
             App::Shallow,
             Ccl,
             0xe13d122136fea4e6,
-            24_795_288,
-            14_256,
-            0x2fd38087847310c4,
+            24_801_768,
+            15_120,
+            0xeaba6a6d00d6dbec,
         ),
     ]
 }
@@ -142,17 +142,17 @@ fn paper_goldens() -> Vec<Golden> {
             App::Mg,
             Ml,
             0x75aeac31809fd6dd,
-            469_015_462,
-            8_222_396,
-            0xbb8598f34766a40f,
+            469_295_722,
+            8_260_196,
+            0x3e88e2e4e52f449b,
         ),
         g(
             App::Mg,
             Ccl,
             0x75aeac31809fd6dd,
-            426_190_070,
-            604_744,
-            0xb45c33ed8a371b1b,
+            426_208_970,
+            609_784,
+            0x0bdaacb793237fdb,
         ),
         g(
             App::Water,
@@ -166,17 +166,17 @@ fn paper_goldens() -> Vec<Golden> {
             App::Water,
             Ml,
             0xb0c39b2ef95f7bdb,
-            1_633_053_316,
-            1_974_953,
-            0x506e192580f85324,
+            1_633_811_756,
+            1_991_423,
+            0x14cccbe408d1f33f,
         ),
         g(
             App::Water,
             Ccl,
             0xb0c39b2ef95f7bdb,
-            1_622_908_312,
-            399_552,
-            0x7b0ba2ab35a09766,
+            1_622_985_572,
+            412_872,
+            0x12622ef9f93b7ee8,
         ),
     ]
 }
