@@ -229,10 +229,11 @@ impl<R> RunOutput<R> {
     }
 
     /// Physical-layer scheduler telemetry as a JSON string: per-node
-    /// watermark-stall counts from the conservative virtual-time
-    /// scheduler. Kept out of [`phases_json`](Self::phases_json) on
-    /// purpose — stall counts depend on real thread interleaving, so
-    /// two bit-identical runs may differ here. The bench harness prints
+    /// watermark-stall counts and park-duration (wall-clock ns)
+    /// summaries from the conservative virtual-time scheduler. Kept out
+    /// of [`phases_json`](Self::phases_json) on purpose — stalls and
+    /// park times depend on real thread interleaving, so two
+    /// bit-identical runs may differ here. The bench harness prints
     /// this separately so overhead is recorded without breaking the
     /// byte-for-byte determinism contract on the main telemetry.
     pub fn sched_json(&self, label: &str) -> String {
@@ -247,10 +248,18 @@ impl<R> RunOutput<R> {
             if i > 0 {
                 s.push(',');
             }
+            let park = &n.metrics.park_ns;
             let _ = write!(
                 s,
-                "{{\"node\":{},\"sched_stalls\":{}}}",
-                n.node, n.stats.sched_stalls
+                "{{\"node\":{},\"sched_stalls\":{},\"park_ns\":{{\"count\":{},\
+                 \"sum\":{},\"p50\":{},\"p99\":{},\"max\":{}}}}}",
+                n.node,
+                n.stats.sched_stalls,
+                park.count(),
+                park.sum(),
+                park.quantile(0.5),
+                park.quantile(0.99),
+                park.max()
             );
         }
         s.push_str("]}");

@@ -76,6 +76,49 @@ fn node_events<R>(out: &mut String, first: &mut bool, n: &NodeOutput<R>) {
             n.trace_dropped,
         ),
     );
+    // Scheduler-health counter track: watermark stalls next to the
+    // compute/wait/disk phases, so physical scheduler overhead is
+    // visible in the same UI as the virtual-time story. Counters are
+    // cumulative per node (0 at start, the final count at finish), and
+    // the run slice's args carry the park-duration summary. Both are
+    // wall-clock telemetry: they may differ between bit-identical runs,
+    // which is fine because the chrome export is a debugging artifact,
+    // never a determinism-gated golden.
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":0,\
+             \"name\":\"sched_stalls node {tid}\",\"cat\":\"sched\",\
+             \"args\":{{\"stalls\":0}}}}"
+        ),
+    );
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{},\
+             \"name\":\"sched_stalls node {tid}\",\"cat\":\"sched\",\
+             \"args\":{{\"stalls\":{}}}}}",
+            us(n.finish.as_nanos()),
+            n.stats.sched_stalls,
+        ),
+    );
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":0,\"dur\":0,\
+             \"name\":\"sched park summary\",\"cat\":\"sched\",\"args\":{{\
+             \"parks\":{},\"park_ns_sum\":{},\"park_ns_p50\":{},\
+             \"park_ns_p99\":{},\"park_ns_max\":{}}}}}",
+            n.metrics.park_ns.count(),
+            n.metrics.park_ns.sum(),
+            n.metrics.park_ns.quantile(0.5),
+            n.metrics.park_ns.quantile(0.99),
+            n.metrics.park_ns.max(),
+        ),
+    );
     if let (Some(crash), Some(exit)) = (n.crashed_at, n.recovery_exit) {
         push_event(
             out,
@@ -252,6 +295,37 @@ mod tests {
         let text = chrome_trace(&run, "tiny/ccl");
         let finishes = text.matches("\"ph\":\"f\"").count() as u64;
         assert_eq!(finishes, total_recv);
+    }
+
+    #[test]
+    fn every_node_gets_a_sched_counter_track() {
+        let run = tiny_run();
+        let text = chrome_trace(&run, "tiny/ccl");
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        // Two counter samples per node: 0 at ts=0, the final stall
+        // count at the node's finish time.
+        assert_eq!(counters.len(), 2 * run.nodes.len());
+        for node in &run.nodes {
+            let last = counters
+                .iter()
+                .filter(|e| {
+                    e.get("tid").unwrap().as_f64().unwrap() as usize == node.node
+                        && e.get("ts").unwrap().as_f64().unwrap() > 0.0
+                })
+                .count();
+            assert_eq!(last, 1, "node {} missing its final sample", node.node);
+        }
+        // The park summary rides along once per node.
+        let parks = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|s| s.as_str()) == Some("sched park summary"))
+            .count();
+        assert_eq!(parks, run.nodes.len());
     }
 
     #[test]

@@ -291,6 +291,12 @@ impl PageDiff {
     /// Apply this diff to `target` (the home copy, or a copy being
     /// reconstructed during recovery).
     ///
+    /// Single-word runs take a fixed-size copy path: a scattered diff
+    /// (false-sharing access patterns) is almost entirely 4-byte runs,
+    /// and a generic `copy_from_slice` pays a `memcpy` call plus
+    /// length dispatch per run — more than the copy itself at that
+    /// size. The fixed-size path compiles to one load/store pair.
+    ///
     /// # Panics
     /// Panics if a run falls outside the page. For input that crossed a
     /// trust boundary (wire or log), use [`PageDiff::apply_checked`].
@@ -298,7 +304,13 @@ impl PageDiff {
         let bytes = target.bytes_mut();
         for run in &self.runs {
             let start = run.offset as usize;
-            bytes[start..start + run.data.len()].copy_from_slice(&run.data);
+            let data = run.data.as_slice();
+            if let Ok(word) = <&[u8; DIFF_WORD]>::try_from(data) {
+                let dst = &mut bytes[start..start + DIFF_WORD];
+                dst.copy_from_slice(word);
+            } else {
+                bytes[start..start + data.len()].copy_from_slice(data);
+            }
         }
     }
 

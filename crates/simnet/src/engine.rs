@@ -500,7 +500,10 @@ pub trait CoherenceProtocol<M: WireSized> {
     /// points and whenever the node blocks. Bounded by the node's own
     /// clock: the conservative scheduler only releases envelopes the
     /// node could observe "now", so pumping never waits on peers that
-    /// are merely behind.
+    /// are merely behind. [`NodeCtx::recv_arrived`] pulls whole batches
+    /// of admissible envelopes out of the sharded fabric under one lock
+    /// acquisition and replays them from a local buffer, so a busy
+    /// service pump costs one fabric visit per burst, not per message.
     fn pump(&mut self) {
         while let Some(env) = self.ctx().recv_arrived() {
             if self.must_defer(&env.payload) {

@@ -169,6 +169,13 @@ pub struct NodeMetrics {
     pub lock_wait_ns: Histogram,
     /// Virtual nanoseconds of retransmission backoff per faulted send.
     pub retransmit_backoff_ns: Histogram,
+    /// *Wall-clock* nanoseconds per scheduler park (one sample per park
+    /// of this node's endpoint). Physical-layer telemetry like
+    /// `sched_stalls`: two identical runs may park differently, so this
+    /// histogram is deliberately absent from [`NodeMetrics::iter`] (the
+    /// deterministic exporter surface) and flows out only through the
+    /// scheduler-health exports (`sched_json`, trace counter tracks).
+    pub park_ns: Histogram,
 }
 
 impl NodeMetrics {
@@ -182,16 +189,20 @@ impl NodeMetrics {
             fetch_latency_ns,
             lock_wait_ns,
             retransmit_backoff_ns,
+            park_ns,
         } = other;
         self.flush_bytes.merge(flush_bytes);
         self.diff_bytes.merge(diff_bytes);
         self.fetch_latency_ns.merge(fetch_latency_ns);
         self.lock_wait_ns.merge(lock_wait_ns);
         self.retransmit_backoff_ns.merge(retransmit_backoff_ns);
+        self.park_ns.merge(park_ns);
     }
 
     /// The registry as `(name, histogram)` pairs, in a fixed order the
-    /// exporters key on.
+    /// exporters key on. `park_ns` is intentionally excluded: it is
+    /// wall-clock (nondeterministic) data, and this iterator feeds the
+    /// byte-stable `phases_json` export.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
         let NodeMetrics {
             flush_bytes,
@@ -199,6 +210,7 @@ impl NodeMetrics {
             fetch_latency_ns,
             lock_wait_ns,
             retransmit_backoff_ns,
+            park_ns: _,
         } = self;
         [
             ("flush_bytes", flush_bytes),
@@ -295,17 +307,22 @@ mod tests {
         a.fetch_latency_ns.record(3);
         a.lock_wait_ns.record(4);
         a.retransmit_backoff_ns.record(5);
+        a.park_ns.record(6);
         b.flush_bytes.record(10);
         b.diff_bytes.record(20);
         b.fetch_latency_ns.record(30);
         b.lock_wait_ns.record(40);
         b.retransmit_backoff_ns.record(50);
+        b.park_ns.record(60);
         a.merge(&b);
         for (name, h) in a.iter() {
             assert_eq!(h.count(), 2, "{name} not merged");
         }
         assert_eq!(a.flush_bytes.sum(), 11);
         assert_eq!(a.retransmit_backoff_ns.sum(), 55);
+        // park_ns merges but stays off the deterministic iter() surface.
+        assert_eq!(a.park_ns.sum(), 66);
+        assert!(a.iter().all(|(name, _)| name != "park_ns"));
     }
 
     #[test]

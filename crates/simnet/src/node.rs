@@ -5,6 +5,7 @@
 //! cost model, and its statistics. One OS thread runs each node;
 //! [`run_cluster`] spawns them and joins their results.
 
+use std::collections::VecDeque;
 use std::thread;
 
 use crate::disk::SimDisk;
@@ -34,6 +35,16 @@ pub struct NodeCtx<M> {
     pub metrics: NodeMetrics,
     /// Messages deferred while replaying from the log after a crash.
     deferred: Vec<Envelope<M>>,
+    /// Already-admitted deliveries batch-drained from the fabric but
+    /// not yet consumed by the protocol. Strictly earlier-ranked than
+    /// anything still in (or yet to reach) the endpoint's inbox, so
+    /// every receive path must empty this before touching the fabric.
+    /// Lives in the transport layer: it survives a simulated crash of
+    /// the DSM process above it, like [`FaultState`].
+    arrived: VecDeque<Envelope<M>>,
+    /// Scratch buffer handed to [`Endpoint::recv_upto_batch`] (reused
+    /// to keep the pump allocation-free).
+    batch: Vec<Envelope<M>>,
     /// Structured telemetry stream, in emission (= virtual time) order.
     trace: TraceSink,
     /// Virtual time of the simulated crash, if one was injected.
@@ -65,6 +76,8 @@ impl<M: WireSized> NodeCtx<M> {
             stats: NodeStats::default(),
             metrics: NodeMetrics::default(),
             deferred: Vec::new(),
+            arrived: VecDeque::new(),
+            batch: Vec::new(),
             trace: TraceSink::default(),
             crashed_at: None,
             recovery_exit: None,
@@ -150,9 +163,17 @@ impl<M: WireSized> NodeCtx<M> {
     /// sequence number, invisibly to the protocol.
     pub fn recv(&mut self) -> SimResult<Envelope<M>> {
         loop {
-            let env = self.ep.recv();
-            self.stats.sched_stalls += self.ep.take_stalls();
-            let env = env?;
+            // Deliveries batched by `recv_arrived` rank before anything
+            // the fabric can still produce: a blocking receive nested
+            // inside batch service must see them first.
+            let env = match self.arrived.pop_front() {
+                Some(env) => env,
+                None => {
+                    let env = self.ep.recv();
+                    self.drain_sched_telemetry();
+                    env?
+                }
+            };
             if self.faults.is_duplicate(env.src, env.seq) {
                 self.stats.dups_suppressed += 1;
                 self.trace(TraceKind::DupSuppressed { from: env.src });
@@ -170,9 +191,23 @@ impl<M: WireSized> NodeCtx<M> {
     /// virtual time. Suppresses duplicates like [`NodeCtx::recv`].
     pub fn recv_arrived(&mut self) -> Option<Envelope<M>> {
         loop {
-            let env = self.ep.recv_upto(self.clock);
-            self.stats.sched_stalls += self.ep.take_stalls();
-            let env = env?;
+            let env = match self.arrived.pop_front() {
+                Some(env) => env,
+                None => {
+                    // Batch-drain everything already admissible under
+                    // one fabric lock hold; later calls consume the
+                    // buffer without touching the fabric at all.
+                    let mut batch = std::mem::take(&mut self.batch);
+                    let n = self.ep.recv_upto_batch(self.clock, &mut batch);
+                    self.drain_sched_telemetry();
+                    self.arrived.extend(batch.drain(..));
+                    self.batch = batch;
+                    if n == 0 {
+                        return None;
+                    }
+                    self.arrived.pop_front().expect("nonempty batch")
+                }
+            };
             if self.faults.is_duplicate(env.src, env.seq) {
                 self.stats.dups_suppressed += 1;
                 self.trace(TraceKind::DupSuppressed { from: env.src });
@@ -180,6 +215,17 @@ impl<M: WireSized> NodeCtx<M> {
             }
             self.accept(&env);
             return Some(env);
+        }
+    }
+
+    /// Fold the endpoint's physical-layer scheduler telemetry (stall
+    /// count, park durations) into this node's stats after a fabric
+    /// call. A call that never parked has nothing to drain.
+    fn drain_sched_telemetry(&mut self) {
+        let stalls = self.ep.take_stalls();
+        if stalls > 0 {
+            self.stats.sched_stalls += stalls;
+            self.metrics.park_ns.merge(&self.ep.take_park_hist());
         }
     }
 

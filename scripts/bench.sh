@@ -1,20 +1,95 @@
 #!/usr/bin/env bash
-# Run the hot-path wall-clock benchmark and refresh BENCH_hotpath.json
-# at the repo root.
+# Run the wall-clock benchmarks and refresh BENCH_hotpath.json and
+# BENCH_sched.json at the repo root.
 #
 # Usage:
-#   scripts/bench.sh          # full run (paper-scale apps, ~minutes)
-#   HOTPATH_SMOKE=1 scripts/bench.sh   # tiny smoke run (seconds)
+#   scripts/bench.sh                   # full run (paper-scale apps, ~minutes)
+#   HOTPATH_SMOKE=1 SCHED_SMOKE=1 scripts/bench.sh   # tiny smoke run (seconds)
+#   scripts/bench.sh --compare         # full run, then regression gate
+#   scripts/bench.sh --compare-only    # gate the committed JSON, no benching
 #
-# The emitted JSON carries both the live numbers and a static `pre_pr`
-# block (the seed's numbers on the same machine) so the speedup from
-# the zero-copy overhaul stays reviewable.
+# Each emitted JSON carries both the live numbers and a static `pre_pr`
+# block (the pre-PR numbers on the same machine) so the zero-copy and
+# sharded-scheduler wins stay reviewable.
+#
+# The --compare gate fails (exit non-zero) when any app x protocol
+# wall-clock cell — or any sched scale cell — regresses more than 25%
+# against the `pre_pr` block inside the same file, so a future PR
+# cannot silently eat those wins. --compare-only applies the same gate
+# to the committed BENCH_*.json without rerunning anything; the verify
+# gate uses it as its smoke variant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="${1:-run}"
+
+# Gate one BENCH_*.json: every wall-clock cell must be within 1.25x of
+# the corresponding `pre_pr` cell. Micro-throughput rows are reported
+# but not gated (GB/s numbers swing more with machine load than the
+# multi-hundred-ms wall cells do).
+compare_one() {
+    python3 - "$1" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+d = json.load(open(path))
+pre = d.get("pre_pr")
+if pre is None:
+    sys.exit(f"{path}: no pre_pr block to compare against")
+
+LIMIT = 1.25
+bad = []
+
+def gate(kind, key, live_ms, pre_ms):
+    ratio = live_ms / pre_ms if pre_ms > 0 else 0.0
+    flag = "REGRESSION" if ratio > LIMIT else "ok"
+    print(f"  {kind:<6} {key:<16} {pre_ms:>9.1f} ms -> {live_ms:>9.1f} ms"
+          f"  ({ratio:5.2f}x) {flag}")
+    if ratio > LIMIT:
+        bad.append((kind, key))
+
+print(f"{path}: wall-clock vs pre_pr (fail above {LIMIT}x)")
+pre_apps = {(a["app"], a["protocol"]): a for a in pre.get("apps", [])}
+for a in d.get("apps", []):
+    k = (a["app"], a["protocol"])
+    if k in pre_apps:
+        gate("app", f"{k[0]}/{k[1]}", a["wall_ms"], pre_apps[k]["wall_ms"])
+pre_scale = {s["nodes"]: s for s in pre.get("scale", [])}
+for s in d.get("scale", []):
+    if s["nodes"] in pre_scale:
+        gate("scale", f"{s['nodes']}n", s["wall_ms"],
+             pre_scale[s["nodes"]]["wall_ms"])
+
+if bad:
+    sys.exit(f"{path}: {len(bad)} cell(s) regressed >25% vs pre_pr: {bad}")
+print(f"{path}: OK")
+PYEOF
+}
+
+if [ "$MODE" = "--compare-only" ]; then
+    compare_one BENCH_hotpath.json
+    compare_one BENCH_sched.json
+    exit 0
+fi
 
 export HOTPATH_JSON="${HOTPATH_JSON:-$PWD/BENCH_hotpath.json}"
 cargo bench -p ccl-bench --bench hotpath
 echo "bench written to $HOTPATH_JSON"
+
+export SCHED_JSON="${SCHED_JSON:-$PWD/BENCH_sched.json}"
+cargo bench -p ccl-bench --bench sched
+echo "bench written to $SCHED_JSON"
+
+if [ "$MODE" = "--compare" ]; then
+    # Smoke runs use tiny workloads whose wall times are not comparable
+    # to the full-scale pre_pr block; gating them would be vacuous.
+    if [ -n "${HOTPATH_SMOKE:-}" ] || [ -n "${SCHED_SMOKE:-}" ]; then
+        echo "--compare skipped: smoke-scale numbers are not comparable to pre_pr" >&2
+        exit 1
+    fi
+    compare_one "$HOTPATH_JSON"
+    compare_one "$SCHED_JSON"
+fi
 
 # Histogram summary: the phases bench emits one JSON object per run
 # (tiny sizes) whose `hist` block carries the cluster-merged log-binned

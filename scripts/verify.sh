@@ -25,12 +25,31 @@ echo "==> determinism gate (every app x protocol twice same-seed, byte-compared)
 # same comparison. No tolerances anywhere.
 ./target/release/detcheck --chaos 2
 
+echo "==> scale tests, release, timed (64- and 128-node liveness under a wall ceiling)"
+# A generous ceiling: post-sharding the whole file runs in a few
+# seconds in release, so 180 s only trips on a gross scheduler perf
+# regression (the pre-shard fabric needed ~7.6 s per 128-node run) or
+# an outright deadlock the 60 s watchdog somehow missed.
+scale_t0=$(date +%s)
+timeout 180 cargo test -q --release --test scale
+echo "scale tests: OK ($(( $(date +%s) - scale_t0 )) s, ceiling 180 s)"
+
 echo "==> bench smoke (hotpath, tiny sizes)"
 HOTPATH_SMOKE=1 HOTPATH_JSON="$PWD/target/BENCH_hotpath.smoke.json" \
     cargo bench -p ccl-bench --bench hotpath >/dev/null
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']=='hotpath' and d['micro'] and d['apps'] and d['pre_pr']" \
     "$PWD/target/BENCH_hotpath.smoke.json"
 echo "bench smoke: OK (target/BENCH_hotpath.smoke.json well-formed)"
+
+echo "==> bench smoke (sched, tiny sizes)"
+SCHED_SMOKE=1 SCHED_JSON="$PWD/target/BENCH_sched.smoke.json" \
+    cargo bench -p ccl-bench --bench sched >/dev/null
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']=='sched' and d['micro'] and d['scale'] and d['apps'] and d['pre_pr']" \
+    "$PWD/target/BENCH_sched.smoke.json"
+echo "bench smoke: OK (target/BENCH_sched.smoke.json well-formed)"
+
+echo "==> bench regression gate (committed BENCH_*.json vs their pre_pr blocks)"
+./scripts/bench.sh --compare-only
 
 echo "==> report smoke (obsv pipeline: tiny matrix, schema check, drift gate)"
 ./target/release/report --smoke --out "$PWD/target/report_smoke.json" >/dev/null
