@@ -39,6 +39,6 @@ pub use spec::{ClusterSpec, CrashPlan, FailureSpec, Protocol};
 
 // Re-export the substrate types reports and benches need.
 pub use simnet::{
-    recycle_trace_buffer, CostModel, DiskCounters, DiskFaultPlan, FaultPlan, Histogram,
+    recycle_trace_buffer, CostModel, DiskCounters, DiskFaultPlan, FaultPlan, Histogram, LogObj,
     NodeMetrics, NodeStats, Partition, SimDuration, SimTime, TraceEvent, TraceKind,
 };

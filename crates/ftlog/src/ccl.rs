@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind, WriteNotice};
 use pagemem::{Decode, Encode, IntervalId, PageDiff, PageId, PageState, VClock};
-use simnet::{Envelope, SimDuration, SimTime, TraceKind};
+use simnet::{Envelope, LogObj, SimDuration, SimTime, TraceKind};
 
 use crate::frame;
 use crate::log_record::{CclRecord, SyncTag};
@@ -169,9 +169,7 @@ impl CclLogger {
         // Table 2 log bytes include the on-disk header overhead without
         // a second encode pass.
         let bytes = frame::framed_size(rec.encoded_size());
-        inner.ctx.trace(TraceKind::LogAppend {
-            bytes: bytes as u64,
-        });
+        trace_ccl_append(inner, &rec, bytes as u64);
         self.staged_bytes += bytes;
         self.staged.push(rec);
     }
@@ -738,6 +736,43 @@ impl CclLogger {
             self.replay = None;
         }
         RecoveryStep::Replayed
+    }
+}
+
+/// Emit the `LogAppend` telemetry for one staged CCL record, tagged
+/// with the coherence object(s) it is about. Multi-page records
+/// (`Updates`, `Diffs`) emit one event per page, bytes split by each
+/// page's encoded share with the frame/record overhead assigned to the
+/// first, so the events sum exactly to the record's framed size (the
+/// blame engine's per-object attribution leans on that exactness).
+fn trace_ccl_append(inner: &mut NodeInner, rec: &CclRecord, record_bytes: u64) {
+    let mut emit = |bytes: u64, obj: LogObj| inner.ctx.trace(TraceKind::LogAppend { bytes, obj });
+    match rec {
+        CclRecord::Sync {
+            tag: SyncTag::Acquire(lock),
+            ..
+        } => emit(record_bytes, LogObj::Lock { lock: *lock }),
+        CclRecord::Sync {
+            tag: SyncTag::Barrier(epoch),
+            ..
+        } => emit(record_bytes, LogObj::Barrier { epoch: *epoch }),
+        CclRecord::Updates { pages, .. } if !pages.is_empty() => {
+            // 4 encoded bytes per page id; the rest is record framing.
+            let overhead = record_bytes - 4 * pages.len() as u64;
+            for (i, &page) in pages.iter().enumerate() {
+                let bytes = 4 + if i == 0 { overhead } else { 0 };
+                emit(bytes, LogObj::Page { page });
+            }
+        }
+        CclRecord::Diffs { diffs, .. } if !diffs.is_empty() => {
+            let shares: Vec<u64> = diffs.iter().map(|d| d.encoded_size() as u64).collect();
+            let overhead = record_bytes - shares.iter().sum::<u64>();
+            for (i, d) in diffs.iter().enumerate() {
+                let bytes = shares[i] + if i == 0 { overhead } else { 0 };
+                emit(bytes, LogObj::Page { page: d.page });
+            }
+        }
+        CclRecord::Updates { .. } | CclRecord::Diffs { .. } => emit(record_bytes, LogObj::Meta),
     }
 }
 

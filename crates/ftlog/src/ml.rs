@@ -17,7 +17,7 @@
 
 use hlrc::{FaultTolerance, Msg, NodeInner, RecoveryStep, SyncKind};
 use pagemem::{Decode, Encode, PageState, VClock};
-use simnet::{SimDuration, SimTime, TraceKind};
+use simnet::{LogObj, SimDuration, SimTime, TraceKind};
 
 /// A record handed to replay: from the verified on-disk prefix, or
 /// synthesized from the barrier manager's release history when the log
@@ -250,6 +250,44 @@ impl MlLogger {
     }
 }
 
+/// Emit the `LogAppend` telemetry for one framed ML record, tagged with
+/// the coherence object(s) it is about. A `DiffFlush` record carries
+/// several pages: it emits one event per page, bytes split by each
+/// diff's encoded size with the frame/header overhead assigned to the
+/// first, so the events sum exactly to the record's framed size (the
+/// blame engine's per-object attribution leans on that exactness).
+fn trace_ml_append(inner: &mut NodeInner, msg: &Msg, record_bytes: u64) {
+    match msg {
+        Msg::PageReply { page, .. } => inner.ctx.trace(TraceKind::LogAppend {
+            bytes: record_bytes,
+            obj: LogObj::Page { page: *page },
+        }),
+        Msg::LockGrant { lock, .. } => inner.ctx.trace(TraceKind::LogAppend {
+            bytes: record_bytes,
+            obj: LogObj::Lock { lock: *lock },
+        }),
+        Msg::BarrierRelease { epoch, .. } => inner.ctx.trace(TraceKind::LogAppend {
+            bytes: record_bytes,
+            obj: LogObj::Barrier { epoch: *epoch },
+        }),
+        Msg::DiffFlush { diffs, .. } if !diffs.is_empty() => {
+            let shares: Vec<u64> = diffs.iter().map(|d| d.encoded_size() as u64).collect();
+            let overhead = record_bytes - shares.iter().sum::<u64>();
+            for (i, d) in diffs.iter().enumerate() {
+                let bytes = shares[i] + if i == 0 { overhead } else { 0 };
+                inner.ctx.trace(TraceKind::LogAppend {
+                    bytes,
+                    obj: LogObj::Page { page: d.page },
+                });
+            }
+        }
+        _ => inner.ctx.trace(TraceKind::LogAppend {
+            bytes: record_bytes,
+            obj: LogObj::Meta,
+        }),
+    }
+}
+
 impl Default for MlLogger {
     fn default() -> Self {
         MlLogger::new()
@@ -279,9 +317,7 @@ impl FaultTolerance for MlLogger {
             let payload = msg.encode_to_sized_vec();
             let record = frame::frame_record(self.epoch, self.next_seq, &payload);
             self.next_seq += 1;
-            inner.ctx.trace(TraceKind::LogAppend {
-                bytes: record.len() as u64,
-            });
+            trace_ml_append(inner, msg, record.len() as u64);
             self.staged_bytes += record.len();
             self.staged.push(record);
         }

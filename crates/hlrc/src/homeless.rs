@@ -463,7 +463,6 @@ impl HomelessNode {
         let me = self.me();
         let owner = self.pages[page as usize].owner;
         let asked_at = self.ctx.now();
-        self.ctx.trace(TraceKind::PageFetch { page, from: owner });
         if self.pages[page as usize].frame.is_none() {
             let owner = self.pages[page as usize].owner;
             if owner == me {
@@ -527,6 +526,11 @@ impl HomelessNode {
         e.state = PageState::ReadOnly;
         let waited = self.ctx.now() - asked_at;
         self.ctx.metrics.fetch_latency_ns.record(waited.as_nanos());
+        self.ctx.trace(TraceKind::PageFetch {
+            page,
+            from: owner,
+            wait_ns: waited.as_nanos(),
+        });
     }
 
     /// Close the current interval: diff every dirty page against its
@@ -626,7 +630,10 @@ impl HomelessNode {
         let waited = self.ctx.now() - asked_at;
         self.ctx.metrics.lock_wait_ns.record(waited.as_nanos());
         self.ctx.stats.lock_acquires += 1;
-        self.ctx.trace(TraceKind::LockAcquire { lock });
+        self.ctx.trace(TraceKind::LockAcquire {
+            lock,
+            wait_ns: waited.as_nanos(),
+        });
     }
 
     /// Release a global lock.
@@ -677,7 +684,14 @@ impl HomelessNode {
             let release_time = mgr.latest_arrival.max(now) + handler;
             let merged_vc = mgr.merged_vc.clone();
             let merged = std::mem::take(&mut mgr.merged_notices);
+            let straggler = mgr.straggler;
+            let spread_ns = (mgr.latest_arrival - mgr.earliest_arrival).as_nanos();
             mgr.reset();
+            self.ctx.trace(TraceKind::BarrierReleased {
+                epoch,
+                straggler,
+                spread_ns,
+            });
             for node in 1..self.cfg.n_nodes {
                 self.ctx
                     .send_from(
@@ -780,6 +794,12 @@ impl CoherenceProtocol<HMsg> for HomelessNode {
                     let grant_at = done.max(st.last_release + handler);
                     let notices = st.notices_for(vc);
                     let lvc = st.vc.clone();
+                    let holder = st.record_grant(env.src);
+                    self.ctx.trace(TraceKind::LockGranted {
+                        lock: *lock,
+                        to: env.src,
+                        holder,
+                    });
                     self.ctx
                         .send_from(
                             grant_at,
@@ -801,6 +821,12 @@ impl CoherenceProtocol<HMsg> for HomelessNode {
                     let grant_at = done.max(next.arrive + handler);
                     let out = st.notices_for(&next.vc);
                     let lvc = st.vc.clone();
+                    let holder = st.record_grant(next.node);
+                    self.ctx.trace(TraceKind::LockGranted {
+                        lock: *lock,
+                        to: next.node,
+                        holder,
+                    });
                     self.ctx
                         .send_from(
                             grant_at,

@@ -302,9 +302,11 @@ impl HlrcNode {
             .metrics
             .fetch_latency_ns
             .record(waited.as_nanos());
-        self.inner
-            .ctx
-            .trace(TraceKind::PageFetch { page, from: home });
+        self.inner.ctx.trace(TraceKind::PageFetch {
+            page,
+            from: home,
+            wait_ns: waited.as_nanos(),
+        });
         self.ft.on_incoming(&mut self.inner, &env.payload);
         if let Msg::PageReply { data, .. } = env.payload {
             self.inner
@@ -354,7 +356,10 @@ impl HlrcNode {
             .lock_wait_ns
             .record(waited.as_nanos());
         self.inner.ctx.stats.lock_acquires += 1;
-        self.inner.ctx.trace(TraceKind::LockAcquire { lock });
+        self.inner.ctx.trace(TraceKind::LockAcquire {
+            lock,
+            wait_ns: waited.as_nanos(),
+        });
     }
 
     /// Release a global lock.
@@ -438,7 +443,14 @@ impl HlrcNode {
             let merged_vc = Arc::new(mgr.merged_vc.clone());
             let merged_notices: Arc<[WriteNotice]> = std::mem::take(&mut mgr.merged_notices).into();
             mgr.record_released(epoch, Arc::clone(&merged_vc), Arc::clone(&merged_notices));
+            let straggler = mgr.straggler;
+            let spread_ns = (mgr.latest_arrival - mgr.earliest_arrival).as_nanos();
             mgr.reset();
+            self.inner.ctx.trace(TraceKind::BarrierReleased {
+                epoch,
+                straggler,
+                spread_ns,
+            });
             for node in 0..self.inner.cfg.n_nodes {
                 if node != me {
                     self.inner
@@ -587,12 +599,21 @@ impl HlrcNode {
         let (post, overlappable) = self.ft.flush_after_send(&mut self.inner);
         let t0 = self.inner.ctx.now();
         let mut pending = n_flushes;
+        // Acks are absorbed in virtual arrival order, so the last one is
+        // the slowest home — the node the whole ack wait is blamed on.
+        let mut slowest_home: Option<NodeId> = None;
         while pending > 0 {
             let env = self.wait_for(|m| matches!(m, Msg::DiffAck { writer } if *writer == iv));
-            let _ = env;
+            slowest_home = Some(env.src);
             pending -= 1;
         }
         let waited = self.inner.ctx.now() - t0;
+        if let Some(home) = slowest_home {
+            self.inner.ctx.trace(TraceKind::FlushAckWait {
+                home,
+                wait_ns: waited.as_nanos(),
+            });
+        }
         if post > SimDuration::ZERO {
             if overlappable {
                 let hidden = post.as_nanos().min(waited.as_nanos());
@@ -857,6 +878,12 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     let grant_at = done.max(st.last_release + handler);
                     let notices = st.notices_for(vc);
                     let lvc = Arc::new(st.vc.clone());
+                    let holder = st.record_grant(env.src);
+                    self.inner.ctx.trace(TraceKind::LockGranted {
+                        lock,
+                        to: env.src,
+                        holder,
+                    });
                     self.inner
                         .ctx
                         .send_from(
@@ -880,6 +907,12 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     let grant_at = done.max(next.arrive + handler);
                     let out_notices = st.notices_for(&next.vc);
                     let lvc = Arc::new(st.vc.clone());
+                    let holder = st.record_grant(next.node);
+                    self.inner.ctx.trace(TraceKind::LockGranted {
+                        lock,
+                        to: next.node,
+                        holder,
+                    });
                     self.inner
                         .ctx
                         .send_from(

@@ -36,6 +36,10 @@ pub struct LockState {
     pub notices: Vec<WriteNotice>,
     /// FIFO of waiting acquirers.
     pub queue: VecDeque<PendingAcquire>,
+    /// The most recent grantee, if any grant has happened — the node a
+    /// later acquirer's wait is blamed on (`TraceKind::LockGranted`'s
+    /// `holder`).
+    pub last_granted: Option<NodeId>,
 }
 
 impl LockState {
@@ -46,7 +50,17 @@ impl LockState {
             vc: VClock::new(n_nodes),
             notices: Vec::new(),
             queue: VecDeque::new(),
+            last_granted: None,
         }
+    }
+
+    /// Record that the manager granted this lock to `to`, returning the
+    /// previous grantee for blame (`to` itself on a fresh, uncontended
+    /// lock: self-blame encodes "nobody made you wait").
+    pub fn record_grant(&mut self, to: NodeId) -> NodeId {
+        let holder = self.last_granted.unwrap_or(to);
+        self.last_granted = Some(to);
+        holder
     }
 
     /// Notices the acquirer (with clock `vc`) has not yet seen.
@@ -108,6 +122,14 @@ pub struct BarrierMgr {
     arrived_count: usize,
     /// Latest virtual arrival time across all arrivals.
     pub latest_arrival: SimTime,
+    /// Earliest virtual arrival time this episode (for the
+    /// first-to-last arrival spread in `TraceKind::BarrierReleased`).
+    pub earliest_arrival: SimTime,
+    /// The node whose arrival set `latest_arrival` — the straggler the
+    /// other nodes' barrier wait is blamed on. Ties go to the later
+    /// arrival call; arrivals are consumed in deterministic virtual-time
+    /// order, so the choice is reproducible.
+    pub straggler: NodeId,
     /// Join of all arrivals' clocks.
     pub merged_vc: VClock,
     /// Union of all arrivals' notices.
@@ -130,6 +152,8 @@ impl BarrierMgr {
             arrived: vec![false; n_nodes],
             arrived_count: 0,
             latest_arrival: SimTime::ZERO,
+            earliest_arrival: SimTime::ZERO,
+            straggler: 0,
             merged_vc: VClock::new(n_nodes),
             merged_notices: Vec::new(),
             released: HashMap::new(),
@@ -174,6 +198,14 @@ impl BarrierMgr {
         assert!(!self.arrived[node], "node {node} arrived twice at barrier");
         self.arrived[node] = true;
         self.arrived_count += 1;
+        if self.arrived_count == 1 {
+            self.earliest_arrival = at;
+        } else {
+            self.earliest_arrival = self.earliest_arrival.min(at);
+        }
+        if at >= self.latest_arrival {
+            self.straggler = node;
+        }
         self.latest_arrival = self.latest_arrival.max(at);
         self.merged_vc.join(vc);
         for n in notices {
@@ -189,6 +221,8 @@ impl BarrierMgr {
         self.arrived.iter_mut().for_each(|a| *a = false);
         self.arrived_count = 0;
         self.latest_arrival = SimTime::ZERO;
+        self.earliest_arrival = SimTime::ZERO;
+        self.straggler = 0;
         self.merged_notices.clear();
         // merged_vc persists monotonically across episodes.
     }
@@ -282,6 +316,32 @@ mod tests {
         assert_eq!(rvc.get(1), 1);
         assert_eq!(&rn[..], &[notice(3, 1, 0)]);
         assert!(b.past_release(1).is_none());
+    }
+
+    #[test]
+    fn grant_blames_the_previous_grantee() {
+        let mut t = LockTable::new(4);
+        let st = t.state_mut(7);
+        // Fresh lock: nobody to blame but yourself.
+        assert_eq!(st.record_grant(2), 2);
+        // Next grant is blamed on the node that held it.
+        assert_eq!(st.record_grant(3), 2);
+        assert_eq!(st.record_grant(3), 3, "re-acquire blames self");
+    }
+
+    #[test]
+    fn barrier_tracks_straggler_and_spread() {
+        let mut b = BarrierMgr::new(3);
+        let vc = VClock::new(3);
+        b.arrive(1, &vc, &[], SimTime(40));
+        b.arrive(0, &vc, &[], SimTime(10));
+        b.arrive(2, &vc, &[], SimTime(40)); // tie: later arrival wins
+        assert_eq!(b.straggler, 2);
+        assert_eq!(b.earliest_arrival, SimTime(10));
+        assert_eq!(b.latest_arrival, SimTime(40));
+        b.reset();
+        assert_eq!(b.straggler, 0);
+        assert_eq!(b.earliest_arrival, SimTime::ZERO);
     }
 
     #[test]

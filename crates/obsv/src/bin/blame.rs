@@ -1,0 +1,232 @@
+//! blame — "why is my run slow?", as a command.
+//!
+//! ```console
+//! $ cargo run --release -p obsv --bin blame               # paper scale
+//! $ cargo run --release -p obsv --bin blame -- --smoke    # verify.sh
+//! ```
+//!
+//! Runs every application under every Table 2 protocol at the chosen
+//! scale, plus one mid-run crash per logging protocol, and renders the
+//! blame engine's analysis of each run: the virtual-time blame path
+//! (an exact partition of the makespan), the most-blamed coherence
+//! objects, the per-barrier straggler table, the per-object log-byte
+//! split, and the recovery window's share of the makespan.
+//!
+//! Flags:
+//!
+//! * `--smoke`        the 4-node tiny matrix (seconds); byte-compares
+//!   the full document against `crates/obsv/blame_baseline.json`.
+//! * `--bless`        (re)write that baseline from this run.
+//! * `--out PATH`     write the full blame JSON document to `PATH`.
+//! * `--chrome PATH`  export the Water/CCL run as a Chrome trace with
+//!   the blame path highlighted (open at <https://ui.perfetto.dev>).
+//!
+//! Every run is hard-checked on the spot: blame-path segment durations
+//! must sum to exactly `exec_ns`, per-object log attribution must sum
+//! to exactly the run's total log bytes, and no trace event may have
+//! been dropped. Any violation is a non-zero exit.
+//!
+//! Exit status: 0 on success, 1 on an invariant or baseline mismatch,
+//! 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ccl_apps::App;
+use ccl_core::{Protocol, RunOutput};
+use obsv::blame::{analyze, blame_json, Blame, SCHEMA};
+use obsv::json::Json;
+use obsv::report::Scale;
+
+struct Args {
+    scale: Scale,
+    bless: bool,
+    out: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Paper,
+        bless: false,
+        out: None,
+        chrome: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.scale = Scale::Smoke,
+            "--bless" => args.bless = true,
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--chrome" => {
+                args.chrome = Some(PathBuf::from(it.next().ok_or("--chrome needs a path")?))
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn baseline_path() -> PathBuf {
+    repo_root().join("crates/obsv/blame_baseline.json")
+}
+
+fn write(path: &Path, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Analyze one run, hard-checking the blame engine's exactness
+/// invariants — a violation means the attribution lies and the whole
+/// document is untrustworthy.
+fn checked_analysis(label: &str, out: &RunOutput<u64>) -> Result<Blame, String> {
+    let dropped: u64 = out.nodes.iter().map(|n| n.trace_dropped).sum();
+    if dropped > 0 {
+        return Err(format!(
+            "{label}: {dropped} trace event(s) dropped — blame needs the full trace"
+        ));
+    }
+    let blame = analyze(out);
+    if blame.cp_sum_ns() != blame.exec_ns {
+        return Err(format!(
+            "{label}: blame path sums to {} ns but the run took {} ns",
+            blame.cp_sum_ns(),
+            blame.exec_ns
+        ));
+    }
+    let logged = out.total_stats().log_bytes;
+    if blame.log_total_bytes() != logged {
+        return Err(format!(
+            "{label}: attributed {} log bytes but the run flushed {}",
+            blame.log_total_bytes(),
+            logged
+        ));
+    }
+    Ok(blame)
+}
+
+fn summarize(label: &str, blame: &Blame) {
+    let pct = |ns: u64| 100.0 * ns as f64 / blame.exec_ns.max(1) as f64;
+    let waits = blame.cp_wait_by_class();
+    let class = |c: &str| waits.get(c).copied().unwrap_or(0);
+    let top = blame
+        .top_object()
+        .map(|o| o.key())
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "| {label} | `{top}` | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+        pct(blame.cp_compute_ns() + blame.cp_recovery_ns()),
+        pct(class("page")),
+        pct(class("lock")),
+        pct(class("barrier")),
+        pct(class("flush")),
+    );
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let scale = args.scale;
+    eprintln!(
+        "blaming the {} matrix ({} nodes, {} apps x {} protocols + crash runs)...",
+        scale.label(),
+        scale.nodes(),
+        App::ALL.len(),
+        Protocol::TABLE2.len(),
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str(SCHEMA.to_string()));
+    doc.set("scale", Json::Str(scale.label().to_string()));
+    let mut runs = Json::obj();
+    println!("| Run | Top blamed object | Compute | Page | Lock | Barrier | Flush-ack |");
+    println!("|---|---|---|---|---|---|---|");
+    for app in App::ALL {
+        let mut barriers = 0;
+        for protocol in Protocol::TABLE2 {
+            let label = format!("{}/{}", app.name(), protocol.label());
+            let out = scale.run(app, protocol);
+            if protocol == Protocol::None {
+                barriers = out.nodes[1].stats.barriers;
+            }
+            let blame = checked_analysis(&label, &out)?;
+            summarize(&label, &blame);
+            runs.set(&label, blame_json(&blame, &label));
+        }
+        // One mid-run crash per logging protocol: the recovery
+        // window's share of the makespan is part of the blame story.
+        let at = ((barriers as f64 * 0.75) as u64).clamp(1, barriers.saturating_sub(1).max(1));
+        for protocol in [Protocol::Ml, Protocol::Ccl] {
+            let label = format!("{}/{}/crash", app.name(), protocol.label());
+            let out = scale.run_with_crash(app, protocol, at);
+            let blame = checked_analysis(&label, &out)?;
+            summarize(&label, &blame);
+            runs.set(&label, blame_json(&blame, &label));
+        }
+    }
+    doc.set("runs", runs);
+    let text = doc.pretty();
+
+    if let Some(out) = &args.out {
+        write(out, &text)?;
+        eprintln!("blame document written to {}", out.display());
+    }
+    if let Some(chrome) = &args.chrome {
+        eprintln!("exporting blamed Water/CCL chrome trace...");
+        let out = scale.run(App::Water, Protocol::Ccl);
+        let label = format!("Water/ccl ({})", scale.label());
+        let blame = checked_analysis(&label, &out)?;
+        write(
+            chrome,
+            &obsv::chrome::chrome_trace_blamed(&out, &label, &blame),
+        )?;
+        eprintln!(
+            "trace written to {} (open at https://ui.perfetto.dev)",
+            chrome.display()
+        );
+    }
+
+    // The committed baseline pins the smoke-scale document to the
+    // byte: blame is a pure function of the deterministic trace, so
+    // any drift is a real behavior change to be inspected (and then
+    // re-blessed).
+    if scale == Scale::Smoke {
+        let path = baseline_path();
+        if args.bless {
+            write(&path, &text)?;
+            eprintln!("baseline blessed: {}", path.display());
+            return Ok(ExitCode::SUCCESS);
+        }
+        let baseline = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "no baseline at {} ({e}); run with --bless to create one",
+                path.display()
+            )
+        })?;
+        if baseline != text {
+            eprintln!(
+                "blame gate FAILED: document differs from {} — inspect the \
+                 drift and re-bless with --bless if intended",
+                path.display()
+            );
+            return Ok(ExitCode::from(1));
+        }
+        eprintln!("blame gate passed: document is byte-identical to the baseline");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("blame: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -55,6 +55,11 @@ struct Observables {
     digest: u64,
     exec_ns: u64,
     log_bytes: u64,
+    /// The full rendered blame document: critical path, per-object
+    /// attribution, log split. Byte-compared — the blame engine is a
+    /// pure function of the deterministic trace.
+    blame_json: String,
+    trace_dropped: u64,
 }
 
 fn observe(label: &str, out: &RunOutput<u64>) -> Observables {
@@ -64,6 +69,8 @@ fn observe(label: &str, out: &RunOutput<u64>) -> Observables {
         digest: out.nodes[0].result,
         exec_ns: out.exec_time().as_nanos(),
         log_bytes: out.total_log_bytes(),
+        blame_json: obsv::blame_json(&obsv::analyze(out), label).pretty(),
+        trace_dropped: out.nodes.iter().map(|n| n.trace_dropped).sum(),
     }
 }
 
@@ -84,6 +91,17 @@ fn check_pair(label: &str, make: impl Fn() -> RunOutput<u64>) -> usize {
     field("log_bytes", a.log_bytes == b.log_bytes);
     field("trace_fingerprint", a.trace_fp == b.trace_fp);
     field("phases_json", a.phases_json == b.phases_json);
+    field("blame_json", a.blame_json == b.blame_json);
+    // A truncated trace silently falsifies every trace-derived
+    // observable (fingerprint, blame path, log attribution), so any
+    // drop is a hard failure, not a warning.
+    if a.trace_dropped > 0 {
+        eprintln!(
+            "FAIL {label}: {} trace event(s) dropped — trace-derived checks are not trustworthy",
+            a.trace_dropped
+        );
+        bad += 1;
+    }
     if bad == 0 {
         println!(
             "ok   {label}: exec_ns={} log_bytes={} fp={:#018x}",

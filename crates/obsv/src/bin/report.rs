@@ -31,8 +31,8 @@ use ccl_apps::App;
 use ccl_core::Protocol;
 use obsv::json;
 use obsv::report::{
-    baseline_json, compare, fig4_markdown, fig5_markdown, parse_tolerances, report_json, splice,
-    table2_markdown, Report, Scale,
+    baseline_json, blame_markdown, compare, fig4_markdown, fig5_markdown, parse_tolerances,
+    report_json, splice, table2_markdown, Report, Scale,
 };
 
 struct Args {
@@ -89,6 +89,7 @@ fn regenerate_experiments(report: &Report) -> Result<(), String> {
     let doc = splice(&doc, "table2", &table2_markdown(report))?;
     let doc = splice(&doc, "fig4", &fig4_markdown(report))?;
     let doc = splice(&doc, "fig5", &fig5_markdown(report))?;
+    let doc = splice(&doc, "blame", &blame_markdown(report))?;
     write(&path, &doc)?;
     eprintln!("regenerated tables in {}", path.display());
     Ok(())
@@ -107,12 +108,33 @@ fn run() -> Result<ExitCode, String> {
     let report = obsv::collect(scale);
     let doc = report_json(&report);
 
+    // A truncated trace silently falsifies every trace-derived column
+    // (fingerprints, blame attribution), so dropped events are a loud
+    // warning here and a hard failure in detcheck.
+    let dropped: u64 = report
+        .apps
+        .iter()
+        .flat_map(|a| &a.runs)
+        .map(|r| r.trace_dropped)
+        .sum();
+    if dropped > 0 {
+        eprintln!(
+            "WARNING: {dropped} trace event(s) dropped by bounded sinks — \
+             trace fingerprints and blame attribution in this report are \
+             incomplete; size the workload or the trace bound so nothing drops"
+        );
+    }
+
     // Human-readable summary on stdout.
     println!("## Table 2\n\n{}", table2_markdown(&report));
     println!("## Figure 4 (None = 100)\n\n{}", fig4_markdown(&report));
     println!(
         "## Figure 5 (re-execution = 100)\n\n{}",
         fig5_markdown(&report)
+    );
+    println!(
+        "## Blame (blame path, % of exec)\n\n{}",
+        blame_markdown(&report)
     );
 
     if let Some(out) = &args.out {
@@ -123,7 +145,11 @@ fn run() -> Result<ExitCode, String> {
         eprintln!("exporting 3D-FFT/CCL chrome trace...");
         let run = scale.run(App::Fft3d, Protocol::Ccl);
         let label = format!("3D-FFT/ccl ({})", scale.label());
-        write(trace_path, &obsv::chrome_trace(&run, &label))?;
+        let blame = obsv::analyze(&run);
+        write(
+            trace_path,
+            &obsv::chrome::chrome_trace_blamed(&run, &label, &blame),
+        )?;
         eprintln!(
             "trace written to {} (open at https://ui.perfetto.dev)",
             trace_path.display()

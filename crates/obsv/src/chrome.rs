@@ -23,7 +23,9 @@
 
 use std::fmt::Write as _;
 
-use ccl_core::{NodeOutput, RunOutput, TraceKind};
+use ccl_core::{LogObj, NodeOutput, RunOutput, TraceKind};
+
+use crate::blame::{Blame, BlameObj, SegmentKind};
 
 /// Identity of one message envelope, shared by its send and receive
 /// halves: per-link sequence numbers make `(src, dst, seq)` unique.
@@ -183,14 +185,52 @@ fn node_events<R>(out: &mut String, first: &mut bool, n: &NodeOutput<R>) {
                     ),
                 );
             }
-            kind => {
+            // Wildcard-free on purpose: a new `TraceKind` variant must
+            // be added to this list (or get its own arm) before the
+            // crate compiles, so no event kind can silently fall out of
+            // the Perfetto export.
+            kind @ (TraceKind::ReadFault { .. }
+            | TraceKind::WriteFault { .. }
+            | TraceKind::PageFetch { .. }
+            | TraceKind::DiffFlush { .. }
+            | TraceKind::NoticesApplied { .. }
+            | TraceKind::LogAppend { .. }
+            | TraceKind::LogFlush { .. }
+            | TraceKind::Checkpoint { .. }
+            | TraceKind::LockAcquire { .. }
+            | TraceKind::LockRelease { .. }
+            | TraceKind::LockGranted { .. }
+            | TraceKind::BarrierEnter { .. }
+            | TraceKind::BarrierExit { .. }
+            | TraceKind::BarrierReleased { .. }
+            | TraceKind::FlushAckWait { .. }
+            | TraceKind::Crash
+            | TraceKind::RecoveryBegin
+            | TraceKind::RecoveryReplay { .. }
+            | TraceKind::RecoveryEnd
+            | TraceKind::Timeout { .. }
+            | TraceKind::Retransmit { .. }
+            | TraceKind::DupSuppressed { .. }
+            | TraceKind::LogDeviceFailed
+            | TraceKind::RecoveryDegraded
+            | TraceKind::LogDeviceFull
+            | TraceKind::TornTailDetected { .. }
+            | TraceKind::CrcMismatch { .. }
+            | TraceKind::LogTruncated { .. }
+            | TraceKind::CheckpointTaken { .. }
+            | TraceKind::HomeRepair { .. }
+            | TraceKind::SyncSynthesized { .. }) => {
+                let object = match event_object(&kind) {
+                    Some(obj) => format!(",\"object\":\"{}\"", esc(&obj.key())),
+                    None => String::new(),
+                };
                 push_event(
                     out,
                     first,
                     &format!(
                         "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
                          \"name\":\"{}\",\"cat\":\"coherence\",\
-                         \"args\":{{\"detail\":\"{}\"}}}}",
+                         \"args\":{{\"detail\":\"{}\"{object}}}}}",
                         esc(kind.label()),
                         esc(&format!("{kind:?}")),
                     ),
@@ -200,8 +240,83 @@ fn node_events<R>(out: &mut String, first: &mut bool, n: &NodeOutput<R>) {
     }
 }
 
+/// The coherence object an instant event is about, when it has one —
+/// surfaced as an `object` arg so Perfetto queries can group events by
+/// the same keys the blame engine uses.
+fn event_object(kind: &TraceKind) -> Option<BlameObj> {
+    match *kind {
+        TraceKind::ReadFault { page }
+        | TraceKind::WriteFault { page }
+        | TraceKind::PageFetch { page, .. } => Some(BlameObj::Page(page)),
+        TraceKind::LockAcquire { lock, .. }
+        | TraceKind::LockRelease { lock }
+        | TraceKind::LockGranted { lock, .. } => Some(BlameObj::Lock(lock)),
+        TraceKind::BarrierEnter { epoch }
+        | TraceKind::BarrierExit { epoch }
+        | TraceKind::BarrierReleased { epoch, .. } => Some(BlameObj::Barrier(epoch)),
+        TraceKind::FlushAckWait { home, .. } => Some(BlameObj::Flush(home)),
+        TraceKind::LogAppend { obj, .. } => Some(match obj {
+            LogObj::Page { page } => BlameObj::Page(page),
+            LogObj::Lock { lock } => BlameObj::Lock(lock),
+            LogObj::Barrier { epoch } => BlameObj::Barrier(epoch),
+            LogObj::Meta => BlameObj::Meta,
+        }),
+        _ => None,
+    }
+}
+
+/// The blame path as its own Perfetto process (`pid` 1): one
+/// contiguous track of slices partitioning `[0, exec_ns]`, each wait
+/// slice naming the blamed object and the causing node.
+fn blame_events(out: &mut String, first: &mut bool, blame: &Blame) {
+    push_event(
+        out,
+        first,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"blame path\"}}",
+    );
+    for seg in &blame.critical_path {
+        let (name, extra) = match seg.kind {
+            SegmentKind::Compute => (format!("compute@node{}", seg.node), String::new()),
+            SegmentKind::Recovery => (format!("recovery@node{}", seg.node), String::new()),
+            SegmentKind::Wait { obj, causer } => (
+                format!("wait {}", obj.key()),
+                format!(
+                    ",\"object\":\"{}\",\"class\":\"{}\",\"causer\":{causer}",
+                    esc(&obj.key()),
+                    obj.class()
+                ),
+            ),
+        };
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"blame\",\
+                 \"args\":{{\"node\":{}{extra}}}}}",
+                us(seg.start_ns),
+                us(seg.dur_ns()),
+                esc(&name),
+                seg.node,
+            ),
+        );
+    }
+}
+
 /// Render `out` as a Chrome Trace Event JSON document titled `label`.
 pub fn chrome_trace<R>(run: &RunOutput<R>, label: &str) -> String {
+    render(run, label, None)
+}
+
+/// Like [`chrome_trace`], plus the blame analysis: the critical path
+/// is highlighted as its own `blame path` process, and wait slices
+/// carry the blamed object and causing node as args.
+pub fn chrome_trace_blamed<R>(run: &RunOutput<R>, label: &str, blame: &Blame) -> String {
+    render(run, label, Some(blame))
+}
+
+fn render<R>(run: &RunOutput<R>, label: &str, blame: Option<&Blame>) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -212,6 +327,9 @@ pub fn chrome_trace<R>(run: &RunOutput<R>, label: &str) -> String {
     let mut first = true;
     for n in &run.nodes {
         node_events(&mut out, &mut first, n);
+    }
+    if let Some(b) = blame {
+        blame_events(&mut out, &mut first, b);
     }
     out.push_str("\n]}\n");
     out
@@ -326,6 +444,76 @@ mod tests {
             .filter(|e| e.get("name").and_then(|s| s.as_str()) == Some("sched park summary"))
             .count();
         assert_eq!(parks, run.nodes.len());
+    }
+
+    fn locky_run() -> RunOutput<u64> {
+        let spec = ClusterSpec::new(3, 12)
+            .with_page_size(256)
+            .with_protocol(Protocol::Ccl);
+        run_program(spec, |dsm| {
+            let arr = dsm.alloc::<u64>(8);
+            for _ in 0..3 {
+                dsm.acquire(2);
+                let v = dsm.read(&arr, 0);
+                dsm.write(&arr, 0, v + 1);
+                dsm.release(2);
+                dsm.barrier();
+            }
+            dsm.read(&arr, 0)
+        })
+    }
+
+    #[test]
+    fn blame_relevant_kinds_export_with_labels_and_objects() {
+        let run = locky_run();
+        let text = chrome_trace(&run, "tiny/ccl");
+        // The cause-carrying kinds the blame engine reads must appear
+        // as instants under their stable labels...
+        for label in [
+            "lock_granted",
+            "lock_acquire",
+            "barrier_released",
+            "page_fetch",
+        ] {
+            assert!(
+                text.contains(&format!("\"name\":\"{label}\"")),
+                "export must contain {label} instants"
+            );
+        }
+        // ...and carry the blame engine's object key as an arg.
+        assert!(text.contains("\"object\":\"lock:2\""));
+        assert!(text.contains("\"object\":\"barrier:"));
+        assert!(text.contains("\"object\":\"page:"));
+    }
+
+    #[test]
+    fn blamed_export_highlights_a_gapless_critical_path() {
+        let run = locky_run();
+        let blame = crate::blame::analyze(&run);
+        let text = chrome_trace_blamed(&run, "tiny/ccl", &blame);
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let cp: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("blame"))
+            .collect();
+        assert_eq!(cp.len(), blame.critical_path.len());
+        let dur_us: f64 = cp
+            .iter()
+            .map(|e| e.get("dur").unwrap().as_f64().unwrap())
+            .sum();
+        let exec_us = blame.exec_ns as f64 / 1000.0;
+        assert!(
+            (dur_us - exec_us).abs() < 0.5,
+            "highlighted path must span the whole makespan ({dur_us} vs {exec_us})"
+        );
+        // Wait slices carry their blame args.
+        assert!(text.contains("\"cat\":\"blame\""));
+        assert!(cp
+            .iter()
+            .any(|e| e.get("args").unwrap().get("causer").is_some()));
+        // The plain export has no blame track.
+        assert!(!chrome_trace(&run, "tiny/ccl").contains("\"cat\":\"blame\""));
     }
 
     #[test]

@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod chrome;
 pub mod json;
 pub mod report;
 
+pub use blame::{analyze, blame_json, Blame, BlameObj};
 pub use chrome::chrome_trace;
 pub use json::Json;
 pub use report::{collect, compare, report_json, trace_fingerprint, Report, Scale};

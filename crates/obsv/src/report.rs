@@ -150,6 +150,67 @@ pub struct RunRecord {
     pub trace_fp: u64,
     /// Cluster-merged histogram metrics.
     pub metrics: NodeMetrics,
+    /// Compact blame-engine summary (see [`crate::blame`]).
+    pub blame: BlameSummary,
+}
+
+/// What the blame engine says about one run, compact enough for the
+/// report matrix: where the makespan went (blame-path split) and where
+/// the logged bytes went (per-object-class split).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlameSummary {
+    /// Key of the most-blamed coherence object (`-` if nothing waited
+    /// or logged).
+    pub top_object: String,
+    /// Blame-path compute ns.
+    pub cp_compute_ns: u64,
+    /// Blame-path recovery (log replay) ns.
+    pub cp_recovery_ns: u64,
+    /// Blame-path page-fetch wait ns.
+    pub cp_wait_page_ns: u64,
+    /// Blame-path lock wait ns.
+    pub cp_wait_lock_ns: u64,
+    /// Blame-path barrier wait ns.
+    pub cp_wait_barrier_ns: u64,
+    /// Blame-path diff-flush-ack wait ns.
+    pub cp_wait_flush_ns: u64,
+    /// Flushed log bytes attributed to pages.
+    pub log_page_bytes: u64,
+    /// Flushed log bytes attributed to locks.
+    pub log_lock_bytes: u64,
+    /// Flushed log bytes attributed to barrier episodes.
+    pub log_barrier_bytes: u64,
+    /// Flushed log bytes attributed to metadata/framing.
+    pub log_meta_bytes: u64,
+    /// Bytes appended but never flushed.
+    pub unflushed_bytes: u64,
+}
+
+/// Reduce a full [`crate::blame::Blame`] analysis to the report's
+/// summary row. The blame-path components sum to the run's `exec_ns`
+/// and the log components (plus `unflushed`) to its `log_bytes` — the
+/// same exactness the full analysis guarantees.
+pub fn blame_summary(blame: &crate::blame::Blame) -> BlameSummary {
+    let waits = blame.cp_wait_by_class();
+    let class = |c: &str| waits.get(c).copied().unwrap_or(0);
+    let log = |c: &str| blame.log_by_class.get(c).copied().unwrap_or(0);
+    BlameSummary {
+        top_object: blame
+            .top_object()
+            .map(|o| o.key())
+            .unwrap_or_else(|| "-".to_string()),
+        cp_compute_ns: blame.cp_compute_ns(),
+        cp_recovery_ns: blame.cp_recovery_ns(),
+        cp_wait_page_ns: class("page"),
+        cp_wait_lock_ns: class("lock"),
+        cp_wait_barrier_ns: class("barrier"),
+        cp_wait_flush_ns: class("flush"),
+        log_page_bytes: log("page"),
+        log_lock_bytes: log("lock"),
+        log_barrier_bytes: log("barrier"),
+        log_meta_bytes: log("meta"),
+        unflushed_bytes: blame.unflushed_bytes,
+    }
 }
 
 /// The Figure 5 crash-recovery measurements for one application.
@@ -190,6 +251,7 @@ pub struct Report {
 fn record(scale: Scale, app: App, protocol: Protocol) -> RunRecord {
     let out = scale.run(app, protocol);
     let total = out.total_stats();
+    let blame = blame_summary(&crate::blame::analyze(&out));
     RunRecord {
         protocol,
         digest: out.nodes[0].result,
@@ -203,6 +265,7 @@ fn record(scale: Scale, app: App, protocol: Protocol) -> RunRecord {
         trace_dropped: out.nodes.iter().map(|n| n.trace_dropped).sum(),
         trace_fp: trace_fingerprint(&out),
         metrics: out.total_metrics(),
+        blame,
     }
 }
 
@@ -287,6 +350,21 @@ pub fn report_json(report: &Report) -> Json {
             j.set("trace_events", Json::from_u64(r.trace_events));
             j.set("trace_dropped", Json::from_u64(r.trace_dropped));
             j.set("trace_fp", Json::from_hex(r.trace_fp));
+            let b = &r.blame;
+            let mut bj = Json::obj();
+            bj.set("top_object", Json::Str(b.top_object.clone()));
+            bj.set("cp_compute_ns", Json::from_u64(b.cp_compute_ns));
+            bj.set("cp_recovery_ns", Json::from_u64(b.cp_recovery_ns));
+            bj.set("cp_wait_page_ns", Json::from_u64(b.cp_wait_page_ns));
+            bj.set("cp_wait_lock_ns", Json::from_u64(b.cp_wait_lock_ns));
+            bj.set("cp_wait_barrier_ns", Json::from_u64(b.cp_wait_barrier_ns));
+            bj.set("cp_wait_flush_ns", Json::from_u64(b.cp_wait_flush_ns));
+            bj.set("log_page_bytes", Json::from_u64(b.log_page_bytes));
+            bj.set("log_lock_bytes", Json::from_u64(b.log_lock_bytes));
+            bj.set("log_barrier_bytes", Json::from_u64(b.log_barrier_bytes));
+            bj.set("log_meta_bytes", Json::from_u64(b.log_meta_bytes));
+            bj.set("unflushed_bytes", Json::from_u64(b.unflushed_bytes));
+            j.set("blame", bj);
             j.set("hist", hist_json(&r.metrics));
             runs.set(r.protocol.label(), j);
         }
@@ -415,6 +493,48 @@ pub fn fig5_markdown(report: &Report) -> String {
             pml,
             pccl,
         ));
+    }
+    s
+}
+
+/// The blame Markdown tables: where each run's makespan went (blame
+/// path, percent of exec time) with the top blamed object, and the
+/// per-object-class log-byte split per protocol.
+pub fn blame_markdown(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| App | Protocol | Top blamed object | Compute | Page wait | Lock wait \
+         | Barrier wait | Flush-ack wait | Log: page / sync / meta (KB) |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for a in &report.apps {
+        for r in &a.runs {
+            let b = &r.blame;
+            let pct = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / r.exec_ns as f64);
+            let kb = |bytes: u64| format!("{:.1}", bytes as f64 / 1024.0);
+            let log = if r.log_bytes == 0 {
+                "—".to_string()
+            } else {
+                format!(
+                    "{} / {} / {}",
+                    kb(b.log_page_bytes),
+                    kb(b.log_lock_bytes + b.log_barrier_bytes),
+                    kb(b.log_meta_bytes),
+                )
+            };
+            s.push_str(&format!(
+                "| {} | {} | `{}` | {} | {} | {} | {} | {} | {} |\n",
+                a.app.name(),
+                protocol_display(r.protocol),
+                b.top_object,
+                pct(b.cp_compute_ns + b.cp_recovery_ns),
+                pct(b.cp_wait_page_ns),
+                pct(b.cp_wait_lock_ns),
+                pct(b.cp_wait_barrier_ns),
+                pct(b.cp_wait_flush_ns),
+                log,
+            ));
+        }
     }
     s
 }
@@ -692,6 +812,13 @@ mod tests {
             trace_dropped: 0,
             trace_fp: 0x1234_5678_9abc_def0,
             metrics: NodeMetrics::default(),
+            blame: BlameSummary {
+                top_object: "barrier:3".to_string(),
+                cp_compute_ns: exec_ns / 2,
+                cp_wait_barrier_ns: exec_ns / 2,
+                log_page_bytes: log_bytes,
+                ..BlameSummary::default()
+            },
         };
         let apps = App::ALL
             .iter()
@@ -899,6 +1026,41 @@ mod tests {
         assert!(f4.contains("| 3D-FFT | 100 | 120.0 | 105.0 | 124 | ~106 |"));
         let f5 = fig5_markdown(&report);
         assert!(f5.contains("| Water | 100 | 66.7 | 53.3 | 43 | 38 |"));
+        let bl = blame_markdown(&report);
+        assert_eq!(bl.lines().count(), 2 + 4 * 3);
+        assert!(
+            bl.contains("| 3D-FFT | ML | `barrier:3` | 50.0% | 0.0% | 0.0% | 50.0% | 0.0% |"),
+            "{bl}"
+        );
+        // A protocol with no log shows no log split.
+        assert!(
+            bl.contains("| 3D-FFT | None | `barrier:3` | 50.0% | 0.0% | 0.0% | 50.0% | 0.0% | — |")
+        );
+    }
+
+    #[test]
+    fn report_json_carries_the_blame_summary() {
+        let doc = report_json(&fake_report());
+        let blame = doc
+            .get("apps")
+            .unwrap()
+            .get("Water")
+            .unwrap()
+            .get("runs")
+            .unwrap()
+            .get("ml")
+            .unwrap()
+            .get("blame")
+            .unwrap();
+        assert_eq!(blame.get("top_object").unwrap().as_str(), Some("barrier:3"));
+        assert_eq!(
+            blame.get("cp_wait_barrier_ns").unwrap().as_f64(),
+            Some(600_000.0)
+        );
+        assert_eq!(
+            blame.get("log_page_bytes").unwrap().as_f64(),
+            Some(90_000.0)
+        );
     }
 
     #[test]

@@ -36,6 +36,32 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// The coherence object a logged record belongs to: what a
+/// [`TraceKind::LogAppend`] is *about*. The blame engine keys its
+/// per-object log-byte attribution on this tag; `Meta` marks protocol
+/// bookkeeping that belongs to no single page, lock, or barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogObj {
+    /// The record carries (part of) one page's data or diff.
+    Page {
+        /// Page id.
+        page: u32,
+    },
+    /// The record describes a lock-acquire synchronization episode.
+    Lock {
+        /// Lock id.
+        lock: u32,
+    },
+    /// The record describes a barrier synchronization episode.
+    Barrier {
+        /// Barrier episode.
+        epoch: u32,
+    },
+    /// Protocol bookkeeping attributable to no single object
+    /// (framing overhead assigned to whole-message records, etc.).
+    Meta,
+}
+
 /// The kind of a [`TraceEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
@@ -55,6 +81,9 @@ pub enum TraceKind {
         page: u32,
         /// Node the copy came from (home, or owner of the base copy).
         from: NodeId,
+        /// Virtual nanoseconds the faulting node stalled, request to
+        /// installed copy (the blame engine's fetch wait-span).
+        wait_ns: u64,
     },
     /// Diffs for one closed interval were flushed to a remote node.
     DiffFlush {
@@ -72,6 +101,10 @@ pub enum TraceKind {
     LogAppend {
         /// Encoded record bytes.
         bytes: u64,
+        /// The coherence object the record is about (multi-object
+        /// records emit one `LogAppend` per object, bytes split by
+        /// encoded size, so per-object attribution stays exact).
+        obj: LogObj,
     },
     /// The volatile log was flushed to stable storage.
     LogFlush {
@@ -91,11 +124,26 @@ pub enum TraceKind {
     LockAcquire {
         /// Lock id.
         lock: u32,
+        /// Virtual nanoseconds from lock request to applied grant (the
+        /// blame engine's lock wait-span).
+        wait_ns: u64,
     },
     /// A lock was released.
     LockRelease {
         /// Lock id.
         lock: u32,
+    },
+    /// The lock manager granted `lock` to `to`. Emitted manager-side so
+    /// the blame engine knows *who to blame* for the grantee's wait:
+    /// `holder` is the previous grantee (the node whose release this
+    /// grant waited on); `holder == to` means the grant was uncontended.
+    LockGranted {
+        /// Lock id.
+        lock: u32,
+        /// The node the grant went to.
+        to: NodeId,
+        /// The previous grantee (equals `to` when uncontended).
+        holder: NodeId,
     },
     /// The node arrived at a barrier (interval closed, diffs flushed).
     BarrierEnter {
@@ -106,6 +154,28 @@ pub enum TraceKind {
     BarrierExit {
         /// Barrier episode.
         epoch: u32,
+    },
+    /// The barrier manager released episode `epoch`. Emitted
+    /// manager-side once per episode so the blame engine can name the
+    /// straggler: every other node's barrier wait is attributable to
+    /// the last arrival.
+    BarrierReleased {
+        /// Barrier episode.
+        epoch: u32,
+        /// The last node to arrive (deterministic: arrivals are
+        /// consumed in virtual-time order).
+        straggler: NodeId,
+        /// Virtual nanoseconds between the first and last arrival.
+        spread_ns: u64,
+    },
+    /// An interval close stalled waiting for diff-flush acks. Emitted
+    /// by the writer after the last ack lands; `home` is the node whose
+    /// ack arrived last (the slowest home — the blame target).
+    FlushAckWait {
+        /// The home whose ack completed the wait.
+        home: NodeId,
+        /// Virtual nanoseconds from first flush sent to last ack.
+        wait_ns: u64,
     },
     /// The node crashed (volatile state lost).
     Crash,
@@ -233,8 +303,11 @@ impl TraceKind {
             TraceKind::Checkpoint { .. } => "checkpoint",
             TraceKind::LockAcquire { .. } => "lock_acquire",
             TraceKind::LockRelease { .. } => "lock_release",
+            TraceKind::LockGranted { .. } => "lock_granted",
             TraceKind::BarrierEnter { .. } => "barrier_enter",
             TraceKind::BarrierExit { .. } => "barrier_exit",
+            TraceKind::BarrierReleased { .. } => "barrier_released",
+            TraceKind::FlushAckWait { .. } => "flush_ack_wait",
             TraceKind::Crash => "crash",
             TraceKind::RecoveryBegin => "recovery_begin",
             TraceKind::RecoveryReplay { .. } => "recovery_replay",
@@ -269,19 +342,43 @@ mod tests {
         vec![
             TraceKind::ReadFault { page: 1 },
             TraceKind::WriteFault { page: 1 },
-            TraceKind::PageFetch { page: 1, from: 0 },
+            TraceKind::PageFetch {
+                page: 1,
+                from: 0,
+                wait_ns: 1,
+            },
             TraceKind::DiffFlush { to: 0, bytes: 8 },
             TraceKind::NoticesApplied { count: 1 },
-            TraceKind::LogAppend { bytes: 8 },
+            TraceKind::LogAppend {
+                bytes: 8,
+                obj: LogObj::Page { page: 1 },
+            },
             TraceKind::LogFlush {
                 bytes: 8,
                 overlapped: false,
             },
             TraceKind::Checkpoint { bytes: 8 },
-            TraceKind::LockAcquire { lock: 1 },
+            TraceKind::LockAcquire {
+                lock: 1,
+                wait_ns: 1,
+            },
             TraceKind::LockRelease { lock: 1 },
+            TraceKind::LockGranted {
+                lock: 1,
+                to: 1,
+                holder: 0,
+            },
             TraceKind::BarrierEnter { epoch: 1 },
             TraceKind::BarrierExit { epoch: 1 },
+            TraceKind::BarrierReleased {
+                epoch: 1,
+                straggler: 0,
+                spread_ns: 1,
+            },
+            TraceKind::FlushAckWait {
+                home: 0,
+                wait_ns: 1,
+            },
             TraceKind::Crash,
             TraceKind::RecoveryBegin,
             TraceKind::RecoveryReplay { notices: 1 },
@@ -337,26 +434,29 @@ mod tests {
             TraceKind::Checkpoint { .. } => 7,
             TraceKind::LockAcquire { .. } => 8,
             TraceKind::LockRelease { .. } => 9,
-            TraceKind::BarrierEnter { .. } => 10,
-            TraceKind::BarrierExit { .. } => 11,
-            TraceKind::Crash => 12,
-            TraceKind::RecoveryBegin => 13,
-            TraceKind::RecoveryReplay { .. } => 14,
-            TraceKind::RecoveryEnd => 15,
-            TraceKind::Timeout { .. } => 16,
-            TraceKind::Retransmit { .. } => 17,
-            TraceKind::DupSuppressed { .. } => 18,
-            TraceKind::LogDeviceFailed => 19,
-            TraceKind::RecoveryDegraded => 20,
-            TraceKind::MsgSend { .. } => 21,
-            TraceKind::MsgRecv { .. } => 22,
-            TraceKind::LogDeviceFull => 23,
-            TraceKind::TornTailDetected { .. } => 24,
-            TraceKind::CrcMismatch { .. } => 25,
-            TraceKind::LogTruncated { .. } => 26,
-            TraceKind::CheckpointTaken { .. } => 27,
-            TraceKind::HomeRepair { .. } => 28,
-            TraceKind::SyncSynthesized { .. } => 29,
+            TraceKind::LockGranted { .. } => 10,
+            TraceKind::BarrierEnter { .. } => 11,
+            TraceKind::BarrierExit { .. } => 12,
+            TraceKind::BarrierReleased { .. } => 13,
+            TraceKind::FlushAckWait { .. } => 14,
+            TraceKind::Crash => 15,
+            TraceKind::RecoveryBegin => 16,
+            TraceKind::RecoveryReplay { .. } => 17,
+            TraceKind::RecoveryEnd => 18,
+            TraceKind::Timeout { .. } => 19,
+            TraceKind::Retransmit { .. } => 20,
+            TraceKind::DupSuppressed { .. } => 21,
+            TraceKind::LogDeviceFailed => 22,
+            TraceKind::RecoveryDegraded => 23,
+            TraceKind::MsgSend { .. } => 24,
+            TraceKind::MsgRecv { .. } => 25,
+            TraceKind::LogDeviceFull => 26,
+            TraceKind::TornTailDetected { .. } => 27,
+            TraceKind::CrcMismatch { .. } => 28,
+            TraceKind::LogTruncated { .. } => 29,
+            TraceKind::CheckpointTaken { .. } => 30,
+            TraceKind::HomeRepair { .. } => 31,
+            TraceKind::SyncSynthesized { .. } => 32,
         }
     }
 

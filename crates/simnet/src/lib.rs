@@ -38,7 +38,7 @@ mod time;
 mod trace;
 
 pub use disk::{DiskCounters, SimDisk};
-pub use engine::{CoherenceProtocol, PhaseBreakdown, TraceEvent, TraceKind};
+pub use engine::{CoherenceProtocol, LogObj, PhaseBreakdown, TraceEvent, TraceKind};
 pub use error::{SimError, SimResult};
 pub use fault::{DiskFaultPlan, FaultPlan, Partition, SendFate, MAX_RETRANSMITS};
 pub use metrics::{Histogram, NodeMetrics, HIST_BINS};

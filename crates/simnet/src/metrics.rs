@@ -121,7 +121,23 @@ impl Histogram {
 
     /// Bin-resolution quantile estimate: the inclusive upper bound of
     /// the first bin at which the cumulative count reaches `q * count`,
-    /// clamped to the observed max. `q` in `[0, 1]`.
+    /// clamped to the observed max.
+    ///
+    /// **Bin-upper-bound convention.** Bin 0 holds exact zeros (upper
+    /// bound 0); bin `b >= 1` holds `[2^(b-1), 2^b)` and reports upper
+    /// bound `2^b - 1` (saturating to `u64::MAX` for `b >= 64`). The
+    /// estimate therefore never *under*-reports a quantile by more
+    /// than bin resolution, and never exceeds the observed maximum.
+    ///
+    /// **Edge behavior.**
+    /// * Empty histogram: returns 0 for every `q`.
+    /// * `q` outside `[0, 1]` is clamped into the interval.
+    /// * `q = 0.0` ranks the first sample (rank is at least 1), so it
+    ///   reports the lowest occupied bin, not 0.
+    /// * `q = 1.0` ranks the last sample and is clamped to the exact
+    ///   observed max.
+    /// * Single sample: every `q` reports that sample's bin bound
+    ///   clamped to the sample itself.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -267,6 +283,34 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_a_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(37);
+        // One sample occupies bin 6 (32..63, upper bound 63); the
+        // clamp to the observed max makes every q exact.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37, "q={q}");
+        }
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0, "bin 0 holds exact zeros");
+    }
+
+    #[test]
+    fn quantile_clamps_q_into_the_unit_interval() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        // Out-of-range q behaves like the nearest endpoint.
+        assert_eq!(h.quantile(-3.5), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 1000, "q=1.0 is the observed max");
+        // q=0.0 still ranks the first sample: the lowest occupied bin.
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
     fn empty_histogram_is_inert() {
         let h = Histogram::new();
         assert!(h.is_empty());
@@ -274,6 +318,10 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
+        // Every q — in range or not — reports 0 on an empty histogram.
+        for q in [-1.0, 0.0, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
         assert_eq!(h.nonzero_bins().count(), 0);
     }
 

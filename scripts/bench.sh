@@ -66,9 +66,43 @@ print(f"{path}: OK")
 PYEOF
 }
 
+# Wall cost of the blame analysis itself (the full smoke matrix: 12
+# protocol runs + 8 crash runs, each analyzed and the document
+# byte-compared against its baseline). Blame is observability — it
+# must stay cheap enough to run on every verify — so its wall cost
+# sits under the same regression gate as the hot paths. Best of three
+# to keep a ~tens-of-ms cell stable under host load.
+bench_blame() {
+    local out="$1"
+    cargo build --release -q -p obsv --bin blame
+    local best=""
+    for _ in 1 2 3; do
+        local t0 t1 ms
+        t0=$(date +%s%N)
+        ./target/release/blame --smoke >/dev/null
+        t1=$(date +%s%N)
+        ms=$(((t1 - t0) / 1000000))
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
+    done
+    python3 - "$out" "$best" <<'PYEOF'
+import json, os, sys
+path, ms = sys.argv[1], int(sys.argv[2])
+cell = {"app": "blame-analysis", "protocol": "smoke", "wall_ms": ms}
+pre = None
+if os.path.exists(path):
+    pre = json.load(open(path)).get("pre_pr")
+if pre is None:
+    pre = {"apps": [dict(cell)], "scale": []}
+doc = {"bench": "blame", "apps": [cell], "scale": [], "pre_pr": pre}
+json.dump(doc, open(path, "w"), indent=1)
+print(f"blame analysis: {ms} ms (best of 3) -> {path}")
+PYEOF
+}
+
 if [ "$MODE" = "--compare-only" ]; then
     compare_one BENCH_hotpath.json
     compare_one BENCH_sched.json
+    compare_one BENCH_blame.json
     exit 0
 fi
 
@@ -80,6 +114,9 @@ export SCHED_JSON="${SCHED_JSON:-$PWD/BENCH_sched.json}"
 cargo bench -p ccl-bench --bench sched
 echo "bench written to $SCHED_JSON"
 
+BLAME_JSON="${BLAME_JSON:-$PWD/BENCH_blame.json}"
+bench_blame "$BLAME_JSON"
+
 if [ "$MODE" = "--compare" ]; then
     # Smoke runs use tiny workloads whose wall times are not comparable
     # to the full-scale pre_pr block; gating them would be vacuous.
@@ -89,6 +126,7 @@ if [ "$MODE" = "--compare" ]; then
     fi
     compare_one "$HOTPATH_JSON"
     compare_one "$SCHED_JSON"
+    compare_one "$BLAME_JSON"
 fi
 
 # Histogram summary: the phases bench emits one JSON object per run

@@ -73,6 +73,38 @@ for name, a in apps.items():
 print("report smoke: OK (schema valid, CCL < ML log everywhere, drift gate passed)")
 PYEOF
 
+echo "==> blame smoke (causal blame engine: tiny matrix + crash runs, baseline byte-compare)"
+# The binary itself hard-checks the exactness invariants per run
+# (blame path sums to exec_ns, log attribution sums to log_bytes, no
+# dropped trace events) and byte-compares the full document against
+# the committed crates/obsv/blame_baseline.json — any drift is a
+# non-zero exit. The python pass re-checks the written document from
+# the outside so a silent writer bug can't pass the gate.
+./target/release/blame --smoke --out "$PWD/target/blame_smoke.json" >/dev/null
+python3 - "$PWD/target/blame_smoke.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ccl-blame/v1" and d["scale"] == "smoke", "bad header"
+runs = d["runs"]
+apps = ("3D-FFT", "MG", "Shallow", "Water")
+want = {f"{a}/{p}" for a in apps for p in ("none", "ml", "ccl")}
+want |= {f"{a}/{p}/crash" for a in apps for p in ("ml", "ccl")}
+assert set(runs) == want, sorted(set(runs) ^ want)
+for label, r in runs.items():
+    cp = r["critical_path"]
+    assert cp["sum_ns"] == r["exec_ns"], f"{label}: path is not a partition"
+    span = sum(s["end_ns"] - s["start_ns"] for s in cp["path"])
+    assert span == r["exec_ns"], f"{label}: segment durations disagree"
+    lb = r["log_bytes"]
+    parts = lb["page"] + lb["lock"] + lb["barrier"] + lb["meta"]
+    assert parts == lb["flushed_total"], f"{label}: log split leaks bytes"
+    if label.endswith("/none"):
+        assert lb["flushed_total"] == 0, f"{label}: None logged bytes"
+    if label.endswith("/crash"):
+        assert r["recovery"], f"{label}: crash run has no recovery window"
+print("blame smoke: OK (schema valid, exact partitions, baseline byte-identical)")
+PYEOF
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -9,9 +9,14 @@
 //! alters protocol behavior fails loudly instead of silently shifting
 //! the paper's tables.
 //!
-//! The values were captured before the zero-copy overhaul and must
-//! survive it unchanged: the optimizations are physical (allocation,
-//! copies), never logical (bytes on the wire, events in the trace).
+//! The digests, execution times, and log bytes were captured before
+//! the zero-copy overhaul and must survive it unchanged: the
+//! optimizations are physical (allocation, copies), never logical
+//! (bytes on the wire, events in the trace). The trace fingerprints
+//! were recaptured when the blame engine's cause-identity events
+//! landed (manager-side `LockGranted`/`BarrierReleased`, `wait_ns`
+//! fields, per-object `LogAppend`s) — a trace-only change, which is
+//! why every *other* column above stayed bit-identical.
 
 use ccl_apps::App;
 use ccl_core::{run_program, ClusterSpec, Protocol, RunOutput};
@@ -69,7 +74,7 @@ fn goldens() -> Vec<Golden> {
             0x360c9ba06b0461e6,
             32_247_432,
             0,
-            0xe0041f820d86cebb,
+            0x9659fe0f7292b4dd,
         ),
         g(
             App::Fft3d,
@@ -77,7 +82,7 @@ fn goldens() -> Vec<Golden> {
             0x360c9ba06b0461e6,
             32_990_382,
             99_060,
-            0x98dd14739038219f,
+            0x6b8e0b90cf7b83b7,
         ),
         g(
             App::Fft3d,
@@ -85,7 +90,7 @@ fn goldens() -> Vec<Golden> {
             0x360c9ba06b0461e6,
             32_393_790,
             9_684,
-            0xbeaa402f9028bdf7,
+            0x1192c0dee2b40c49,
         ),
         g(
             App::Shallow,
@@ -93,7 +98,7 @@ fn goldens() -> Vec<Golden> {
             0xe13d122136fea4e6,
             24_644_592,
             0,
-            0x13b4bdddeafadbce,
+            0xbded56003952faca,
         ),
         g(
             App::Shallow,
@@ -101,7 +106,7 @@ fn goldens() -> Vec<Golden> {
             0xe13d122136fea4e6,
             25_169_652,
             70_008,
-            0x8069d3f84780249e,
+            0xe20a75c1f3af22ee,
         ),
         g(
             App::Shallow,
@@ -109,7 +114,7 @@ fn goldens() -> Vec<Golden> {
             0xe13d122136fea4e6,
             24_801_768,
             15_120,
-            0xeaba6a6d00d6dbec,
+            0xe96cafb0c67d12ae,
         ),
     ]
 }
@@ -136,7 +141,7 @@ fn paper_goldens() -> Vec<Golden> {
             0x75aeac31809fd6dd,
             416_847_992,
             0,
-            0xc2a48a98b9d75963,
+            0x741b737f2ebe2477,
         ),
         g(
             App::Mg,
@@ -144,7 +149,7 @@ fn paper_goldens() -> Vec<Golden> {
             0x75aeac31809fd6dd,
             469_295_722,
             8_260_196,
-            0x3e88e2e4e52f449b,
+            0x270e0deea699b555,
         ),
         g(
             App::Mg,
@@ -152,7 +157,7 @@ fn paper_goldens() -> Vec<Golden> {
             0x75aeac31809fd6dd,
             426_208_970,
             609_784,
-            0x0bdaacb793237fdb,
+            0x45a7ad66baebf2d3,
         ),
         g(
             App::Water,
@@ -160,7 +165,7 @@ fn paper_goldens() -> Vec<Golden> {
             0xb0c39b2ef95f7bdb,
             1_620_170_440,
             0,
-            0xc50cd72122c21135,
+            0x9cce7fbadeb70e99,
         ),
         g(
             App::Water,
@@ -168,7 +173,7 @@ fn paper_goldens() -> Vec<Golden> {
             0xb0c39b2ef95f7bdb,
             1_633_811_756,
             1_991_423,
-            0x14cccbe408d1f33f,
+            0xb5604d71572a0f35,
         ),
         g(
             App::Water,
@@ -176,7 +181,7 @@ fn paper_goldens() -> Vec<Golden> {
             0xb0c39b2ef95f7bdb,
             1_622_985_572,
             412_872,
-            0x12622ef9f93b7ee8,
+            0x4050e8fea5e51610,
         ),
     ]
 }
