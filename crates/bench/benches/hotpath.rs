@@ -248,6 +248,7 @@ fn micro_suite() -> Vec<Micro> {
             epoch: 7,
             vc: Arc::new(vc.clone()),
             notices: Arc::clone(&notices),
+            migrations: Vec::new().into(),
         };
         let reply = Msg::PageReply {
             page: 3,

@@ -207,6 +207,15 @@ impl Dsm {
     /// zero again and a later crash event of the same node fires at its
     /// own barrier count of the re-run.
     pub fn barrier(&mut self) {
+        // Checkpoint barriers double as migration windows: proposals
+        // ride the barrier traffic and the migrated mapping is captured
+        // by the checkpoint taken right below, keeping migration and
+        // checkpoint atomic with respect to crashes (which fire last).
+        if let Some(n) = self.checkpoint_every {
+            if (self.barriers_done + 1).is_multiple_of(n) && !self.node.ft.in_recovery() {
+                self.node.inner.migration_window = true;
+            }
+        }
         self.node.barrier();
         self.barriers_done += 1;
         // Cadence checkpoint: every node reaches this barrier, so the

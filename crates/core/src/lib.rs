@@ -37,6 +37,9 @@ pub use runner::{run_program, FaultSummary, NodeOutput, RunOutput};
 pub use shared::{ArrayHandle, SharedVal, ELEM_BYTES};
 pub use spec::{ClusterSpec, CrashPlan, FailureSpec, Protocol};
 
+// Re-export the protocol-layer types the report pipeline needs.
+pub use hlrc::{kind_label, HomePolicy, MSG_KINDS};
+
 // Re-export the substrate types reports and benches need.
 pub use simnet::{
     recycle_trace_buffer, CostModel, DiskCounters, DiskFaultPlan, FaultPlan, Histogram, LogObj,

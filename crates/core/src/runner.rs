@@ -206,7 +206,31 @@ impl<R> RunOutput<R> {
                 n.trace.len()
             );
         }
-        s.push_str("],\"hist\":{");
+        // Cluster-wide per-variant traffic: one entry per wire tag, in
+        // tag order, plus the prefetch/migration effectiveness counters.
+        s.push_str("],\"traffic\":{");
+        for k in 0..hlrc::MSG_KINDS {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"msgs\":{},\"bytes\":{}}}",
+                hlrc::kind_label(k),
+                total.msgs_by_kind[k],
+                total.bytes_by_kind[k],
+            );
+        }
+        let _ = write!(
+            s,
+            "}},\"prefetch\":{{\"issued\":{},\"hits\":{},\"wasted\":{},\
+             \"home_migrations\":{}}},",
+            total.prefetch_issued,
+            total.prefetch_hits,
+            total.prefetch_wasted,
+            total.home_migrations,
+        );
+        s.push_str("\"hist\":{");
         let metrics = self.total_metrics();
         for (i, (name, h)) in metrics.iter().enumerate() {
             if i > 0 {

@@ -105,7 +105,7 @@ pub struct CclLogger {
     /// [`CclLogger::begin_recovery`] (to synthesize lost barrier `Sync`
     /// records) and reused by the home-repair wave at recovery exit, so
     /// a damaged-log recovery costs a single history round trip.
-    saved_releases: Option<Vec<(u32, VClock, Vec<WriteNotice>)>>,
+    saved_releases: Option<Vec<hlrc::EpochRelease>>,
 }
 
 impl CclLogger {
@@ -340,10 +340,7 @@ impl CclLogger {
     /// caches it in `saved_releases` for the repair wave to take). A
     /// crashed manager lost its history and answers with an empty list;
     /// every consumer degrades gracefully on that.
-    fn fetch_release_history(
-        &mut self,
-        inner: &mut NodeInner,
-    ) -> Vec<(u32, VClock, Vec<WriteNotice>)> {
+    fn fetch_release_history(&mut self, inner: &mut NodeInner) -> Vec<hlrc::EpochRelease> {
         if let Some(releases) = self.saved_releases.take() {
             return releases;
         }
@@ -389,7 +386,7 @@ impl CclLogger {
         // restored home version does not cover: exactly the updates the
         // damaged log lost.
         let mut missing: Vec<WriteNotice> = Vec::new();
-        for (_epoch, _vc, notices) in &releases {
+        for (_epoch, _vc, notices, _migrations) in &releases {
             for n in notices {
                 if n.interval.node as usize == me
                     || !inner.pages.is_home(n.page)
@@ -1018,7 +1015,12 @@ impl FaultTolerance for CclLogger {
                 })
                 .max();
             let mut synthesized = 0u32;
-            for (epoch, vc, notices) in &releases {
+            // Migrations in the history are deliberately dropped here:
+            // the home mapping is checkpoint state (restored by
+            // `restore_meta`, never replayed from the log), so the
+            // synthesized records — like real `Sync` records — carry
+            // only notices and the clock.
+            for (epoch, vc, notices, _migrations) in &releases {
                 // Skip epochs the restored checkpoint already covers and
                 // epochs the salvaged prefix still has real records for.
                 if *epoch < inner.barrier_epoch || last_logged.is_some_and(|e| *epoch <= e) {

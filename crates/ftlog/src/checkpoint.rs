@@ -45,6 +45,13 @@ pub struct CheckpointMeta {
     pub last_barrier_vc: VClock,
     /// Opaque application state (iteration counters etc.).
     pub app_state: Vec<u8>,
+    /// Every `(page, home)` mapping that differs from the allocation-time
+    /// assignment because of an adaptive migration. Migration is atomic
+    /// with the checkpoint (both happen at the same barrier), so this
+    /// list is exactly the mapping the checkpointed page images were
+    /// taken under — recovery must route fetches and logged-diff
+    /// requests against these homes, never the static layout.
+    pub home_overrides: Vec<(u32, u32)>,
 }
 
 impl Encode for CheckpointMeta {
@@ -54,17 +61,35 @@ impl Encode for CheckpointMeta {
         w.put_u32(self.barrier_epoch);
         self.last_barrier_vc.encode(w);
         w.put_bytes(&self.app_state);
+        w.put_u32(self.home_overrides.len() as u32);
+        for &(page, home) in &self.home_overrides {
+            w.put_u32(page);
+            w.put_u32(home);
+        }
     }
 }
 
 impl Decode for CheckpointMeta {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let vc = VClock::decode(r)?;
+        let next_interval = r.get_u32()?;
+        let barrier_epoch = r.get_u32()?;
+        let last_barrier_vc = VClock::decode(r)?;
+        let app_state = r.get_bytes()?;
+        let n = r.get_u32()? as usize;
+        let mut home_overrides = Vec::with_capacity(n);
+        for _ in 0..n {
+            let page = r.get_u32()?;
+            let home = r.get_u32()?;
+            home_overrides.push((page, home));
+        }
         Ok(CheckpointMeta {
-            vc: VClock::decode(r)?,
-            next_interval: r.get_u32()?,
-            barrier_epoch: r.get_u32()?,
-            last_barrier_vc: VClock::decode(r)?,
-            app_state: r.get_bytes()?,
+            vc,
+            next_interval,
+            barrier_epoch,
+            last_barrier_vc,
+            app_state,
+            home_overrides,
         })
     }
 }
@@ -152,12 +177,21 @@ pub fn take_checkpoint(inner: &mut NodeInner, app_state: &[u8]) -> SimDuration {
     // damaged beyond salvage.
     let compacted = prior_records - retained.len();
     let epoch = old.epoch.max(meta_epoch(inner)) + 1;
+    // Persist every migrated mapping this node knows: page-table
+    // iteration order is page order, so the list is deterministic.
+    let home_overrides: Vec<(u32, u32)> = inner
+        .pages
+        .iter()
+        .filter(|(_, e)| e.migrated)
+        .map(|(p, e)| (p, e.home as u32))
+        .collect();
     let meta = CheckpointMeta {
         vc: inner.vc.clone(),
         next_interval: inner.next_interval,
         barrier_epoch: inner.barrier_epoch,
         last_barrier_vc: inner.last_barrier_vc.clone(),
         app_state: app_state.to_vec(),
+        home_overrides,
     };
     let meta_record = frame::frame_record(epoch, 0, &meta.encode_to_vec());
     let new_bytes: usize = new_pages
@@ -215,6 +249,23 @@ pub fn restore_meta(inner: &mut NodeInner) -> Result<Option<Vec<u8>>, RestoreErr
     inner.next_interval = meta.next_interval;
     inner.barrier_epoch = meta.barrier_epoch;
     inner.last_barrier_vc = meta.last_barrier_vc;
+    // Re-apply the checkpointed home migrations. The in-memory page
+    // table survives `reset_to_base` with its mapping intact, so each
+    // entry is normally an idempotent skip — the explicit list is what
+    // makes the checkpoint self-describing (and keeps recovery honest
+    // if the mapping ever stops being memory-resident).
+    let me = inner.me();
+    for &(page, to) in &meta.home_overrides {
+        let to = to as usize;
+        if inner.pages.entry(page).home == to {
+            continue;
+        }
+        debug_assert_ne!(
+            to, me,
+            "an adopted home must survive restart with its frame"
+        );
+        inner.pages.note_migrated(page, to);
+    }
     Ok(Some(meta.app_state))
 }
 
@@ -241,6 +292,7 @@ mod tests {
             barrier_epoch: 3,
             last_barrier_vc: vc,
             app_state: vec![1, 2, 3],
+            home_overrides: vec![(7, 1), (296, 0)],
         };
         let bytes = meta.encode_to_vec();
         assert_eq!(CheckpointMeta::decode_from_slice(&bytes).unwrap(), meta);

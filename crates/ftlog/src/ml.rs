@@ -210,10 +210,7 @@ impl MlLogger {
     /// list; synthesis then degrades to a no-op (single-failure best
     /// effort). ML replay is otherwise purely local, so every other
     /// message class is safe to defer until recovery ends.
-    fn fetch_release_history(
-        &mut self,
-        inner: &mut NodeInner,
-    ) -> Vec<(u32, VClock, Vec<hlrc::WriteNotice>)> {
+    fn fetch_release_history(&mut self, inner: &mut NodeInner) -> Vec<hlrc::EpochRelease> {
         let mgr = inner.cfg.barrier_manager();
         if mgr == inner.me() {
             return inner
@@ -245,6 +242,42 @@ impl MlLogger {
             inner.ctx.charge_copy(payload);
             for d in diffs {
                 inner.pages.apply_home_diff(d, *writer);
+            }
+        }
+    }
+
+    /// A logged in-migration. Home mappings and checkpoint bases
+    /// survive a crash (the checkpoint taken at the migration's own
+    /// barrier covered the adopted page), so replay normally finds the
+    /// adoption already reflected in the restored page table and only
+    /// consumes the record; a still-premigration mapping adopts now.
+    fn apply_logged_migration(inner: &mut NodeInner, msg: &Msg) {
+        if let Msg::HomeMigrate {
+            page,
+            data,
+            version,
+        } = msg
+        {
+            if !inner.pages.is_home(*page) {
+                inner.ctx.charge_copy(data.len());
+                inner.pages.adopt_home(*page, data, version.clone());
+            }
+        }
+    }
+
+    /// A logged trailing prefetch batch: reinstall exactly the copies
+    /// live execution installed (the record was trimmed to the installed
+    /// subset before staging). Absorbed non-blocking at any replay
+    /// point — live, the batch was serviced at whatever inbox drain the
+    /// node happened to block in.
+    fn apply_logged_batch(inner: &mut NodeInner, msg: &Msg) {
+        if let Msg::PageReplyBatch { pages, .. } = msg {
+            for (p, data, _version) in pages.iter() {
+                inner.ctx.charge_copy(data.len());
+                inner
+                    .pages
+                    .install_copy(*p, data, PageState::ReadOnly, &mut inner.pool);
+                inner.pages.entry_mut(*p).prefetched = true;
             }
         }
     }
@@ -281,6 +314,27 @@ fn trace_ml_append(inner: &mut NodeInner, msg: &Msg, record_bytes: u64) {
                 });
             }
         }
+        Msg::PageReplyBatch { pages, .. } if !pages.is_empty() => {
+            // One event per carried page, bytes split by each copy's
+            // encoded share with the frame overhead on the first, so
+            // the events sum exactly to the record's framed size.
+            let shares: Vec<u64> = pages
+                .iter()
+                .map(|(_, data, vc)| (4 + 4 + data.len() + vc.encoded_size()) as u64)
+                .collect();
+            let overhead = record_bytes - shares.iter().sum::<u64>();
+            for (i, (page, ..)) in pages.iter().enumerate() {
+                let bytes = shares[i] + if i == 0 { overhead } else { 0 };
+                inner.ctx.trace(TraceKind::LogAppend {
+                    bytes,
+                    obj: LogObj::Page { page: *page },
+                });
+            }
+        }
+        Msg::HomeMigrate { page, .. } => inner.ctx.trace(TraceKind::LogAppend {
+            bytes: record_bytes,
+            obj: LogObj::Page { page: *page },
+        }),
         _ => inner.ctx.trace(TraceKind::LogAppend {
             bytes: record_bytes,
             obj: LogObj::Meta,
@@ -306,9 +360,11 @@ impl FaultTolerance for MlLogger {
         let log_it = matches!(
             msg,
             Msg::PageReply { .. }
+                | Msg::PageReplyBatch { .. }
                 | Msg::DiffFlush { .. }
                 | Msg::LockGrant { .. }
                 | Msg::BarrierRelease { .. }
+                | Msg::HomeMigrate { .. }
         );
         if log_it {
             // Sized encode: one exact allocation per record (`Msg` sizes
@@ -437,7 +493,7 @@ impl FaultTolerance for MlLogger {
                 })
                 .max();
             let releases = self.fetch_release_history(inner);
-            for (epoch, vc, notices) in releases {
+            for (epoch, vc, notices, migrations) in releases {
                 // Skip epochs the restored checkpoint already covers and
                 // epochs the salvaged prefix still has real records for.
                 if epoch < inner.barrier_epoch || last_logged.is_some_and(|e| epoch <= e) {
@@ -447,6 +503,7 @@ impl FaultTolerance for MlLogger {
                     epoch,
                     vc: vc.into(),
                     notices: notices.into(),
+                    migrations: migrations.into(),
                 });
             }
             if !self.synthesized.is_empty() {
@@ -496,6 +553,8 @@ impl FaultTolerance for MlLogger {
             };
             match &rec.msg {
                 Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
+                Msg::HomeMigrate { .. } => Self::apply_logged_migration(inner, &rec.msg),
+                Msg::PageReplyBatch { .. } => Self::apply_logged_batch(inner, &rec.msg),
                 Msg::LockGrant {
                     lock: l,
                     vc,
@@ -532,10 +591,13 @@ impl FaultTolerance for MlLogger {
             };
             match &rec.msg {
                 Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
+                Msg::HomeMigrate { .. } => Self::apply_logged_migration(inner, &rec.msg),
+                Msg::PageReplyBatch { .. } => Self::apply_logged_batch(inner, &rec.msg),
                 Msg::BarrierRelease {
                     epoch: e,
                     vc,
                     notices,
+                    migrations,
                 } => {
                     if *e != epoch && rec.synthesized {
                         return self.abandon_replay();
@@ -544,6 +606,17 @@ impl FaultTolerance for MlLogger {
                     // Close the interval locally (diffs are already at
                     // their homes from before the crash).
                     inner.replay_close_interval();
+                    // Migrations before notices, as live execution does.
+                    // Mappings survive the crash, so these are normally
+                    // no-ops; in-migrations are absorbed from their own
+                    // `HomeMigrate` records as replay reaches them.
+                    let me = inner.me();
+                    for &(page, to) in migrations.iter() {
+                        let to = to as usize;
+                        if to != me && inner.pages.entry(page).home != to {
+                            inner.pages.note_migrated(page, to);
+                        }
+                    }
                     replay_apply_notices(inner, notices, vc);
                     inner.last_barrier_vc = inner.vc.clone();
                     let lb = inner.last_barrier_vc.clone();
@@ -575,6 +648,7 @@ impl FaultTolerance for MlLogger {
             };
             match &rec.msg {
                 Msg::DiffFlush { .. } => Self::apply_logged_diff_flush(inner, &rec.msg),
+                Msg::HomeMigrate { .. } => Self::apply_logged_migration(inner, &rec.msg),
                 Msg::PageReply { page: p, data, .. } => {
                     assert_eq!(*p, page, "ML replay drift: wrong page reply");
                     inner.ctx.charge_copy(data.len());
@@ -584,6 +658,22 @@ impl FaultTolerance for MlLogger {
                     inner.ctx.trace(TraceKind::RecoveryReplay { notices: 0 });
                     self.maybe_finish(inner);
                     return RecoveryStep::Replayed;
+                }
+                Msg::PageReplyBatch { pages, .. } => {
+                    // A trailing prefetch batch: absorb it. If it covers
+                    // the faulting page the fault is satisfied (live,
+                    // the install beat the access); otherwise keep
+                    // scanning for the fault's own reply record.
+                    let covers = pages.iter().any(|(p, ..)| *p == page);
+                    Self::apply_logged_batch(inner, &rec.msg);
+                    if covers {
+                        // The replayed fault consumes the predicted
+                        // copy, as the live access (a prefetch hit) did.
+                        inner.pages.entry_mut(page).prefetched = false;
+                        inner.ctx.trace(TraceKind::RecoveryReplay { notices: 0 });
+                        self.maybe_finish(inner);
+                        return RecoveryStep::Replayed;
+                    }
                 }
                 other => {
                     if rec.synthesized {

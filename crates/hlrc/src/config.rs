@@ -11,6 +11,11 @@ pub enum HomePolicy {
     Block,
     /// Page `p` lives at node `p mod n`.
     RoundRobin,
+    /// Pages start block-distributed, then migrate to the node that
+    /// first writes them, committed deterministically at the first
+    /// barrier from the write notices gathered there (so the initial
+    /// touch pattern, not an allocation-time race, decides ownership).
+    FirstTouch,
 }
 
 /// Static configuration of one DSM cluster run.
@@ -26,6 +31,15 @@ pub struct DsmConfig {
     pub n_locks: u32,
     /// Home assignment policy.
     pub home_policy: HomePolicy,
+    /// Maximum number of *extra* pages a fault's batch request may
+    /// carry as history-predicted prefetch candidates. `0` disables
+    /// batching and prefetch entirely (byte-exact legacy single
+    /// request/reply fetch path).
+    pub prefetch_depth: u32,
+    /// Migrate a home page to the writer dominating its diff traffic,
+    /// decided at checkpoint barriers (no effect without a checkpoint
+    /// cadence). Each page migrates at most once.
+    pub adaptive_migration: bool,
     /// Hardware cost model.
     pub cost: CostModel,
 }
@@ -39,8 +53,26 @@ impl DsmConfig {
             n_pages,
             n_locks: 64,
             home_policy: HomePolicy::Block,
+            prefetch_depth: DsmConfig::DEFAULT_PREFETCH_DEPTH,
+            adaptive_migration: true,
             cost: CostModel::ULTRA5_CLUSTER,
         }
+    }
+
+    /// Default [`DsmConfig::prefetch_depth`]: up to eight predicted
+    /// pages ride along with each demand fetch.
+    pub const DEFAULT_PREFETCH_DEPTH: u32 = 8;
+
+    /// Override the prefetch depth (`0` = stop-and-wait legacy fetch).
+    pub fn with_prefetch_depth(mut self, depth: u32) -> DsmConfig {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Enable/disable adaptive home migration at checkpoint barriers.
+    pub fn with_adaptive_migration(mut self, on: bool) -> DsmConfig {
+        self.adaptive_migration = on;
+        self
     }
 
     /// Override the page size (tests use small pages).
@@ -72,7 +104,9 @@ impl DsmConfig {
         debug_assert!(p < self.n_pages, "page {p} out of range");
         match self.home_policy {
             HomePolicy::RoundRobin => p as usize % self.n_nodes,
-            HomePolicy::Block => {
+            // First-touch starts from the block layout; the real owner
+            // is committed by migration at the first barrier.
+            HomePolicy::Block | HomePolicy::FirstTouch => {
                 let per = (self.n_pages as usize).div_ceil(self.n_nodes);
                 (p as usize / per).min(self.n_nodes - 1)
             }
@@ -134,6 +168,25 @@ mod tests {
         assert_eq!(cfg.lock_manager(0), 0);
         assert_eq!(cfg.lock_manager(6), 2);
         assert_eq!(cfg.barrier_manager(), 0);
+    }
+
+    #[test]
+    fn first_touch_starts_from_block_layout() {
+        let blk = DsmConfig::new(4, 16);
+        let ft = DsmConfig::new(4, 16).with_home_policy(HomePolicy::FirstTouch);
+        for p in 0..16 {
+            assert_eq!(ft.home_of(p), blk.home_of(p));
+        }
+    }
+
+    #[test]
+    fn prefetch_defaults_and_overrides() {
+        let cfg = DsmConfig::new(4, 16);
+        assert_eq!(cfg.prefetch_depth, 8);
+        assert!(cfg.adaptive_migration);
+        let off = cfg.with_prefetch_depth(0).with_adaptive_migration(false);
+        assert_eq!(off.prefetch_depth, 0);
+        assert!(!off.adaptive_migration);
     }
 
     #[test]

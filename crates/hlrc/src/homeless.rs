@@ -674,7 +674,7 @@ impl HomelessNode {
             let now = self.ctx.now();
             let vc = self.vc.clone();
             let mgr = self.barrier_mgr.as_mut().expect("manager");
-            mgr.arrive(me, &vc, &notices, now);
+            mgr.arrive(me, &vc, &notices, &[], now);
             // Gather the cluster: service traffic until everyone arrived.
             self.service_while(|node| {
                 node.barrier_mgr.as_ref().expect("manager").arrived_count() < node.cfg.n_nodes
@@ -844,7 +844,7 @@ impl CoherenceProtocol<HMsg> for HomelessNode {
                 self.barrier_mgr
                     .as_mut()
                     .expect("barrier arrive at non-manager")
-                    .arrive(env.src, vc, notices, env.arrive_at);
+                    .arrive(env.src, vc, notices, &[], env.arrive_at);
             }
             other => unreachable!("unexpected async {other:?}"),
         }

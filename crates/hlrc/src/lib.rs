@@ -29,8 +29,10 @@ mod sync;
 pub use config::{DsmConfig, HomePolicy};
 pub use fault_tolerance::{FaultTolerance, NoLogging, RecoveryStep, SyncKind};
 pub use homeless::{HMsg, HomelessNode};
-pub use msg::{Msg, WriteNotice, HEADER_BYTES};
-pub use node::{HlrcNode, NodeInner};
+pub use msg::{
+    kind_label, EpochRelease, HomeMigration, Msg, PageCopy, WriteNotice, HEADER_BYTES, MSG_KINDS,
+};
+pub use node::{HlrcNode, NodeInner, PrefetchState};
 pub use page_table::{PageEntry, PageTable};
 pub use simnet::CoherenceProtocol;
 pub use sync::{BarrierMgr, LockState, LockTable, PendingAcquire};

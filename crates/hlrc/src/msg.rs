@@ -18,6 +18,45 @@ use simnet::WireSized;
 /// Per-message header overhead on the wire (UDP/IP + DSM header).
 pub const HEADER_BYTES: usize = 32;
 
+/// Number of distinct [`Msg`] variants (wire tags `0..MSG_KINDS`).
+/// Per-variant traffic counters are indexed by the wire tag.
+pub const MSG_KINDS: usize = 18;
+
+/// Short label for a [`Msg`] wire tag, for traffic tables.
+pub fn kind_label(ordinal: usize) -> &'static str {
+    const LABELS: [&str; MSG_KINDS] = [
+        "PageRequest",
+        "PageReply",
+        "DiffFlush",
+        "DiffAck",
+        "LockRequest",
+        "LockGrant",
+        "LockRelease",
+        "BarrierArrive",
+        "BarrierRelease",
+        "RecoveryPageRequest",
+        "RecoveryPageReply",
+        "LoggedDiffRequest",
+        "LoggedDiffReply",
+        "ReleaseHistoryRequest",
+        "ReleaseHistoryReply",
+        "PageRequestBatch",
+        "PageReplyBatch",
+        "HomeMigrate",
+    ];
+    LABELS.get(ordinal).copied().unwrap_or("?")
+}
+
+/// A home reassignment decided at a barrier: `(page, new_home)`.
+pub type HomeMigration = (PageId, u32);
+
+/// One page copy inside a [`Msg::PageReplyBatch`].
+pub type PageCopy = (PageId, SharedBytes, VClock);
+
+/// One retained barrier release: `(epoch, merged clock, merged notices,
+/// home migrations committed at that release)`.
+pub type EpochRelease = (u32, VClock, Vec<WriteNotice>, Vec<HomeMigration>);
+
 /// A write-invalidation notice: "`interval.node` modified `page` during
 /// `interval`". Piggybacked on lock grants and barrier releases; the
 /// receiver invalidates its non-home copy of `page`.
@@ -63,6 +102,29 @@ fn decode_notices(r: &mut ByteReader<'_>) -> Result<Vec<WriteNotice>, CodecError
         v.push(WriteNotice::decode(r)?);
     }
     Ok(v)
+}
+
+fn encode_migrations(w: &mut ByteWriter, migrations: &[HomeMigration]) {
+    w.put_u32(migrations.len() as u32);
+    for (page, to) in migrations {
+        w.put_u32(*page);
+        w.put_u32(*to);
+    }
+}
+
+fn decode_migrations(r: &mut ByteReader<'_>) -> Result<Vec<HomeMigration>, CodecError> {
+    let n = r.get_u32()? as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        let page = r.get_u32()?;
+        let to = r.get_u32()?;
+        v.push((page, to));
+    }
+    Ok(v)
+}
+
+fn migrations_size(m: &[HomeMigration]) -> usize {
+    4 + 8 * m.len()
 }
 
 fn encode_diffs(w: &mut ByteWriter, diffs: &[PageDiff]) {
@@ -147,6 +209,11 @@ pub enum Msg {
         vc: VClock,
         /// Notices the arriving node generated/learned since last barrier.
         notices: Vec<WriteNotice>,
+        /// Home-migration proposals `(page, new_home)` this node wants
+        /// committed at this barrier (first-touch claims and adaptive
+        /// traffic-driven handoffs). The manager merges and rebroadcasts
+        /// the decided set on the release.
+        proposals: Vec<HomeMigration>,
     },
     /// Barrier manager releases everyone with the merged notices.
     /// The clock and notice set are broadcast to every node and only
@@ -159,6 +226,10 @@ pub enum Msg {
         vc: Arc<VClock>,
         /// Union of all notices from this episode.
         notices: Arc<[WriteNotice]>,
+        /// Home migrations committed at this episode, sorted by page.
+        /// Every node applies the same list in the same order, so the
+        /// page-to-home mapping stays cluster-consistent.
+        migrations: Arc<[HomeMigration]>,
     },
     /// Recovery: fetch `page` if the home copy has not advanced past
     /// `required`; otherwise the home returns its checkpoint base copy.
@@ -207,8 +278,42 @@ pub enum Msg {
     /// order is the manager's merge order, which respects causality —
     /// replaying it is a valid re-application order.
     ReleaseHistoryReply {
-        /// (epoch, merged clock, merged notices) per completed episode.
-        releases: Vec<(u32, VClock, Vec<WriteNotice>)>,
+        /// (epoch, merged clock, merged notices, migrations) per
+        /// completed episode.
+        releases: Vec<EpochRelease>,
+    },
+    /// Fetch up-to-date copies of several pages homed at one node with a
+    /// single request: the faulting page (answered with an ordinary
+    /// [`Msg::PageReply`], so the demand stall never grows with the
+    /// prediction depth) plus any prefetch candidates predicted from the
+    /// access history (answered with a trailing [`Msg::PageReplyBatch`]).
+    PageRequestBatch {
+        /// The faulting page the requester is blocked on.
+        page: PageId,
+        /// Predicted same-home pages, sorted ascending.
+        extras: Vec<PageId>,
+    },
+    /// Home's trailing reply to a [`Msg::PageRequestBatch`] with
+    /// predicted extras: their copies and versions, in request order.
+    /// Installed asynchronously whenever the requester next drains its
+    /// inbox — a misprediction costs bytes on the wire, never a stall.
+    PageReplyBatch {
+        /// The demand page of the request this batch trails (matches the
+        /// batch to the requester's in-flight prediction stamp).
+        after: PageId,
+        /// `(page, contents, version)` per predicted page.
+        pages: Vec<PageCopy>,
+    },
+    /// Old home hands a page's home role to the new home decided at a
+    /// barrier: the current home copy and its version move over; the old
+    /// home keeps a read-only cached copy.
+    HomeMigrate {
+        /// The migrating page.
+        page: PageId,
+        /// Home copy at the migration barrier.
+        data: SharedBytes,
+        /// Its version (per-writer applied interval counts).
+        version: VClock,
     },
 }
 
@@ -231,6 +336,33 @@ impl Msg {
             Msg::LoggedDiffReply { .. } => "LoggedDiffReply",
             Msg::ReleaseHistoryRequest => "ReleaseHistoryRequest",
             Msg::ReleaseHistoryReply { .. } => "ReleaseHistoryReply",
+            Msg::PageRequestBatch { .. } => "PageRequestBatch",
+            Msg::PageReplyBatch { .. } => "PageReplyBatch",
+            Msg::HomeMigrate { .. } => "HomeMigrate",
+        }
+    }
+
+    /// The wire tag, used to index per-variant traffic counters.
+    pub fn ordinal(&self) -> usize {
+        match self {
+            Msg::PageRequest { .. } => 0,
+            Msg::PageReply { .. } => 1,
+            Msg::DiffFlush { .. } => 2,
+            Msg::DiffAck { .. } => 3,
+            Msg::LockRequest { .. } => 4,
+            Msg::LockGrant { .. } => 5,
+            Msg::LockRelease { .. } => 6,
+            Msg::BarrierArrive { .. } => 7,
+            Msg::BarrierRelease { .. } => 8,
+            Msg::RecoveryPageRequest { .. } => 9,
+            Msg::RecoveryPageReply { .. } => 10,
+            Msg::LoggedDiffRequest { .. } => 11,
+            Msg::LoggedDiffReply { .. } => 12,
+            Msg::ReleaseHistoryRequest => 13,
+            Msg::ReleaseHistoryReply { .. } => 14,
+            Msg::PageRequestBatch { .. } => 15,
+            Msg::PageReplyBatch { .. } => 16,
+            Msg::HomeMigrate { .. } => 17,
         }
     }
 }
@@ -278,17 +410,29 @@ impl Encode for Msg {
                 vc.encode(w);
                 encode_notices(w, notices);
             }
-            Msg::BarrierArrive { epoch, vc, notices } => {
+            Msg::BarrierArrive {
+                epoch,
+                vc,
+                notices,
+                proposals,
+            } => {
                 w.put_u8(7);
                 w.put_u32(*epoch);
                 vc.encode(w);
                 encode_notices(w, notices);
+                encode_migrations(w, proposals);
             }
-            Msg::BarrierRelease { epoch, vc, notices } => {
+            Msg::BarrierRelease {
+                epoch,
+                vc,
+                notices,
+                migrations,
+            } => {
                 w.put_u8(8);
                 w.put_u32(*epoch);
                 vc.encode(w);
                 encode_notices(w, notices);
+                encode_migrations(w, migrations);
             }
             Msg::RecoveryPageRequest { page, required } => {
                 w.put_u8(9);
@@ -330,11 +474,40 @@ impl Encode for Msg {
             Msg::ReleaseHistoryReply { releases } => {
                 w.put_u8(14);
                 w.put_u32(releases.len() as u32);
-                for (epoch, vc, notices) in releases {
+                for (epoch, vc, notices, migrations) in releases {
                     w.put_u32(*epoch);
                     vc.encode(w);
                     encode_notices(w, notices);
+                    encode_migrations(w, migrations);
                 }
+            }
+            Msg::PageRequestBatch { page, extras } => {
+                w.put_u8(15);
+                w.put_u32(*page);
+                w.put_u32(extras.len() as u32);
+                for p in extras {
+                    w.put_u32(*p);
+                }
+            }
+            Msg::PageReplyBatch { after, pages } => {
+                w.put_u8(16);
+                w.put_u32(*after);
+                w.put_u32(pages.len() as u32);
+                for (page, data, version) in pages {
+                    w.put_u32(*page);
+                    w.put_bytes(data);
+                    version.encode(w);
+                }
+            }
+            Msg::HomeMigrate {
+                page,
+                data,
+                version,
+            } => {
+                w.put_u8(17);
+                w.put_u32(*page);
+                w.put_bytes(data);
+                version.encode(w);
             }
         }
     }
@@ -358,8 +531,18 @@ impl Encode for Msg {
             Msg::LockRequest { vc, .. } => 1 + 4 + vc.encoded_size(),
             Msg::LockGrant { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
             Msg::LockRelease { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
-            Msg::BarrierArrive { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
-            Msg::BarrierRelease { vc, notices: n, .. } => 1 + 4 + vc.encoded_size() + notices(n),
+            Msg::BarrierArrive {
+                vc,
+                notices: n,
+                proposals,
+                ..
+            } => 1 + 4 + vc.encoded_size() + notices(n) + migrations_size(proposals),
+            Msg::BarrierRelease {
+                vc,
+                notices: n,
+                migrations,
+                ..
+            } => 1 + 4 + vc.encoded_size() + notices(n) + migrations_size(migrations),
             Msg::RecoveryPageRequest { required, .. } => 1 + 4 + required.encoded_size(),
             Msg::RecoveryPageReply { data, version, .. } => {
                 1 + 4 + 1 + 4 + data.len() + version.encoded_size()
@@ -378,8 +561,22 @@ impl Encode for Msg {
                 1 + 4
                     + releases
                         .iter()
-                        .map(|(_, vc, n)| 4 + vc.encoded_size() + notices(n))
+                        .map(|(_, vc, n, m)| {
+                            4 + vc.encoded_size() + notices(n) + migrations_size(m)
+                        })
                         .sum::<usize>()
+            }
+            Msg::PageRequestBatch { extras, .. } => 1 + 4 + 4 + 4 * extras.len(),
+            Msg::PageReplyBatch { pages, .. } => {
+                1 + 4
+                    + 4
+                    + pages
+                        .iter()
+                        .map(|(_, data, version)| 4 + 4 + data.len() + version.encoded_size())
+                        .sum::<usize>()
+            }
+            Msg::HomeMigrate { data, version, .. } => {
+                1 + 4 + 4 + data.len() + version.encoded_size()
             }
         }
     }
@@ -420,11 +617,13 @@ impl Decode for Msg {
                 epoch: r.get_u32()?,
                 vc: VClock::decode(r)?,
                 notices: decode_notices(r)?,
+                proposals: decode_migrations(r)?,
             },
             8 => Msg::BarrierRelease {
                 epoch: r.get_u32()?,
                 vc: Arc::new(VClock::decode(r)?),
                 notices: decode_notices(r)?.into(),
+                migrations: decode_migrations(r)?.into(),
             },
             9 => Msg::RecoveryPageRequest {
                 page: r.get_u32()?,
@@ -463,10 +662,37 @@ impl Decode for Msg {
                 for _ in 0..n {
                     let epoch = r.get_u32()?;
                     let vc = VClock::decode(r)?;
-                    releases.push((epoch, vc, decode_notices(r)?));
+                    let notices = decode_notices(r)?;
+                    releases.push((epoch, vc, notices, decode_migrations(r)?));
                 }
                 Msg::ReleaseHistoryReply { releases }
             }
+            15 => {
+                let page = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut extras = Vec::with_capacity(n);
+                for _ in 0..n {
+                    extras.push(r.get_u32()?);
+                }
+                Msg::PageRequestBatch { page, extras }
+            }
+            16 => {
+                let after = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let page = r.get_u32()?;
+                    let data: SharedBytes = r.get_bytes()?.into();
+                    let version = VClock::decode(r)?;
+                    pages.push((page, data, version));
+                }
+                Msg::PageReplyBatch { after, pages }
+            }
+            17 => Msg::HomeMigrate {
+                page: r.get_u32()?,
+                data: r.get_bytes()?.into(),
+                version: VClock::decode(r)?,
+            },
             t => {
                 return Err(CodecError::BadTag {
                     context: "Msg",
@@ -492,6 +718,10 @@ impl WireSized for Msg {
 
     fn msg_label(&self) -> &'static str {
         self.kind()
+    }
+
+    fn kind_ordinal(&self) -> usize {
+        self.ordinal()
     }
 }
 
@@ -557,11 +787,13 @@ mod tests {
             epoch: 4,
             vc: vc.clone(),
             notices: vec![],
+            proposals: vec![(7, 2)],
         });
         roundtrip(Msg::BarrierRelease {
             epoch: 4,
             vc: Arc::new(vc.clone()),
             notices: vec![notice].into(),
+            migrations: vec![(7, 2), (9, 0)].into(),
         });
         roundtrip(Msg::RecoveryPageRequest {
             page: 9,
@@ -583,8 +815,72 @@ mod tests {
         });
         roundtrip(Msg::ReleaseHistoryRequest);
         roundtrip(Msg::ReleaseHistoryReply {
-            releases: vec![(0, vc.clone(), vec![notice]), (1, vc.clone(), vec![])],
+            releases: vec![
+                (0, vc.clone(), vec![notice], vec![]),
+                (1, vc.clone(), vec![], vec![(3, 1)]),
+            ],
         });
+        roundtrip(Msg::PageRequestBatch {
+            page: 3,
+            extras: vec![4, 9],
+        });
+        roundtrip(Msg::PageReplyBatch {
+            after: 3,
+            pages: vec![
+                (4, vec![1; 64].into(), vc.clone()),
+                (9, vec![2; 64].into(), vc.clone()),
+            ],
+        });
+        roundtrip(Msg::HomeMigrate {
+            page: 11,
+            data: vec![5; 64].into(),
+            version: vc.clone(),
+        });
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_fetch_payload_shape() {
+        // A batch of one page carries the same page bytes as the single
+        // reply; the envelope difference is a few bytes of list framing.
+        let vc = VClock::new(4);
+        let single = Msg::PageReply {
+            page: 3,
+            data: vec![0; 4096].into(),
+            version: vc.clone(),
+        };
+        let batch = Msg::PageReplyBatch {
+            after: 3,
+            pages: vec![(3, vec![0; 4096].into(), vc)],
+        };
+        assert!(batch.wire_size() >= single.wire_size());
+        assert!(batch.wire_size() <= single.wire_size() + 12);
+    }
+
+    #[test]
+    fn ordinals_match_wire_tags_and_labels() {
+        let vc = VClock::new(2);
+        let msgs = [
+            Msg::PageRequest { page: 0 },
+            Msg::PageRequestBatch {
+                page: 0,
+                extras: vec![1],
+            },
+            Msg::PageReplyBatch {
+                after: 0,
+                pages: vec![],
+            },
+            Msg::HomeMigrate {
+                page: 0,
+                data: vec![0; 8].into(),
+                version: vc,
+            },
+        ];
+        for m in msgs {
+            let bytes = m.encode_to_vec();
+            assert_eq!(m.ordinal(), bytes[0] as usize, "ordinal is the wire tag");
+            assert_eq!(kind_label(m.ordinal()), m.kind());
+        }
+        assert_eq!(kind_label(MSG_KINDS), "?");
     }
 
     #[test]

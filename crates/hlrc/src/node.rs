@@ -13,7 +13,7 @@
 //! * a page fault on an invalid copy is served by a single round trip
 //!   to the home.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use pagemem::Encode;
@@ -22,11 +22,81 @@ use pagemem::{
 };
 use simnet::{CoherenceProtocol, Envelope, NodeCtx, NodeId, SimDuration, SimTime, TraceKind};
 
-use crate::config::DsmConfig;
+use crate::config::{DsmConfig, HomePolicy};
 use crate::fault_tolerance::{FaultTolerance, RecoveryStep, SyncKind};
-use crate::msg::{Msg, WriteNotice};
+use crate::msg::{HomeMigration, Msg, PageCopy, WriteNotice};
 use crate::page_table::PageTable;
 use crate::sync::{BarrierMgr, LockTable, PendingAcquire};
+
+/// Deterministic fetch-prediction state. Every input is a virtual-time
+/// protocol event (fault page ids, invalidation notices), so prediction
+/// is a pure function of the deterministic execution and `detcheck`'s
+/// bit-reproducibility proof covers prefetch-enabled runs.
+#[derive(Debug, Default)]
+pub struct PrefetchState {
+    /// Page of the previous demand fault.
+    last_fault: Option<PageId>,
+    /// Candidate stride between the last two demand faults, in pages.
+    stride: i64,
+    /// Two consecutive faults agreed on `stride` (two-miss confirmation
+    /// before any stride prediction is issued).
+    confirmed: bool,
+    /// Pages invalidated by the most recent notice batch that
+    /// invalidated anything: the write-notice sets already carried by
+    /// lock grants and barrier releases are a free predictor of what
+    /// will fault next (the invalidated copies are what this node was
+    /// actively reading).
+    recent_invalidated: BTreeSet<PageId>,
+    /// Trailing prefetch batches not yet arrived, keyed by the demand
+    /// page whose request issued them: `(demand page, sync_events at
+    /// issue, predicted pages)`. The stamp gates the asynchronous
+    /// install — extras are only as fresh as the acquire they were
+    /// requested under, so a batch that crosses a synchronization
+    /// operation is dropped, never installed stale.
+    in_flight: Vec<(PageId, u64, Vec<PageId>)>,
+    /// The page a demand fetch is currently blocked on, if any. An
+    /// in-flight batch must never install this page mid-wait: the
+    /// demand [`Msg::PageReply`] is the logged record that satisfies
+    /// the fault, and letting the batch win the race would leave that
+    /// record dangling in the message log — replay would consume the
+    /// batch for this fault and then misattribute the reply record to
+    /// the next one.
+    demand: Option<PageId>,
+}
+
+impl PrefetchState {
+    /// Record a demand fault at `page`, updating stride detection.
+    fn note_fault(&mut self, page: PageId) {
+        if let Some(prev) = self.last_fault {
+            let s = i64::from(page) - i64::from(prev);
+            if s != 0 && s == self.stride {
+                self.confirmed = true;
+            } else {
+                self.stride = s;
+                self.confirmed = false;
+            }
+        }
+        self.last_fault = Some(page);
+    }
+
+    /// A confirmed stride, if any.
+    fn stride(&self) -> Option<i64> {
+        (self.confirmed && self.stride != 0).then_some(self.stride)
+    }
+
+    /// Is `page` predicted by a batch still in flight?
+    fn in_flight(&self, page: PageId) -> bool {
+        self.in_flight.iter().any(|(_, _, ps)| ps.contains(&page))
+    }
+
+    /// Remove and return the in-flight entry trailing demand page
+    /// `after`, if any.
+    fn take_in_flight(&mut self, after: PageId) -> Option<(u64, Vec<PageId>)> {
+        let i = self.in_flight.iter().position(|(a, _, _)| *a == after)?;
+        let (_, stamp, pages) = self.in_flight.remove(i);
+        Some((stamp, pages))
+    }
+}
 
 /// Protocol state of one DSM node, independent of the fault-tolerance
 /// layer (which receives `&mut NodeInner` in its hooks).
@@ -62,6 +132,22 @@ pub struct NodeInner {
     /// Completed synchronization operations (failure injection hooks
     /// count these).
     pub sync_events: u64,
+    /// Deterministic fetch-prediction state (see [`PrefetchState`]).
+    pub prefetch: PrefetchState,
+    /// Home-side diff bytes per `(page, writer)` since the last
+    /// migration window — the profile that drives adaptive home
+    /// migration. Only maintained when `cfg.adaptive_migration` is on.
+    pub diff_traffic: BTreeMap<PageId, BTreeMap<u32, u64>>,
+    /// Pages this node is adopting at the current barrier: the release
+    /// named them but their [`Msg::HomeMigrate`] has not arrived yet.
+    /// Page requests for them are stalled and re-serviced after the
+    /// adoption completes.
+    pending_migrations: BTreeSet<PageId>,
+    /// Requests stalled on `pending_migrations`, in arrival order.
+    stalled_requests: Vec<Envelope<Msg>>,
+    /// The next barrier is a migration window (set by the cluster
+    /// driver at checkpoint barriers); consumed at barrier arrival.
+    pub migration_window: bool,
 }
 
 impl NodeInner {
@@ -82,9 +168,19 @@ impl NodeInner {
             pool: BufferPool::new(cfg.layout.page_size()),
             barrier_epoch: 0,
             sync_events: 0,
+            prefetch: PrefetchState::default(),
+            diff_traffic: BTreeMap::new(),
+            pending_migrations: BTreeSet::new(),
+            stalled_requests: Vec::new(),
+            migration_window: false,
             cfg,
             ctx,
         }
+    }
+
+    /// Is `page` mid-adoption (mapping announced, data not yet here)?
+    pub fn pending_migration(&self, page: PageId) -> bool {
+        self.pending_migrations.contains(&page)
     }
 
     /// This node's id.
@@ -190,6 +286,13 @@ impl HlrcNode {
             }
             return;
         }
+        if self.inner.pages.entry(page).prefetched {
+            // First touch of a predicted copy: the fetch round trip this
+            // access would have paid was hidden entirely.
+            self.inner.pages.entry_mut(page).prefetched = false;
+            self.inner.ctx.stats.prefetch_hits += 1;
+            self.inner.ctx.trace(TraceKind::PrefetchHit { page });
+        }
         let state = self.inner.pages.entry(page).state;
         match state.fault_for(access) {
             None => {}
@@ -286,6 +389,17 @@ impl HlrcNode {
     }
 
     fn fetch_page(&mut self, page: PageId) {
+        if self.inner.cfg.prefetch_depth == 0 {
+            self.fetch_page_single(page);
+            return;
+        }
+        self.fetch_page_batched(page);
+    }
+
+    /// The legacy stop-and-wait fetch: one page, one round trip.
+    /// Byte-exact with the pre-batching protocol (`prefetch_depth: 0`
+    /// reproduces historical runs bit for bit).
+    fn fetch_page_single(&mut self, page: PageId) {
         let home = self.inner.pages.entry(page).home;
         self.inner.ctx.stats.page_fetches += 1;
         let asked_at = self.inner.ctx.now();
@@ -313,6 +427,158 @@ impl HlrcNode {
                 .pages
                 .install_copy(page, &data, PageState::ReadOnly, &mut self.inner.pool);
         }
+    }
+
+    /// The latency-hiding fetch: the request carries the faulting page
+    /// plus up to `prefetch_depth` predicted same-home pages. The home
+    /// answers the demand page with an ordinary [`Msg::PageReply`] —
+    /// byte-identical stall to the legacy fetch — and ships the
+    /// predicted copies in one trailing [`Msg::PageReplyBatch`] that
+    /// installs asynchronously at the next inbox drain. A wrong
+    /// prediction costs bytes on the wire, never an extra stall.
+    fn fetch_page_batched(&mut self, page: PageId) {
+        let home = self.inner.pages.entry(page).home;
+        self.inner.ctx.stats.page_fetches += 1;
+        self.inner.prefetch.note_fault(page);
+        // A fault on a page already predicted by an in-flight batch
+        // still pays one demand round trip (waiting out the batch could
+        // stall longer than a fresh fetch), but issues no new
+        // predictions — the in-flight batch already covers the window.
+        let extras = if self.inner.prefetch.in_flight(page) {
+            Vec::new()
+        } else {
+            self.prefetch_candidates(page, home)
+        };
+        let asked_at = self.inner.ctx.now();
+        if !extras.is_empty() {
+            self.inner.ctx.stats.prefetch_issued += extras.len() as u64;
+            self.inner.ctx.trace(TraceKind::PrefetchIssued {
+                page,
+                count: extras.len() as u32,
+            });
+            self.inner
+                .prefetch
+                .in_flight
+                .push((page, self.inner.sync_events, extras.clone()));
+        }
+        self.inner
+            .ctx
+            .send(home, Msg::PageRequestBatch { page, extras })
+            .expect("send page request batch");
+        self.inner.prefetch.demand = Some(page);
+        let env = self.wait_for(|m| matches!(m, Msg::PageReply { page: p, .. } if *p == page));
+        self.inner.prefetch.demand = None;
+        let page_size = self.inner.pages.page_size();
+        self.inner.ctx.charge_copy(page_size);
+        let waited = self.inner.ctx.now() - asked_at;
+        self.inner
+            .ctx
+            .metrics
+            .fetch_latency_ns
+            .record(waited.as_nanos());
+        self.inner.ctx.trace(TraceKind::PageFetch {
+            page,
+            from: home,
+            wait_ns: waited.as_nanos(),
+        });
+        self.ft.on_incoming(&mut self.inner, &env.payload);
+        if let Msg::PageReply { data, .. } = env.payload {
+            self.inner
+                .pages
+                .install_copy(page, &data, PageState::ReadOnly, &mut self.inner.pool);
+        }
+    }
+
+    /// Install a trailing prefetch batch (see [`Msg::PageReplyBatch`]):
+    /// gate on the issue-time synchronization stamp, then install every
+    /// carried page that is still invalid, valid-until-invalidated.
+    /// Called from the asynchronous service path, so nothing here may
+    /// block. Pages that went stale (a sync operation completed since
+    /// the request) or valid (demand-fetched while the batch was in
+    /// flight) count as wasted predictions.
+    fn install_prefetch_batch(&mut self, env: Envelope<Msg>) {
+        let Msg::PageReplyBatch { after, pages } = env.payload else {
+            unreachable!()
+        };
+        let stale = match self.inner.prefetch.take_in_flight(after) {
+            // A batch from a pre-crash incarnation (the map resets with
+            // the node) or one that crossed a synchronization operation
+            // can no longer prove its copies fresh enough.
+            None => true,
+            Some((stamp, _)) => stamp != self.inner.sync_events,
+        };
+        let mut install: Vec<PageCopy> = Vec::new();
+        for (p, data, version) in pages {
+            let e = self.inner.pages.entry(p);
+            if stale
+                || e.state != PageState::Invalid
+                || self.inner.pending_migration(p)
+                || self.inner.prefetch.demand == Some(p)
+            {
+                self.inner.ctx.stats.prefetch_wasted += 1;
+                self.inner.ctx.trace(TraceKind::PrefetchWasted { page: p });
+                continue;
+            }
+            install.push((p, data, version));
+        }
+        if install.is_empty() {
+            return;
+        }
+        // Log before installing (write-ahead, like every other incoming
+        // that mutates page state) with exactly the installed subset, so
+        // ML replay re-installs precisely what live execution did.
+        let logged = Msg::PageReplyBatch {
+            after,
+            pages: install.clone(),
+        };
+        self.ft.on_incoming(&mut self.inner, &logged);
+        for (p, data, _version) in install {
+            self.inner
+                .pages
+                .install_copy(p, &data, PageState::ReadOnly, &mut self.inner.pool);
+            self.inner.pages.entry_mut(p).prefetched = true;
+        }
+    }
+
+    /// Predicted pages worth piggybacking on a fault at `page`, all
+    /// homed at `home` and currently invalid here: confirmed-stride
+    /// projections first, then pages recently invalidated by write
+    /// notices (likely to fault again). Ascending and deduplicated —
+    /// a pure function of deterministic protocol state.
+    fn prefetch_candidates(&self, page: PageId, home: NodeId) -> Vec<PageId> {
+        let depth = self.inner.cfg.prefetch_depth as usize;
+        let n_pages = self.inner.pages.len() as i64;
+        let mut out: Vec<PageId> = Vec::new();
+        let want = |p: PageId, out: &mut Vec<PageId>| {
+            if p == page || out.contains(&p) || out.len() >= depth {
+                return;
+            }
+            let e = self.inner.pages.entry(p);
+            if e.home == home
+                && e.state == PageState::Invalid
+                && !self.inner.pending_migration(p)
+                && !self.inner.prefetch.in_flight(p)
+            {
+                out.push(p);
+            }
+        };
+        if let Some(stride) = self.inner.prefetch.stride() {
+            let mut p = i64::from(page);
+            for _ in 0..depth {
+                p += stride;
+                if p < 0 || p >= n_pages {
+                    break;
+                }
+                want(p as PageId, &mut out);
+            }
+        }
+        if out.len() < depth {
+            for &p in &self.inner.prefetch.recent_invalidated {
+                want(p, &mut out);
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     // ---------------------------------------------------------------
@@ -421,11 +687,12 @@ impl HlrcNode {
             .copied()
             .collect();
         let me = self.inner.me();
+        let proposals = self.migration_proposals(epoch, &notices);
         if me == self.inner.cfg.barrier_manager() {
             let now = self.inner.ctx.now();
             let vc = self.inner.vc.clone();
             let mgr = self.inner.barrier_mgr.as_mut().expect("manager state");
-            mgr.arrive(me, &vc, &notices, now);
+            mgr.arrive(me, &vc, &notices, &proposals, now);
             // Gather the cluster: service traffic until everyone arrived.
             self.service_while(|node| {
                 node.inner
@@ -442,7 +709,13 @@ impl HlrcNode {
             // copy, and the manager's own release all alias it.
             let merged_vc = Arc::new(mgr.merged_vc.clone());
             let merged_notices: Arc<[WriteNotice]> = std::mem::take(&mut mgr.merged_notices).into();
-            mgr.record_released(epoch, Arc::clone(&merged_vc), Arc::clone(&merged_notices));
+            let migrations: Arc<[HomeMigration]> = mgr.decided_migrations().into();
+            mgr.record_released(
+                epoch,
+                Arc::clone(&merged_vc),
+                Arc::clone(&merged_notices),
+                Arc::clone(&migrations),
+            );
             let straggler = mgr.straggler;
             let spread_ns = (mgr.latest_arrival - mgr.earliest_arrival).as_nanos();
             mgr.reset();
@@ -462,6 +735,7 @@ impl HlrcNode {
                                 epoch,
                                 vc: Arc::clone(&merged_vc),
                                 notices: Arc::clone(&merged_notices),
+                                migrations: Arc::clone(&migrations),
                             },
                         )
                         .expect("send barrier release");
@@ -474,8 +748,12 @@ impl HlrcNode {
                 epoch,
                 vc: Arc::clone(&merged_vc),
                 notices: Arc::clone(&merged_notices),
+                migrations: Arc::clone(&migrations),
             };
             self.ft.on_incoming(&mut self.inner, &own_release);
+            // Migrations before notices: a new home must own the page
+            // before the notice loop decides what to invalidate.
+            self.apply_migrations(epoch, &migrations);
             self.apply_sync_notices(SyncKind::Barrier(epoch), &merged_notices, &merged_vc);
         } else {
             let vc = self.inner.vc.clone();
@@ -483,13 +761,25 @@ impl HlrcNode {
                 .ctx
                 .send(
                     self.inner.cfg.barrier_manager(),
-                    Msg::BarrierArrive { epoch, vc, notices },
+                    Msg::BarrierArrive {
+                        epoch,
+                        vc,
+                        notices,
+                        proposals,
+                    },
                 )
                 .expect("send barrier arrive");
             let env =
                 self.wait_for(|m| matches!(m, Msg::BarrierRelease { epoch: e, .. } if *e == epoch));
             self.ft.on_incoming(&mut self.inner, &env.payload);
-            if let Msg::BarrierRelease { vc, notices, .. } = env.payload {
+            if let Msg::BarrierRelease {
+                vc,
+                notices,
+                migrations,
+                ..
+            } = env.payload
+            {
+                self.apply_migrations(epoch, &migrations);
                 self.apply_sync_notices(SyncKind::Barrier(epoch), &notices, &vc);
             }
         }
@@ -638,6 +928,7 @@ impl HlrcNode {
         // must not mask its siblings.
         let vc_before = self.inner.vc.clone();
         let mut fresh: Vec<WriteNotice> = Vec::new();
+        let mut invalidated: BTreeSet<PageId> = BTreeSet::new();
         for n in notices {
             if vc_before.covers(n.interval) || fresh.contains(n) {
                 continue;
@@ -651,8 +942,22 @@ impl HlrcNode {
                     "invalidation of a page with an open twin: intervals \
                      must be delimited before notices are applied"
                 );
+                if self.inner.pages.entry(n.page).prefetched {
+                    // Predicted copy invalidated before its first use:
+                    // the prediction bought nothing but bytes.
+                    self.inner.ctx.stats.prefetch_wasted += 1;
+                    self.inner
+                        .ctx
+                        .trace(TraceKind::PrefetchWasted { page: n.page });
+                }
                 self.inner.pages.invalidate(n.page, &mut self.inner.pool);
+                invalidated.insert(n.page);
             }
+        }
+        if !invalidated.is_empty() {
+            // The freshest invalidation set replaces the previous one as
+            // the notice-driven refetch predictor.
+            self.inner.prefetch.recent_invalidated = invalidated;
         }
         self.inner.vc.join(vc_in);
         if !fresh.is_empty() {
@@ -662,6 +967,176 @@ impl HlrcNode {
         }
         let vc = self.inner.vc.clone();
         self.ft.on_notices(&mut self.inner, kind, &fresh, &vc);
+    }
+
+    // ---------------------------------------------------------------
+    // Home migration
+    // ---------------------------------------------------------------
+
+    /// Home-migration proposals this node piggybacks on its barrier
+    /// arrival. Two deterministic sources:
+    ///
+    /// * **First touch** (epoch 0, [`HomePolicy::FirstTouch`]): every
+    ///   page this node wrote in the first epoch but does not own —
+    ///   the initial touch pattern, committed at the first barrier,
+    ///   decides ownership instead of the static block layout.
+    /// * **Adaptive** (migration windows, `cfg.adaptive_migration`):
+    ///   a home page whose diff traffic since the last window is
+    ///   dominated by one remote writer (strict majority of bytes)
+    ///   is proposed to move to that writer.
+    ///
+    /// Pages migrate at most once (`migrated` blocks re-proposals), so
+    /// adaptive placement cannot ping-pong.
+    fn migration_proposals(&mut self, epoch: u32, notices: &[WriteNotice]) -> Vec<HomeMigration> {
+        let me = self.inner.me() as u32;
+        let mut out: Vec<HomeMigration> = Vec::new();
+        if epoch == 0 && self.inner.cfg.home_policy == HomePolicy::FirstTouch {
+            for n in notices {
+                if n.interval.node != me {
+                    continue;
+                }
+                let e = self.inner.pages.entry(n.page);
+                if e.home as u32 != me && !e.migrated && !out.iter().any(|&(p, _)| p == n.page) {
+                    out.push((n.page, me));
+                }
+            }
+        }
+        let window = std::mem::take(&mut self.inner.migration_window);
+        if window && self.inner.cfg.adaptive_migration {
+            let traffic = std::mem::take(&mut self.inner.diff_traffic);
+            for (page, writers) in traffic {
+                let e = self.inner.pages.entry(page);
+                if e.home as u32 != me || e.migrated {
+                    continue;
+                }
+                let total: u64 = writers.values().sum();
+                // Strictly-greater wins, so BTreeMap order breaks byte
+                // ties toward the lowest writer id — deterministic.
+                let mut best_w = u32::MAX;
+                let mut best_b = 0u64;
+                for (&w, &b) in &writers {
+                    if b > best_b {
+                        best_b = b;
+                        best_w = w;
+                    }
+                }
+                if best_w != u32::MAX && best_w != me && best_b * 2 > total {
+                    out.push((page, best_w));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Apply a barrier's committed migration list. Every node walks the
+    /// *same sorted list in the same order*, so the cross-node handshake
+    /// (old home sends [`Msg::HomeMigrate`], new home adopts) cannot
+    /// deadlock: sends are non-blocking, adoptions are the only blocking
+    /// entries, and by induction on the list index the first entry any
+    /// node blocks on has already had its `HomeMigrate` dispatched.
+    fn apply_migrations(&mut self, epoch: u32, migrations: &[HomeMigration]) {
+        if migrations.is_empty() {
+            return;
+        }
+        let me = self.inner.me();
+        // Pass 1: reserve every page this node is adopting, so a racing
+        // request stalls (see `service`) instead of being answered by a
+        // home role that is mid-handover.
+        for &(page, to) in migrations {
+            if to as usize == me && self.inner.pages.entry(page).home != me {
+                self.inner.pending_migrations.insert(page);
+            }
+        }
+        for &(page, to) in migrations {
+            let to = to as usize;
+            let home = self.inner.pages.entry(page).home;
+            if home == to {
+                // Already applied — a replayed or re-delivered release
+                // after a crash that preserved the post-migration
+                // mapping. Idempotent skip.
+                self.inner.pending_migrations.remove(&page);
+                continue;
+            }
+            if to == me {
+                // Adopt. In-migrations arrive in deterministic but
+                // list-order-unrelated order, so absorb whichever
+                // `HomeMigrate` comes until *this* page is in.
+                while self.inner.pending_migration(page) {
+                    let env = self.wait_for(|m| matches!(m, Msg::HomeMigrate { .. }));
+                    self.adopt_migrated(env);
+                }
+                if epoch == 0 {
+                    // First-touch adoption: pre-checkpoint truth is the
+                    // zero-initialized page, not the transfer image.
+                    self.inner.pages.zero_base(page);
+                }
+            } else if home == me {
+                let page_size = self.inner.pages.page_size();
+                let e = self.inner.pages.entry(page);
+                let data = SharedBytes::copy_of(e.frame.as_ref().expect("home frame").bytes());
+                let version = e.version.clone().expect("home version");
+                self.inner.ctx.charge_copy(page_size);
+                self.inner
+                    .ctx
+                    .send(
+                        to,
+                        Msg::HomeMigrate {
+                            page,
+                            data,
+                            version,
+                        },
+                    )
+                    .expect("send home migrate");
+                self.inner.pages.demote_home(page, to);
+                self.inner.ctx.stats.home_migrations += 1;
+                self.inner
+                    .ctx
+                    .trace(TraceKind::HomeMigrated { page, from: me, to });
+            } else {
+                self.inner.pages.note_migrated(page, to);
+            }
+        }
+        debug_assert!(
+            self.inner.pending_migrations.is_empty(),
+            "unadopted migrations left at node {me}"
+        );
+        self.drain_stalled();
+    }
+
+    /// Absorb one [`Msg::HomeMigrate`]: log it (ML replays adoptions
+    /// from these records), install the transferred home copy, and
+    /// clear the page's reservation.
+    fn adopt_migrated(&mut self, env: Envelope<Msg>) {
+        self.ft.on_incoming(&mut self.inner, &env.payload);
+        let Msg::HomeMigrate {
+            page,
+            data,
+            version,
+        } = env.payload
+        else {
+            unreachable!()
+        };
+        debug_assert!(
+            self.inner.pending_migrations.contains(&page),
+            "unsolicited home migrate for page {page}"
+        );
+        self.inner.ctx.charge_copy(data.len());
+        self.inner.pages.adopt_home(page, &data, version);
+        self.inner.pending_migrations.remove(&page);
+    }
+
+    /// Re-service the requests stalled on a now-completed adoption, in
+    /// arrival order, timed from "now" (their arrival is in the past).
+    fn drain_stalled(&mut self) {
+        if self.inner.stalled_requests.is_empty() {
+            return;
+        }
+        let stalled = std::mem::take(&mut self.inner.stalled_requests);
+        for env in stalled {
+            self.service(env, true);
+        }
     }
 }
 
@@ -799,6 +1274,25 @@ impl CoherenceProtocol<Msg> for HlrcNode {
     /// messages replayed after recovery, whose service time is "now"
     /// rather than their (long past) arrival time.
     fn service(&mut self, env: Envelope<Msg>, deferred: bool) {
+        // Traffic touching a page whose adoption this node has announced
+        // but not completed must wait: the old copy is stale and the new
+        // home has nothing to serve yet. Stalled envelopes are
+        // re-serviced right after the adoption (see `drain_stalled`).
+        let stall = match &env.payload {
+            Msg::PageRequest { page } => self.inner.pending_migration(*page),
+            Msg::PageRequestBatch { page, extras } => {
+                self.inner.pending_migration(*page)
+                    || extras.iter().any(|p| self.inner.pending_migration(*p))
+            }
+            Msg::DiffFlush { diffs, .. } => {
+                diffs.iter().any(|d| self.inner.pending_migration(d.page))
+            }
+            _ => false,
+        };
+        if stall {
+            self.inner.stalled_requests.push(env);
+            return;
+        }
         let handler = self.inner.ctx.cost.cpu.message_handler;
         let done = self.inner.ctx.async_service_base(&env, deferred) + handler;
         // DiffFlush is handled by value (not through the shared match on
@@ -810,6 +1304,19 @@ impl CoherenceProtocol<Msg> for HlrcNode {
             let Msg::DiffFlush { writer, diffs } = env.payload else {
                 unreachable!()
             };
+            if self.inner.cfg.adaptive_migration {
+                // Per-(page, writer) byte profile driving adaptive home
+                // migration at the next migration window.
+                for d in &diffs {
+                    *self
+                        .inner
+                        .diff_traffic
+                        .entry(d.page)
+                        .or_default()
+                        .entry(writer.node)
+                        .or_default() += d.encoded_size() as u64;
+                }
+            }
             let payload: usize = diffs.iter().map(|d| d.encoded_size()).sum();
             let copy_cost = self.inner.ctx.cost.cpu.copy(payload);
             let mut pages = Vec::with_capacity(diffs.len());
@@ -858,6 +1365,84 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                         },
                     )
                     .expect("send page reply");
+            }
+            Msg::PageRequestBatch { page, extras } => {
+                let page = *page;
+                let extras = extras.clone();
+                let copy_of = |inner: &mut NodeInner, p: PageId| -> PageCopy {
+                    debug_assert!(inner.pages.is_home(p), "batch page request at non-home");
+                    let e = inner.pages.entry(p);
+                    let data = SharedBytes::copy_of(e.frame.as_ref().expect("home frame").bytes());
+                    let version = e.version.clone().expect("home version");
+                    (p, data, version)
+                };
+                // The demand page first, as an ordinary reply with the
+                // exact single-fetch timing: the requester's stall never
+                // grows with the prediction depth.
+                self.inner.pages.note_remote_fetch(
+                    page,
+                    self.ft.needs_home_write_twins(),
+                    self.ft.logs_home_diffs_durably(),
+                );
+                let (_, data, version) = copy_of(&mut self.inner, page);
+                let demand_cost = self.inner.ctx.cost.cpu.copy(data.len());
+                self.inner
+                    .ctx
+                    .send_from(
+                        done + demand_cost,
+                        env.src,
+                        Msg::PageReply {
+                            page,
+                            data,
+                            version,
+                        },
+                    )
+                    .expect("send page reply");
+                // Predicted extras trail in one batch, copied by the
+                // communication processor after the demand reply is on
+                // the wire.
+                if !extras.is_empty() {
+                    let mut copies: Vec<PageCopy> = Vec::with_capacity(extras.len());
+                    let mut total = 0usize;
+                    for p in extras {
+                        self.inner.pages.note_remote_fetch(
+                            p,
+                            self.ft.needs_home_write_twins(),
+                            self.ft.logs_home_diffs_durably(),
+                        );
+                        let copy = copy_of(&mut self.inner, p);
+                        total += copy.1.len();
+                        copies.push(copy);
+                    }
+                    let extras_cost = self.inner.ctx.cost.cpu.copy(total);
+                    self.inner
+                        .ctx
+                        .send_from(
+                            done + demand_cost + extras_cost,
+                            env.src,
+                            Msg::PageReplyBatch {
+                                after: page,
+                                pages: copies,
+                            },
+                        )
+                        .expect("send page reply batch");
+                }
+            }
+            Msg::PageReplyBatch { .. } => self.install_prefetch_batch(env),
+            Msg::HomeMigrate { .. } => {
+                // An in-migration serviced outside `apply_migrations`'
+                // own receive loop (it was absorbed while waiting for a
+                // different pending page's envelope — `wait_for` matches
+                // any `HomeMigrate`, so this arm only fires for pages
+                // still reserved).
+                debug_assert!(
+                    matches!(
+                        &env.payload,
+                        Msg::HomeMigrate { page, .. } if self.inner.pending_migration(*page)
+                    ),
+                    "home migrate outside an adoption window"
+                );
+                self.adopt_migrated(env);
             }
             Msg::LockRequest { lock, vc } => {
                 let lock = *lock;
@@ -927,7 +1512,12 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                         .expect("send queued lock grant");
                 }
             }
-            Msg::BarrierArrive { epoch, vc, notices } => {
+            Msg::BarrierArrive {
+                epoch,
+                vc,
+                notices,
+                proposals,
+            } => {
                 debug_assert_eq!(
                     self.inner.me(),
                     self.inner.cfg.barrier_manager(),
@@ -942,8 +1532,8 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     .as_ref()
                     .expect("barrier manager state")
                     .past_release(*epoch)
-                    .map(|(rvc, rn)| (Arc::clone(rvc), Arc::clone(rn)));
-                if let Some((rvc, rnotices)) = past {
+                    .map(|(rvc, rn, rm)| (Arc::clone(rvc), Arc::clone(rn), Arc::clone(rm)));
+                if let Some((rvc, rnotices, rmigrations)) = past {
                     self.inner
                         .ctx
                         .send_from(
@@ -953,6 +1543,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                                 epoch: *epoch,
                                 vc: rvc,
                                 notices: rnotices,
+                                migrations: rmigrations,
                             },
                         )
                         .expect("re-send barrier release");
@@ -971,7 +1562,7 @@ impl CoherenceProtocol<Msg> for HlrcNode {
                     .barrier_mgr
                     .as_mut()
                     .expect("barrier manager state")
-                    .arrive(env.src, vc, notices, at);
+                    .arrive(env.src, vc, notices, proposals, at);
             }
             Msg::RecoveryPageRequest { .. } => {
                 let mid_replay = self.ft.in_recovery();
@@ -1020,6 +1611,11 @@ impl HlrcNode {
         self.inner.lock_grant_vcs.clear();
         self.inner.barrier_epoch = 0;
         self.inner.sync_events = 0;
+        self.inner.prefetch = PrefetchState::default();
+        self.inner.diff_traffic.clear();
+        self.inner.pending_migrations.clear();
+        self.inner.stalled_requests.clear();
+        self.inner.migration_window = false;
         self.ft.begin_recovery(&mut self.inner);
         if !self.ft.in_recovery() {
             // Nothing to replay — no protocol log, an empty log, or a

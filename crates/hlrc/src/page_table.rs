@@ -36,6 +36,16 @@ pub struct PageEntry {
     /// restores only pages the (deterministically replayed) execution
     /// actually caches.
     pub was_cached: bool,
+    /// Non-home side: this copy arrived as a prefetch prediction and has
+    /// not been touched yet. Cleared (and counted as a hit) on first
+    /// access; a prefetched copy invalidated while still flagged was a
+    /// wasted prediction.
+    pub prefetched: bool,
+    /// This page's home moved at a barrier (first-touch or adaptive
+    /// migration). A migrated page never migrates again (ping-pong
+    /// damping), and a post-crash re-execution of the allocation phase
+    /// must not clobber the migrated mapping.
+    pub migrated: bool,
 }
 
 /// The full table for one node.
@@ -67,6 +77,8 @@ impl PageTable {
                         dirty: false,
                         remote_fetched: false,
                         was_cached: false,
+                        prefetched: false,
+                        migrated: false,
                     }
                 } else {
                     PageEntry {
@@ -80,6 +92,8 @@ impl PageTable {
                         dirty: false,
                         remote_fetched: false,
                         was_cached: false,
+                        prefetched: false,
+                        migrated: false,
                     }
                 }
             })
@@ -168,6 +182,7 @@ impl PageTable {
         e.frame = Some(frame);
         e.state = state;
         e.was_cached = true;
+        e.prefetched = false;
     }
 
     /// Drop the local copy of a non-home page (write-invalidation),
@@ -183,6 +198,7 @@ impl PageTable {
         }
         e.state = PageState::Invalid;
         e.dirty = false;
+        e.prefetched = false;
     }
 
     /// Apply a writer's diff to the home copy, bumping its version.
@@ -212,6 +228,7 @@ impl PageTable {
             e.dirty = false;
             e.remote_fetched = false;
             e.was_cached = false;
+            e.prefetched = false;
             if e.home == self.me {
                 let base = e.base.as_ref().expect("home base missing").clone();
                 e.frame = Some(base);
@@ -242,7 +259,10 @@ impl PageTable {
     pub fn set_home(&mut self, page: PageId, home: NodeId) {
         let n = self.n_nodes;
         let e = &mut self.entries[page as usize];
-        if e.home == home {
+        // A migrated mapping outranks the static assignment: a crashed
+        // node re-executing its allocation phase must keep routing to
+        // the migrated home, not the allocation-time one.
+        if e.home == home || e.migrated {
             return;
         }
         e.home = home;
@@ -263,6 +283,76 @@ impl PageTable {
         e.dirty = false;
         e.remote_fetched = false;
         e.was_cached = false;
+        e.prefetched = false;
+    }
+
+    /// Old home's side of a barrier-committed migration: hand the home
+    /// role to `to`, keeping the final home copy as an ordinary cached
+    /// read-only replica (it stays valid until a later writer's notice
+    /// invalidates it).
+    pub fn demote_home(&mut self, page: PageId, to: NodeId) {
+        let e = &mut self.entries[page as usize];
+        debug_assert_eq!(e.home, self.me, "demoting a page not homed here");
+        debug_assert_ne!(to, self.me);
+        e.home = to;
+        e.migrated = true;
+        e.version = None;
+        e.base = None;
+        e.base_version = None;
+        e.twin = None;
+        e.dirty = false;
+        e.remote_fetched = false;
+        e.prefetched = false;
+        // The retained frame is now a plain cached copy.
+        e.state = PageState::ReadOnly;
+        e.was_cached = e.frame.is_some();
+    }
+
+    /// New home's side of a migration: adopt the transferred home copy
+    /// and version. The checkpoint base is reset to the adopted image
+    /// with a distinct `base_version`, so the checkpoint taken at this
+    /// same barrier force-includes the page even if nobody writes it in
+    /// between.
+    pub fn adopt_home(&mut self, page: PageId, data: &[u8], version: VClock) {
+        let n = self.n_nodes;
+        let e = &mut self.entries[page as usize];
+        debug_assert_ne!(e.home, self.me, "adopting a page already homed here");
+        e.home = self.me;
+        e.migrated = true;
+        e.frame = Some(PageFrame::from_bytes(data));
+        e.base = Some(PageFrame::from_bytes(data));
+        e.version = Some(version);
+        e.base_version = Some(VClock::new(n));
+        e.state = PageState::ReadOnly;
+        e.twin = None;
+        e.dirty = false;
+        e.remote_fetched = false;
+        e.was_cached = false;
+        e.prefetched = false;
+    }
+
+    /// First-touch (epoch-0) adoption: the page's pre-checkpoint truth
+    /// is the all-zero initial state, not the transferred image — a
+    /// crash before the first checkpoint must re-execute from state
+    /// zero, exactly as if this node had been the home all along.
+    pub fn zero_base(&mut self, page: PageId) {
+        let n = self.n_nodes;
+        let size = self.page_size;
+        let e = &mut self.entries[page as usize];
+        debug_assert_eq!(e.home, self.me, "zeroing the base of a non-home page");
+        e.base = Some(PageFrame::zeroed(size));
+        e.base_version = Some(VClock::new(n));
+    }
+
+    /// Bystander's side of a migration: update the mapping only. A
+    /// cached copy, if any, stays valid — the contents did not change,
+    /// only the page's owner.
+    pub fn note_migrated(&mut self, page: PageId, to: NodeId) {
+        let e = &mut self.entries[page as usize];
+        debug_assert_ne!(e.home, self.me);
+        debug_assert_ne!(to, self.me);
+        e.home = to;
+        e.migrated = true;
     }
 
     /// Mark a home page as remotely fetched, promoting its current
@@ -373,6 +463,44 @@ mod tests {
         t.frame_mut(0).write_u64(0, 77);
         t.reset_to_base();
         assert_eq!(t.frame(0).read_u64(0), 42);
+    }
+
+    #[test]
+    fn migration_moves_the_home_role_and_pins_the_mapping() {
+        // Node 0 demotes page 1 to node 1; node 1 adopts it.
+        let mut old = PageTable::new(&cfg(), 0);
+        let mut new = PageTable::new(&cfg(), 1);
+        old.frame_mut(1).write_u64(0, 7);
+        let data: Vec<u8> = old.frame(1).bytes().to_vec();
+        let mut v = VClock::new(2);
+        v.set(0, 3);
+
+        old.demote_home(1, 1);
+        assert!(!old.is_home(1));
+        assert!(old.entry(1).migrated);
+        // Old home keeps a readable cached copy...
+        assert_eq!(old.frame(1).read_u64(0), 7);
+        assert_eq!(old.entry(1).state, PageState::ReadOnly);
+        // ...but no home-side metadata.
+        assert!(old.entry(1).version.is_none() && old.entry(1).base.is_none());
+
+        new.adopt_home(1, &data, v.clone());
+        assert!(new.is_home(1));
+        assert_eq!(new.frame(1).read_u64(0), 7);
+        assert_eq!(new.entry(1).version, Some(v));
+        // Distinct base version => the next checkpoint force-includes it.
+        assert_ne!(new.entry(1).base_version, new.entry(1).version);
+
+        // set_home (re-executed allocation) cannot clobber a migration.
+        old.set_home(1, 0);
+        assert!(!old.is_home(1));
+
+        // A bystander just updates its mapping.
+        let cfg4 = DsmConfig::new(4, 8).with_page_size(64);
+        let mut bys = PageTable::new(&cfg4, 3);
+        bys.note_migrated(0, 1);
+        assert_eq!(bys.entry(0).home, 1);
+        assert!(bys.entry(0).migrated);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use pagemem::VClock;
 use simnet::{NodeId, SimTime};
 
-use crate::msg::WriteNotice;
+use crate::msg::{EpochRelease, HomeMigration, WriteNotice};
 
 /// A queued lock request.
 #[derive(Debug, Clone)]
@@ -134,6 +134,10 @@ pub struct BarrierMgr {
     pub merged_vc: VClock,
     /// Union of all arrivals' notices.
     pub merged_notices: Vec<WriteNotice>,
+    /// Union of all arrivals' home-migration proposals. Conflicting
+    /// proposals for one page resolve to the lowest proposed home, so
+    /// the decided set is independent of arrival order.
+    pub merged_proposals: Vec<HomeMigration>,
     /// Snapshot of every completed episode's release, by epoch. A node
     /// re-executing after a degraded recovery (no usable log)
     /// re-arrives at epochs the cluster already finished; the manager
@@ -141,8 +145,13 @@ pub struct BarrierMgr {
     /// not a dense vector: a recovering manager replays barriers
     /// without re-recording them, leaving gaps.) `Arc`-shared so the
     /// history and every broadcast release alias one snapshot.
-    released: HashMap<u32, (Arc<VClock>, Arc<[WriteNotice]>)>,
+    released: HashMap<u32, SharedRelease>,
 }
+
+/// One completed episode's release, `Arc`-shared between the manager's
+/// history and every broadcast envelope: merged clock, merged notices,
+/// committed home migrations.
+type SharedRelease = (Arc<VClock>, Arc<[WriteNotice]>, Arc<[HomeMigration]>);
 
 impl BarrierMgr {
     /// Fresh manager state for an `n`-node cluster.
@@ -156,32 +165,43 @@ impl BarrierMgr {
             straggler: 0,
             merged_vc: VClock::new(n_nodes),
             merged_notices: Vec::new(),
+            merged_proposals: Vec::new(),
             released: HashMap::new(),
         }
     }
 
     /// Record a completed episode's release so stale re-arrivals can be
     /// answered later. Called by the manager right before `reset`.
-    pub fn record_released(&mut self, epoch: u32, vc: Arc<VClock>, notices: Arc<[WriteNotice]>) {
-        self.released.insert(epoch, (vc, notices));
+    pub fn record_released(
+        &mut self,
+        epoch: u32,
+        vc: Arc<VClock>,
+        notices: Arc<[WriteNotice]>,
+        migrations: Arc<[HomeMigration]>,
+    ) {
+        self.released.insert(epoch, (vc, notices, migrations));
     }
 
     /// The stored release for `epoch`, if that episode already
     /// completed (a stale re-arrival must be re-released, not
     /// gathered). Cloning the returned `Arc`s into a re-sent
     /// [`crate::Msg::BarrierRelease`] is free.
-    pub fn past_release(&self, epoch: u32) -> Option<(&Arc<VClock>, &Arc<[WriteNotice]>)> {
-        self.released.get(&epoch).map(|(vc, n)| (vc, n))
+    #[allow(clippy::type_complexity)]
+    pub fn past_release(
+        &self,
+        epoch: u32,
+    ) -> Option<(&Arc<VClock>, &Arc<[WriteNotice]>, &Arc<[HomeMigration]>)> {
+        self.released.get(&epoch).map(|(vc, n, m)| (vc, n, m))
     }
 
     /// Every retained release in ascending epoch order, for a
     /// [`crate::Msg::ReleaseHistoryReply`]. A recovering home replays
     /// this history to find updates its damaged log lost.
-    pub fn release_history(&self) -> Vec<(u32, VClock, Vec<WriteNotice>)> {
+    pub fn release_history(&self) -> Vec<EpochRelease> {
         let mut v: Vec<_> = self
             .released
             .iter()
-            .map(|(e, (vc, n))| (*e, (**vc).clone(), n.to_vec()))
+            .map(|(e, (vc, n, m))| (*e, (**vc).clone(), n.to_vec(), m.to_vec()))
             .collect();
         v.sort_unstable_by_key(|(e, ..)| *e);
         v
@@ -193,6 +213,7 @@ impl BarrierMgr {
         node: NodeId,
         vc: &VClock,
         notices: &[WriteNotice],
+        proposals: &[HomeMigration],
         at: SimTime,
     ) -> bool {
         assert!(!self.arrived[node], "node {node} arrived twice at barrier");
@@ -213,7 +234,24 @@ impl BarrierMgr {
                 self.merged_notices.push(*n);
             }
         }
+        for &(page, to) in proposals {
+            match self.merged_proposals.iter_mut().find(|(p, _)| *p == page) {
+                // Arrival-order independence: ties resolve to the
+                // lowest proposed home.
+                Some(entry) => entry.1 = entry.1.min(to),
+                None => self.merged_proposals.push((page, to)),
+            }
+        }
         self.arrived_count == self.n_nodes
+    }
+
+    /// The decided migration set for this episode: merged proposals,
+    /// sorted by page. Every node applies this same list in this same
+    /// order, so the cluster-wide mapping stays consistent.
+    pub fn decided_migrations(&self) -> Vec<HomeMigration> {
+        let mut v = self.merged_proposals.clone();
+        v.sort_unstable();
+        v
     }
 
     /// Reset for the next episode.
@@ -224,6 +262,7 @@ impl BarrierMgr {
         self.earliest_arrival = SimTime::ZERO;
         self.straggler = 0;
         self.merged_notices.clear();
+        self.merged_proposals.clear();
         // merged_vc persists monotonically across episodes.
     }
 
@@ -284,9 +323,15 @@ mod tests {
     fn barrier_completes_when_all_arrive() {
         let mut b = BarrierMgr::new(3);
         let vc = VClock::new(3);
-        assert!(!b.arrive(0, &vc, &[notice(4, 0, 0)], SimTime(10)));
-        assert!(!b.arrive(2, &vc, &[], SimTime(30)));
-        assert!(b.arrive(1, &vc, &[notice(4, 0, 0), notice(5, 1, 0)], SimTime(20)));
+        assert!(!b.arrive(0, &vc, &[notice(4, 0, 0)], &[], SimTime(10)));
+        assert!(!b.arrive(2, &vc, &[], &[], SimTime(30)));
+        assert!(b.arrive(
+            1,
+            &vc,
+            &[notice(4, 0, 0), notice(5, 1, 0)],
+            &[],
+            SimTime(20)
+        ));
         assert_eq!(b.latest_arrival, SimTime(30));
         assert_eq!(b.merged_notices.len(), 2);
         assert_eq!(b.arrived_count(), 3);
@@ -297,8 +342,8 @@ mod tests {
         let mut b = BarrierMgr::new(2);
         let mut vc = VClock::new(2);
         vc.observe(IntervalId { node: 0, seq: 4 });
-        b.arrive(0, &vc, &[], SimTime(5));
-        b.arrive(1, &vc, &[notice(0, 0, 4)], SimTime(6));
+        b.arrive(0, &vc, &[], &[], SimTime(5));
+        b.arrive(1, &vc, &[notice(0, 0, 4)], &[], SimTime(6));
         b.reset();
         assert_eq!(b.arrived_count(), 0);
         assert!(b.merged_notices.is_empty());
@@ -311,11 +356,31 @@ mod tests {
         let mut vc = VClock::new(2);
         vc.observe(IntervalId { node: 1, seq: 0 });
         assert!(b.past_release(0).is_none());
-        b.record_released(0, Arc::new(vc.clone()), vec![notice(3, 1, 0)].into());
-        let (rvc, rn) = b.past_release(0).expect("epoch 0 released");
+        b.record_released(
+            0,
+            Arc::new(vc.clone()),
+            vec![notice(3, 1, 0)].into(),
+            vec![(2, 1)].into(),
+        );
+        let (rvc, rn, rm) = b.past_release(0).expect("epoch 0 released");
         assert_eq!(rvc.get(1), 1);
         assert_eq!(&rn[..], &[notice(3, 1, 0)]);
+        assert_eq!(&rm[..], &[(2, 1)]);
         assert!(b.past_release(1).is_none());
+    }
+
+    #[test]
+    fn migration_proposals_merge_deterministically() {
+        let mut b = BarrierMgr::new(3);
+        let vc = VClock::new(3);
+        // Conflicting first-touch claims for page 4: lowest home wins,
+        // regardless of arrival order.
+        b.arrive(2, &vc, &[], &[(4, 2), (9, 2)], SimTime(5));
+        b.arrive(1, &vc, &[], &[(4, 1)], SimTime(6));
+        b.arrive(0, &vc, &[], &[], SimTime(7));
+        assert_eq!(b.decided_migrations(), vec![(4, 1), (9, 2)]);
+        b.reset();
+        assert!(b.decided_migrations().is_empty());
     }
 
     #[test]
@@ -333,9 +398,9 @@ mod tests {
     fn barrier_tracks_straggler_and_spread() {
         let mut b = BarrierMgr::new(3);
         let vc = VClock::new(3);
-        b.arrive(1, &vc, &[], SimTime(40));
-        b.arrive(0, &vc, &[], SimTime(10));
-        b.arrive(2, &vc, &[], SimTime(40)); // tie: later arrival wins
+        b.arrive(1, &vc, &[], &[], SimTime(40));
+        b.arrive(0, &vc, &[], &[], SimTime(10));
+        b.arrive(2, &vc, &[], &[], SimTime(40)); // tie: later arrival wins
         assert_eq!(b.straggler, 2);
         assert_eq!(b.earliest_arrival, SimTime(10));
         assert_eq!(b.latest_arrival, SimTime(40));
@@ -349,7 +414,7 @@ mod tests {
     fn double_arrival_panics() {
         let mut b = BarrierMgr::new(2);
         let vc = VClock::new(2);
-        b.arrive(0, &vc, &[], SimTime(1));
-        b.arrive(0, &vc, &[], SimTime(2));
+        b.arrive(0, &vc, &[], &[], SimTime(1));
+        b.arrive(0, &vc, &[], &[], SimTime(2));
     }
 }

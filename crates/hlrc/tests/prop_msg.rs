@@ -56,8 +56,23 @@ fn arb_diff(rng: &mut Rng) -> PageDiff {
     PageDiff { page, runs }
 }
 
+fn arb_migrations(rng: &mut Rng) -> Vec<(u32, u32)> {
+    (0..rng.usize_in(0, 5))
+        .map(|_| (rng.u32_in(0, 1024), rng.u32_in(0, 8)))
+        .collect()
+}
+
+fn arb_page_copies(rng: &mut Rng) -> Vec<hlrc::PageCopy> {
+    (0..rng.usize_in(0, 8))
+        .map(|_| {
+            let len = rng.usize_in(0, 256);
+            (rng.u32_in(0, 1024), rng.bytes(len).into(), arb_vclock(rng))
+        })
+        .collect()
+}
+
 fn arb_msg(rng: &mut Rng) -> Msg {
-    match rng.u32_in(0, 13) {
+    match rng.u32_in(0, 17) {
         0 => Msg::PageRequest {
             page: rng.u32_in(0, 1024),
         },
@@ -94,11 +109,13 @@ fn arb_msg(rng: &mut Rng) -> Msg {
             epoch: rng.u32_in(0, 1000),
             vc: arb_vclock(rng),
             notices: arb_notices(rng),
+            proposals: arb_migrations(rng),
         },
         8 => Msg::BarrierRelease {
             epoch: rng.u32_in(0, 1000),
             vc: Arc::new(arb_vclock(rng)),
             notices: arb_notices(rng).into(),
+            migrations: arb_migrations(rng).into(),
         },
         9 => Msg::RecoveryPageRequest {
             page: rng.u32_in(0, 1024),
@@ -119,12 +136,43 @@ fn arb_msg(rng: &mut Rng) -> Msg {
                 .map(|_| rng.u32_in(0, 10_000))
                 .collect(),
         },
-        _ => Msg::LoggedDiffReply {
+        12 => Msg::LoggedDiffReply {
             page: rng.u32_in(0, 1024),
             diffs: (0..rng.usize_in(0, 5))
                 .map(|_| (arb_interval(rng), arb_diff(rng)))
                 .collect(),
         },
+        13 => Msg::ReleaseHistoryRequest,
+        14 => Msg::ReleaseHistoryReply {
+            releases: (0..rng.usize_in(0, 4))
+                .map(|e| {
+                    (
+                        e as u32,
+                        arb_vclock(rng),
+                        arb_notices(rng),
+                        arb_migrations(rng),
+                    )
+                })
+                .collect(),
+        },
+        15 => Msg::PageRequestBatch {
+            page: rng.u32_in(0, 1024),
+            extras: (0..rng.usize_in(0, 8))
+                .map(|_| rng.u32_in(0, 1024))
+                .collect(),
+        },
+        16 => Msg::PageReplyBatch {
+            after: rng.u32_in(0, 1024),
+            pages: arb_page_copies(rng),
+        },
+        _ => {
+            let len = rng.usize_in(0, 256);
+            Msg::HomeMigrate {
+                page: rng.u32_in(0, 1024),
+                data: rng.bytes(len).into(),
+                version: arb_vclock(rng),
+            }
+        }
     }
 }
 
@@ -155,7 +203,7 @@ fn truncated_messages_never_panic() {
 fn corrupted_tag_is_rejected() {
     check("corrupted_tag_is_rejected", CASES, |rng| {
         let msg = arb_msg(rng);
-        let tag = rng.u32_in(13, 256) as u8;
+        let tag = rng.u32_in(18, 256) as u8;
         let mut bytes = msg.encode_to_vec();
         bytes[0] = tag;
         assert!(Msg::decode_from_slice(&bytes).is_err());

@@ -106,6 +106,7 @@ fn msg_barrier_arrive() {
         epoch: 4,
         vc: vc(),
         notices: notices(),
+        proposals: vec![(7, 2), (296, 0)],
     });
 }
 
@@ -115,6 +116,45 @@ fn msg_barrier_release() {
         epoch: 4,
         vc: Arc::new(vc()),
         notices: notices().into(),
+        migrations: vec![(7, 2)].into(),
+    });
+}
+
+#[test]
+fn msg_page_request_batch() {
+    check(&Msg::PageRequestBatch {
+        page: 7,
+        extras: vec![8, 9, 12],
+    });
+}
+
+#[test]
+fn msg_page_reply_batch() {
+    check(&Msg::PageReplyBatch {
+        after: 7,
+        pages: vec![
+            (8, vec![0xab; 256].into(), vc()),
+            (9, vec![0xcd; 256].into(), vc()),
+        ],
+    });
+}
+
+#[test]
+fn msg_release_history_reply() {
+    check(&Msg::ReleaseHistoryReply {
+        releases: vec![
+            (0, vc(), notices(), vec![]),
+            (1, vc(), vec![], vec![(5, 1)]),
+        ],
+    });
+}
+
+#[test]
+fn msg_home_migrate() {
+    check(&Msg::HomeMigrate {
+        page: 296,
+        data: vec![0xee; 256].into(),
+        version: vc(),
     });
 }
 

@@ -32,7 +32,7 @@ use ccl_core::Protocol;
 use obsv::json;
 use obsv::report::{
     baseline_json, blame_markdown, compare, fig4_markdown, fig5_markdown, parse_tolerances,
-    report_json, splice, table2_markdown, Report, Scale,
+    report_json, splice, table2_markdown, traffic_markdown, Report, Scale,
 };
 
 struct Args {
@@ -90,6 +90,7 @@ fn regenerate_experiments(report: &Report) -> Result<(), String> {
     let doc = splice(&doc, "fig4", &fig4_markdown(report))?;
     let doc = splice(&doc, "fig5", &fig5_markdown(report))?;
     let doc = splice(&doc, "blame", &blame_markdown(report))?;
+    let doc = splice(&doc, "traffic", &traffic_markdown(report))?;
     write(&path, &doc)?;
     eprintln!("regenerated tables in {}", path.display());
     Ok(())
@@ -135,6 +136,10 @@ fn run() -> Result<ExitCode, String> {
     println!(
         "## Blame (blame path, % of exec)\n\n{}",
         blame_markdown(&report)
+    );
+    println!(
+        "## Traffic (per-kind, send-side)\n\n{}",
+        traffic_markdown(&report)
     );
 
     if let Some(out) = &args.out {

@@ -225,6 +225,23 @@ pub struct Blame {
     pub unflushed_bytes: u64,
     /// Recovery windows of crashed nodes, in node order.
     pub recovery: Vec<RecoveryWindow>,
+    /// Cluster-wide fetch-hiding effectiveness counters.
+    pub prefetch: PrefetchSummary,
+}
+
+/// How well the batched-prefetch and home-migration machinery worked:
+/// pages pulled in speculatively, how many later served a fault, how
+/// many were invalidated unused, and how many homes moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchSummary {
+    /// Extra pages carried by demand-fetch batches.
+    pub issued: u64,
+    /// Faults absorbed by a previously prefetched copy.
+    pub hits: u64,
+    /// Prefetched copies invalidated before any use.
+    pub wasted: u64,
+    /// Home migrations committed at checkpoint barriers.
+    pub home_migrations: u64,
 }
 
 /// One wait span on a node's timeline, cause resolved.
@@ -621,6 +638,15 @@ pub fn analyze<R>(run: &RunOutput<R>) -> Blame {
         log_by_class,
         unflushed_bytes: scans.iter().map(|s| s.unflushed_bytes).sum(),
         recovery,
+        prefetch: {
+            let ts = run.total_stats();
+            PrefetchSummary {
+                issued: ts.prefetch_issued,
+                hits: ts.prefetch_hits,
+                wasted: ts.prefetch_wasted,
+                home_migrations: ts.home_migrations,
+            }
+        },
     }
 }
 
@@ -717,6 +743,16 @@ pub fn blame_json(blame: &Blame, label: &str) -> Json {
     log.set("flushed_total", Json::from_u64(blame.log_total_bytes()));
     log.set("unflushed", Json::from_u64(blame.unflushed_bytes));
     doc.set("log_bytes", log);
+
+    let mut pf = Json::obj();
+    pf.set("issued", Json::from_u64(blame.prefetch.issued));
+    pf.set("hits", Json::from_u64(blame.prefetch.hits));
+    pf.set("wasted", Json::from_u64(blame.prefetch.wasted));
+    pf.set(
+        "home_migrations",
+        Json::from_u64(blame.prefetch.home_migrations),
+    );
+    doc.set("prefetch", pf);
 
     let mut rec = Vec::new();
     for w in &blame.recovery {

@@ -219,7 +219,11 @@ fn node_events<R>(out: &mut String, first: &mut bool, n: &NodeOutput<R>) {
             | TraceKind::LogTruncated { .. }
             | TraceKind::CheckpointTaken { .. }
             | TraceKind::HomeRepair { .. }
-            | TraceKind::SyncSynthesized { .. }) => {
+            | TraceKind::SyncSynthesized { .. }
+            | TraceKind::PrefetchIssued { .. }
+            | TraceKind::PrefetchHit { .. }
+            | TraceKind::PrefetchWasted { .. }
+            | TraceKind::HomeMigrated { .. }) => {
                 let object = match event_object(&kind) {
                     Some(obj) => format!(",\"object\":\"{}\"", esc(&obj.key())),
                     None => String::new(),
@@ -247,7 +251,11 @@ fn event_object(kind: &TraceKind) -> Option<BlameObj> {
     match *kind {
         TraceKind::ReadFault { page }
         | TraceKind::WriteFault { page }
-        | TraceKind::PageFetch { page, .. } => Some(BlameObj::Page(page)),
+        | TraceKind::PageFetch { page, .. }
+        | TraceKind::PrefetchIssued { page, .. }
+        | TraceKind::PrefetchHit { page }
+        | TraceKind::PrefetchWasted { page }
+        | TraceKind::HomeMigrated { page, .. } => Some(BlameObj::Page(page)),
         TraceKind::LockAcquire { lock, .. }
         | TraceKind::LockRelease { lock }
         | TraceKind::LockGranted { lock, .. } => Some(BlameObj::Lock(lock)),

@@ -152,6 +152,11 @@ pub struct RunRecord {
     pub metrics: NodeMetrics,
     /// Compact blame-engine summary (see [`crate::blame`]).
     pub blame: BlameSummary,
+    /// Per-wire-tag cluster traffic, `(msgs, bytes)` indexed by wire
+    /// tag (see [`ccl_core::kind_label`]).
+    pub traffic: Vec<(u64, u64)>,
+    /// Fetch-hiding effectiveness counters.
+    pub prefetch: crate::blame::PrefetchSummary,
 }
 
 /// What the blame engine says about one run, compact enough for the
@@ -251,7 +256,11 @@ pub struct Report {
 fn record(scale: Scale, app: App, protocol: Protocol) -> RunRecord {
     let out = scale.run(app, protocol);
     let total = out.total_stats();
-    let blame = blame_summary(&crate::blame::analyze(&out));
+    let analysis = crate::blame::analyze(&out);
+    let blame = blame_summary(&analysis);
+    let traffic = (0..ccl_core::MSG_KINDS)
+        .map(|k| (total.msgs_by_kind[k], total.bytes_by_kind[k]))
+        .collect();
     RunRecord {
         protocol,
         digest: out.nodes[0].result,
@@ -266,6 +275,8 @@ fn record(scale: Scale, app: App, protocol: Protocol) -> RunRecord {
         trace_fp: trace_fingerprint(&out),
         metrics: out.total_metrics(),
         blame,
+        traffic,
+        prefetch: analysis.prefetch,
     }
 }
 
@@ -365,6 +376,26 @@ pub fn report_json(report: &Report) -> Json {
             bj.set("log_meta_bytes", Json::from_u64(b.log_meta_bytes));
             bj.set("unflushed_bytes", Json::from_u64(b.unflushed_bytes));
             j.set("blame", bj);
+            let mut tr = Json::obj();
+            for (k, &(msgs, bytes)) in r.traffic.iter().enumerate() {
+                if msgs == 0 && bytes == 0 {
+                    continue;
+                }
+                let mut t = Json::obj();
+                t.set("msgs", Json::from_u64(msgs));
+                t.set("bytes", Json::from_u64(bytes));
+                tr.set(ccl_core::kind_label(k), t);
+            }
+            j.set("traffic", tr);
+            let mut pf = Json::obj();
+            pf.set("issued", Json::from_u64(r.prefetch.issued));
+            pf.set("hits", Json::from_u64(r.prefetch.hits));
+            pf.set("wasted", Json::from_u64(r.prefetch.wasted));
+            pf.set(
+                "home_migrations",
+                Json::from_u64(r.prefetch.home_migrations),
+            );
+            j.set("prefetch", pf);
             j.set("hist", hist_json(&r.metrics));
             runs.set(r.protocol.label(), j);
         }
@@ -533,6 +564,57 @@ pub fn blame_markdown(report: &Report) -> String {
                 pct(b.cp_wait_barrier_ns),
                 pct(b.cp_wait_flush_ns),
                 log,
+            ));
+        }
+    }
+    s
+}
+
+/// The per-variant traffic Markdown table: how the fetch path's
+/// envelopes split between the legacy single-page round trip and the
+/// batched one, how the speculative copies fared, and each run's total
+/// message volume.
+pub fn traffic_markdown(report: &Report) -> String {
+    let ord = |label: &str| {
+        (0..ccl_core::MSG_KINDS)
+            .find(|&k| ccl_core::kind_label(k) == label)
+            .expect("known wire-tag label")
+    };
+    let single = ord("PageReply");
+    let batch = ord("PageReplyBatch");
+    let migrate = ord("HomeMigrate");
+    let mut s = String::new();
+    s.push_str(
+        "| App | Protocol | Single fetches | Batched fetches | Pages/batch | \
+         Prefetch issued / hit / wasted | Home moves | Msgs | Sent (MB) |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for a in &report.apps {
+        for r in &a.runs {
+            let batches = r.traffic[batch].0;
+            let per_batch = if batches == 0 {
+                "—".to_string()
+            } else {
+                // Every batch carries its demand page; the extras are
+                // exactly the issued prefetches.
+                format!(
+                    "{:.2}",
+                    (batches + r.prefetch.issued) as f64 / batches as f64
+                )
+            };
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} / {} / {} | {} | {} | {:.2} |\n",
+                a.app.name(),
+                protocol_display(r.protocol),
+                r.traffic[single].0,
+                batches,
+                per_batch,
+                r.prefetch.issued,
+                r.prefetch.hits,
+                r.prefetch.wasted,
+                r.traffic[migrate].0,
+                r.msgs_sent,
+                r.bytes_sent as f64 / (1024.0 * 1024.0),
             ));
         }
     }
@@ -819,6 +901,18 @@ mod tests {
                 log_page_bytes: log_bytes,
                 ..BlameSummary::default()
             },
+            traffic: {
+                let mut t = vec![(0u64, 0u64); ccl_core::MSG_KINDS];
+                t[1] = (40, 40 * 4096); // PageReply
+                t[16] = (10, 12 * 4096); // PageReplyBatch
+                t
+            },
+            prefetch: crate::blame::PrefetchSummary {
+                issued: 20,
+                hits: 15,
+                wasted: 3,
+                home_migrations: 2,
+            },
         };
         let apps = App::ALL
             .iter()
@@ -1036,6 +1130,10 @@ mod tests {
         assert!(
             bl.contains("| 3D-FFT | None | `barrier:3` | 50.0% | 0.0% | 0.0% | 50.0% | 0.0% | — |")
         );
+        let tr = traffic_markdown(&report);
+        assert_eq!(tr.lines().count(), 2 + 4 * 3);
+        // 10 batches carrying 10 demand pages + 20 prefetched extras.
+        assert!(tr.contains("| 40 | 10 | 3.00 | 20 / 15 / 3 | 0 |"), "{tr}");
     }
 
     #[test]

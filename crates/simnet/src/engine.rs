@@ -286,6 +286,36 @@ pub enum TraceKind {
         /// Barrier records appended to the replay sequence.
         records: u32,
     },
+    /// A demand fault's batched request carried history-predicted extra
+    /// pages (emitted by the faulting node, once per batch).
+    PrefetchIssued {
+        /// The demand-faulting page the batch piggybacked on.
+        page: u32,
+        /// Predicted extra pages requested alongside it.
+        count: u32,
+    },
+    /// A predicted copy was touched while still valid: the fetch round
+    /// trip this access would have stalled on was hidden entirely.
+    PrefetchHit {
+        /// The page whose fault was avoided.
+        page: u32,
+    },
+    /// A predicted copy was invalidated by a write notice before its
+    /// first use: the prediction bought nothing but bytes.
+    PrefetchWasted {
+        /// The invalidated predicted page.
+        page: u32,
+    },
+    /// A barrier-committed home migration was executed (emitted by the
+    /// old home as it hands the page over).
+    HomeMigrated {
+        /// The migrated page.
+        page: u32,
+        /// The old home (the emitting node).
+        from: NodeId,
+        /// The new home.
+        to: NodeId,
+    },
 }
 
 impl TraceKind {
@@ -326,6 +356,10 @@ impl TraceKind {
             TraceKind::CheckpointTaken { .. } => "checkpoint_taken",
             TraceKind::HomeRepair { .. } => "home_repair",
             TraceKind::SyncSynthesized { .. } => "sync_synthesized",
+            TraceKind::PrefetchIssued { .. } => "prefetch_issued",
+            TraceKind::PrefetchHit { .. } => "prefetch_hit",
+            TraceKind::PrefetchWasted { .. } => "prefetch_wasted",
+            TraceKind::HomeMigrated { .. } => "home_migrated",
         }
     }
 }
@@ -419,6 +453,14 @@ mod tests {
                 diffs: 1,
             },
             TraceKind::SyncSynthesized { records: 1 },
+            TraceKind::PrefetchIssued { page: 1, count: 1 },
+            TraceKind::PrefetchHit { page: 1 },
+            TraceKind::PrefetchWasted { page: 1 },
+            TraceKind::HomeMigrated {
+                page: 1,
+                from: 0,
+                to: 1,
+            },
         ]
     }
 
@@ -457,6 +499,10 @@ mod tests {
             TraceKind::CheckpointTaken { .. } => 30,
             TraceKind::HomeRepair { .. } => 31,
             TraceKind::SyncSynthesized { .. } => 32,
+            TraceKind::PrefetchIssued { .. } => 33,
+            TraceKind::PrefetchHit { .. } => 34,
+            TraceKind::PrefetchWasted { .. } => 35,
+            TraceKind::HomeMigrated { .. } => 36,
         }
     }
 
@@ -532,6 +578,12 @@ impl PhaseBreakdown {
             read_faults: _,
             write_faults: _,
             page_fetches: _,
+            prefetch_issued: _,
+            prefetch_hits: _,
+            prefetch_wasted: _,
+            home_migrations: _,
+            msgs_by_kind: _,
+            bytes_by_kind: _,
             diffs_created: _,
             diff_bytes: _,
             twins_created: _,

@@ -45,6 +45,6 @@ pub use metrics::{Histogram, NodeMetrics, HIST_BINS};
 pub use models::{CostModel, CpuModel, DiskModel, NetworkModel};
 pub use node::{run_cluster, NodeCtx};
 pub use router::{make_endpoints, Endpoint, Envelope, NodeId, WireSized};
-pub use stats::NodeStats;
+pub use stats::{NodeStats, TRAFFIC_KINDS};
 pub use time::{SimDuration, SimTime};
 pub use trace::{recycle_trace_buffer, TraceSink, DEFAULT_TRACE_CAPACITY};

@@ -398,6 +398,7 @@ impl<M: WireSized + Clone> NodeCtx<M> {
         }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += size as u64;
+        self.stats.count_kind(payload.kind_ordinal(), size as u64);
         self.trace(TraceKind::MsgSend {
             to: dst,
             seq,

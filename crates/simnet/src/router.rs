@@ -163,6 +163,15 @@ pub trait WireSized {
     fn msg_label(&self) -> &'static str {
         "msg"
     }
+
+    /// Stable small ordinal naming this payload's message kind, used to
+    /// bucket per-kind traffic histograms (see
+    /// [`NodeStats::count_kind`](crate::NodeStats::count_kind)).
+    /// Protocol payloads override this with their wire tag; abstract
+    /// test payloads keep the default bucket 0.
+    fn kind_ordinal(&self) -> usize {
+        0
+    }
 }
 
 /// A message in flight.

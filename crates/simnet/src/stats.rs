@@ -5,6 +5,12 @@
 
 use crate::time::SimDuration;
 
+/// Width of the per-message-kind traffic histograms: one slot per wire
+/// ordinal (see [`WireSized::kind_ordinal`](crate::WireSized)), sized
+/// with headroom above any current protocol's kind count. Out-of-range
+/// ordinals are clamped into the last slot rather than dropped.
+pub const TRAFFIC_KINDS: usize = 24;
+
 /// Counters accumulated by one DSM node over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
@@ -22,6 +28,19 @@ pub struct NodeStats {
     pub write_faults: u64,
     /// Full pages fetched from a home node.
     pub page_fetches: u64,
+    /// Predicted extra pages requested on batched fetches.
+    pub prefetch_issued: u64,
+    /// Predicted copies touched while still valid (fetch stalls hidden).
+    pub prefetch_hits: u64,
+    /// Predicted copies invalidated before first use (wasted bytes).
+    pub prefetch_wasted: u64,
+    /// Barrier-committed home migrations executed by this node as the
+    /// old home.
+    pub home_migrations: u64,
+    /// Messages sent, bucketed by wire-kind ordinal.
+    pub msgs_by_kind: [u64; TRAFFIC_KINDS],
+    /// Payload bytes sent, bucketed by wire-kind ordinal.
+    pub bytes_by_kind: [u64; TRAFFIC_KINDS],
     /// Diffs created at releases/barriers, and their encoded bytes.
     pub diffs_created: u64,
     /// Diff bytes encoded at releases/barriers.
@@ -76,6 +95,12 @@ impl NodeStats {
             read_faults,
             write_faults,
             page_fetches,
+            prefetch_issued,
+            prefetch_hits,
+            prefetch_wasted,
+            home_migrations,
+            msgs_by_kind,
+            bytes_by_kind,
             diffs_created,
             diff_bytes,
             twins_created,
@@ -100,6 +125,14 @@ impl NodeStats {
         self.read_faults += read_faults;
         self.write_faults += write_faults;
         self.page_fetches += page_fetches;
+        self.prefetch_issued += prefetch_issued;
+        self.prefetch_hits += prefetch_hits;
+        self.prefetch_wasted += prefetch_wasted;
+        self.home_migrations += home_migrations;
+        for k in 0..TRAFFIC_KINDS {
+            self.msgs_by_kind[k] += msgs_by_kind[k];
+            self.bytes_by_kind[k] += bytes_by_kind[k];
+        }
         self.diffs_created += diffs_created;
         self.diff_bytes += diff_bytes;
         self.twins_created += twins_created;
@@ -121,6 +154,14 @@ impl NodeStats {
     /// Total page faults (read + write).
     pub fn faults(&self) -> u64 {
         self.read_faults + self.write_faults
+    }
+
+    /// Bucket one sent message into the per-kind traffic histograms.
+    /// Ordinals beyond the histogram width land in the last slot.
+    pub fn count_kind(&mut self, ordinal: usize, bytes: u64) {
+        let k = ordinal.min(TRAFFIC_KINDS - 1);
+        self.msgs_by_kind[k] += 1;
+        self.bytes_by_kind[k] += bytes;
     }
 
     /// Partition this node's time counters into the four-way phase
@@ -170,6 +211,12 @@ mod tests {
             wait_time: SimDuration::from_nanos(base + 21),
             disk_time: SimDuration::from_nanos(base + 22),
             disk_time_overlapped: SimDuration::from_nanos(base + 23),
+            prefetch_issued: base + 24,
+            prefetch_hits: base + 25,
+            prefetch_wasted: base + 26,
+            home_migrations: base + 27,
+            msgs_by_kind: std::array::from_fn(|i| base + 28 + i as u64),
+            bytes_by_kind: std::array::from_fn(|i| base + 28 + TRAFFIC_KINDS as u64 + i as u64),
         }
     }
 
@@ -187,6 +234,12 @@ mod tests {
             read_faults,
             write_faults,
             page_fetches,
+            prefetch_issued,
+            prefetch_hits,
+            prefetch_wasted,
+            home_migrations,
+            msgs_by_kind,
+            bytes_by_kind,
             diffs_created,
             diff_bytes,
             twins_created,
@@ -227,6 +280,29 @@ mod tests {
         assert_eq!(wait_time.as_nanos(), expect(21));
         assert_eq!(disk_time.as_nanos(), expect(22));
         assert_eq!(disk_time_overlapped.as_nanos(), expect(23));
+        assert_eq!(prefetch_issued, expect(24));
+        assert_eq!(prefetch_hits, expect(25));
+        assert_eq!(prefetch_wasted, expect(26));
+        assert_eq!(home_migrations, expect(27));
+        for i in 0..TRAFFIC_KINDS {
+            assert_eq!(msgs_by_kind[i], expect(28 + i as u64));
+            assert_eq!(
+                bytes_by_kind[i],
+                expect(28 + TRAFFIC_KINDS as u64 + i as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn count_kind_buckets_and_clamps() {
+        let mut s = NodeStats::default();
+        s.count_kind(3, 100);
+        s.count_kind(3, 50);
+        s.count_kind(TRAFFIC_KINDS + 7, 9);
+        assert_eq!(s.msgs_by_kind[3], 2);
+        assert_eq!(s.bytes_by_kind[3], 150);
+        assert_eq!(s.msgs_by_kind[TRAFFIC_KINDS - 1], 1);
+        assert_eq!(s.bytes_by_kind[TRAFFIC_KINDS - 1], 9);
     }
 
     #[test]

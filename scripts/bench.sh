@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Run the wall-clock benchmarks and refresh BENCH_hotpath.json and
-# BENCH_sched.json at the repo root.
+# Run the wall-clock benchmarks and refresh BENCH_hotpath.json,
+# BENCH_sched.json and BENCH_fetch.json at the repo root.
 #
 # Usage:
 #   scripts/bench.sh                   # full run (paper-scale apps, ~minutes)
-#   HOTPATH_SMOKE=1 SCHED_SMOKE=1 scripts/bench.sh   # tiny smoke run (seconds)
+#   HOTPATH_SMOKE=1 SCHED_SMOKE=1 FETCH_SMOKE=1 scripts/bench.sh   # tiny smoke run (seconds)
 #   scripts/bench.sh --compare         # full run, then regression gate
 #   scripts/bench.sh --compare-only    # gate the committed JSON, no benching
 #
@@ -66,6 +66,38 @@ print(f"{path}: OK")
 PYEOF
 }
 
+# Gate the fetch-hiding win itself: BENCH_fetch.json's live rows must
+# show prefetch-on virtual execution at least 10% below prefetch-off
+# for the None and CCL protocols (the PR's headline claim). Virtual
+# time is deterministic, so this gate has no machine-load slack — a
+# predictor regression fails it exactly.
+fetch_win_gate() {
+    python3 - "$1" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+d = json.load(open(path))
+if d.get("smoke"):
+    print(f"{path}: smoke-scale, win gate skipped")
+    sys.exit(0)
+rows = {a["protocol"]: a["exec_ns"] for a in d.get("apps", [])}
+bad = []
+for proto in ("none", "ccl"):
+    off, on = rows.get(f"{proto}-off"), rows.get(f"{proto}-on")
+    if off is None or on is None:
+        bad.append((proto, "missing rows"))
+        continue
+    win = 100.0 * (1.0 - on / off)
+    flag = "ok" if on <= 0.9 * off else "TOO SMALL"
+    print(f"  fetch-hiding win {proto:<5} {off} ns -> {on} ns ({win:+.1f}%) {flag}")
+    if on > 0.9 * off:
+        bad.append((proto, f"{win:+.1f}%"))
+if bad:
+    sys.exit(f"{path}: fetch-hiding win below 10%: {bad}")
+print(f"{path}: OK")
+PYEOF
+}
+
 # Wall cost of the blame analysis itself (the full smoke matrix: 12
 # protocol runs + 8 crash runs, each analyzed and the document
 # byte-compared against its baseline). Blame is observability — it
@@ -103,6 +135,8 @@ if [ "$MODE" = "--compare-only" ]; then
     compare_one BENCH_hotpath.json
     compare_one BENCH_sched.json
     compare_one BENCH_blame.json
+    compare_one BENCH_fetch.json
+    fetch_win_gate BENCH_fetch.json
     exit 0
 fi
 
@@ -114,19 +148,25 @@ export SCHED_JSON="${SCHED_JSON:-$PWD/BENCH_sched.json}"
 cargo bench -p ccl-bench --bench sched
 echo "bench written to $SCHED_JSON"
 
+export FETCH_JSON="${FETCH_JSON:-$PWD/BENCH_fetch.json}"
+cargo bench -p ccl-bench --bench fetch
+echo "bench written to $FETCH_JSON"
+
 BLAME_JSON="${BLAME_JSON:-$PWD/BENCH_blame.json}"
 bench_blame "$BLAME_JSON"
 
 if [ "$MODE" = "--compare" ]; then
     # Smoke runs use tiny workloads whose wall times are not comparable
     # to the full-scale pre_pr block; gating them would be vacuous.
-    if [ -n "${HOTPATH_SMOKE:-}" ] || [ -n "${SCHED_SMOKE:-}" ]; then
+    if [ -n "${HOTPATH_SMOKE:-}" ] || [ -n "${SCHED_SMOKE:-}" ] || [ -n "${FETCH_SMOKE:-}" ]; then
         echo "--compare skipped: smoke-scale numbers are not comparable to pre_pr" >&2
         exit 1
     fi
     compare_one "$HOTPATH_JSON"
     compare_one "$SCHED_JSON"
     compare_one "$BLAME_JSON"
+    compare_one "$FETCH_JSON"
+    fetch_win_gate "$FETCH_JSON"
 fi
 
 # Histogram summary: the phases bench emits one JSON object per run

@@ -48,6 +48,13 @@ python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']==
     "$PWD/target/BENCH_sched.smoke.json"
 echo "bench smoke: OK (target/BENCH_sched.smoke.json well-formed)"
 
+echo "==> bench smoke (fetch, tiny sizes)"
+FETCH_SMOKE=1 FETCH_JSON="$PWD/target/BENCH_fetch.smoke.json" \
+    cargo bench -p ccl-bench --bench fetch >/dev/null
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['bench']=='fetch' and d['smoke'] and d['apps'] and d['pre_pr']" \
+    "$PWD/target/BENCH_fetch.smoke.json"
+echo "bench smoke: OK (target/BENCH_fetch.smoke.json well-formed)"
+
 echo "==> bench regression gate (committed BENCH_*.json vs their pre_pr blocks)"
 ./scripts/bench.sh --compare-only
 
@@ -103,6 +110,27 @@ for label, r in runs.items():
     if label.endswith("/crash"):
         assert r["recovery"], f"{label}: crash run has no recovery window"
 print("blame smoke: OK (schema valid, exact partitions, baseline byte-identical)")
+PYEOF
+
+echo "==> fetch-hiding blame gate (committed REPORT_paper.json)"
+# Before the batched-prefetch path landed, 3D-FFT — the most
+# remote-data-bound application — spent 56.8% of its CCL blame path
+# waiting on page fetches (58.3% under None). The fetch-hiding
+# machinery (DESIGN.md §15) must keep that share strictly below the
+# pre-PR value: if a predictor or batching regression creeps in, the
+# share climbs back toward stop-and-wait levels and this gate fails.
+python3 - "$PWD/REPORT_paper.json" <<'PYEOF'
+import json, sys
+PRE_PR = {"none": 0.583, "ccl": 0.568}
+d = json.load(open(sys.argv[1]))
+for proto, pre in PRE_PR.items():
+    b = d["apps"]["3D-FFT"]["runs"][proto]["blame"]
+    path = (b["cp_compute_ns"] + b["cp_recovery_ns"] + b["cp_wait_page_ns"]
+            + b["cp_wait_lock_ns"] + b["cp_wait_barrier_ns"] + b["cp_wait_flush_ns"])
+    share = b["cp_wait_page_ns"] / path
+    assert share < pre, \
+        f"3D-FFT/{proto}: page-wait blame share {share:.3f} not below pre-PR {pre}"
+    print(f"3D-FFT/{proto}: page-wait share {share:.3f} < pre-PR {pre} OK")
 PYEOF
 
 echo "==> cargo clippy --workspace -- -D warnings"
